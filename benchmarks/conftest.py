@@ -1,0 +1,47 @@
+"""Shared configuration for the experiment benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures and
+writes the formatted report to ``results/`` (also echoed to stdout so
+``pytest benchmarks/ --benchmark-only -s`` shows it inline).
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — workload scale factor (default 1.0; smaller
+  values shrink trip counts for quick runs).
+* ``REPRO_BENCH_SUBSET`` — comma-separated benchmark names to restrict
+  the grid (default: the full 18-benchmark suite).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_scale() -> float:
+    """Workload scale for benchmark runs."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_subset():
+    """Benchmark names to run (None = all)."""
+    raw = os.environ.get("REPRO_BENCH_SUBSET", "")
+    return [name for name in raw.split(",") if name] or None
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Write a report file and echo it."""
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n--- {name} ---")
+    print(text)

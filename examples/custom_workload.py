@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Bring your own workload: a blocked matrix multiply through the
+whole pipeline.
+
+Shows the intended integration path for downstream users: construct a
+program with :class:`repro.IRBuilder`, hand it to
+:func:`repro.select_tasks`, execute it functionally, split the trace
+with :func:`repro.build_task_stream`, and time it with
+:func:`repro.simulate` — then inspect per-task shapes and where the
+cycles went.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import (
+    HeuristicLevel,
+    IRBuilder,
+    SelectionConfig,
+    SimConfig,
+    build_task_stream,
+    select_tasks,
+    simulate,
+)
+from repro.ir.interp import Interpreter
+
+N = 10
+A_BASE, B_BASE, C_BASE = 1000, 2000, 3000
+
+
+def build_matmul():
+    """C = A x B over N x N fp matrices, classic triple loop."""
+    b = IRBuilder()
+    with b.function("main"):
+        b.li("r1", 0)  # i
+        i_head, i_body = b.new_label("i_head"), b.new_label("i_body")
+        j_head, j_body = b.new_label("j_head"), b.new_label("j_body")
+        k_head, k_body = b.new_label("k_head"), b.new_label("k_body")
+        k_exit, j_exit, i_exit = (
+            b.new_label("k_exit"), b.new_label("j_exit"), b.new_label("done"),
+        )
+        b.li("r30", N)
+        b.jump(i_head)
+        with b.block(i_head):
+            b.slt("r9", "r1", "r30")
+            b.beqz("r9", i_exit, fallthrough=i_body)
+        with b.block(i_body):
+            b.li("r2", 0)  # j
+            b.jump(j_head)
+        with b.block(j_head):
+            b.slt("r9", "r2", "r30")
+            b.beqz("r9", j_exit, fallthrough=j_body)
+        with b.block(j_body):
+            b.fli("f4", 0.0)  # acc
+            b.li("r3", 0)     # k
+            b.jump(k_head)
+        with b.block(k_head):
+            b.slt("r9", "r3", "r30")
+            b.beqz("r9", k_exit, fallthrough=k_body)
+        with b.block(k_body):
+            b.muli("r10", "r1", N)
+            b.add("r10", "r10", "r3")
+            b.addi("r10", "r10", A_BASE)
+            b.load("f5", "r10", 0)
+            b.muli("r11", "r3", N)
+            b.add("r11", "r11", "r2")
+            b.addi("r11", "r11", B_BASE)
+            b.load("f6", "r11", 0)
+            b.fmul("f7", "f5", "f6")
+            b.fadd("f4", "f4", "f7")
+            b.addi("r3", "r3", 1)
+            b.jump(k_head)
+        with b.block(k_exit):
+            b.muli("r12", "r1", N)
+            b.add("r12", "r12", "r2")
+            b.addi("r12", "r12", C_BASE)
+            b.store("f4", "r12", 0)
+            b.addi("r2", "r2", 1)
+            b.jump(j_head)
+        with b.block(j_exit):
+            b.addi("r1", "r1", 1)
+            b.jump(i_head)
+        with b.block(i_exit):
+            b.halt()
+    program = b.build()
+    for i in range(N * N):
+        program.memory_image[A_BASE + i] = 0.5 + (i % 7) * 0.1
+        program.memory_image[B_BASE + i] = 1.0 - (i % 5) * 0.05
+    return program
+
+
+def main() -> None:
+    for level in (HeuristicLevel.BASIC_BLOCK, HeuristicLevel.TASK_SIZE):
+        partition = select_tasks(build_matmul(), SelectionConfig(level=level))
+        interp = Interpreter(partition.program)
+        trace = interp.run()
+        stream = build_task_stream(trace, partition)
+        result = simulate(stream, SimConfig().scaled_for_pus(8))
+        print(f"=== {level.value}: {len(trace)} dyn insts, "
+              f"{len(stream)} tasks (mean {stream.mean_task_size:.1f}), "
+              f"IPC {result.ipc:.2f} on 8 PUs")
+    # Sanity: C[0][0] = sum_k A[0][k] * B[k][0]
+    expect = sum(
+        (0.5 + (k % 7) * 0.1) * (1.0 - (k * N % 5) * 0.05) for k in range(N)
+    )
+    print(f"C[0][0] = {interp.memory[C_BASE]:.4f} (expected {expect:.4f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Compare the paper's heuristic progression on a SPEC95 stand-in.
+
+Runs one benchmark (default: ``compress``, the one the paper notes
+responds to the task size heuristic) through basic block / control
+flow / data dependence / task size selection, and prints the
+Figure 5-style IPC comparison plus the Figure 2 cycle breakdown.
+
+Run:  python examples/heuristic_comparison.py [benchmark]
+"""
+
+import sys
+
+from repro import HeuristicLevel, run_benchmark
+from repro.metrics import improvement_percent
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "compress"
+    records = {
+        level: run_benchmark(name, level, n_pus=4) for level in HeuristicLevel
+    }
+    base = records[HeuristicLevel.BASIC_BLOCK]
+
+    print(f"benchmark: {name}  (suite: {base.suite}, "
+          f"{base.instructions} dynamic instructions)\n")
+    print(f"{'level':<18}{'IPC':>6}{'gain':>9}{'task size':>11}"
+          f"{'task pred':>11}{'mem squash':>12}")
+    for level, rec in records.items():
+        gain = improvement_percent(rec.ipc, base.ipc)
+        print(f"{level.value:<18}{rec.ipc:>6.2f}{gain:>+8.1f}%"
+              f"{rec.mean_task_size:>11.1f}"
+              f"{100 * rec.task_prediction_accuracy:>10.1f}%"
+              f"{rec.memory_squashes:>12d}")
+
+    print("\ncycle breakdown (percent of attributed PU-cycles):")
+    columns = None
+    for level, rec in records.items():
+        flat = rec.breakdown.as_dict()
+        total = sum(flat.values()) or 1
+        if columns is None:
+            columns = list(flat)
+            print(f"{'level':<18}" + "".join(f"{c[:10]:>11}" for c in columns))
+        print(f"{level.value:<18}" + "".join(
+            f"{100 * flat[c] / total:>10.1f}%" for c in columns
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""PU-count scaling and window span study.
+
+Sweeps the machine from 1 to 8 PUs for a benchmark under basic block
+and data dependence tasks, printing IPC and both window-span measures
+(the Section 4.3.4 formula and the cycle-averaged measurement).
+Reproduces the paper's headline observation: task-level speculation
+exposes far more of the dynamic instruction stream than branch
+prediction alone.
+
+Run:  python examples/scaling_study.py [benchmark]
+"""
+
+import sys
+
+from repro import HeuristicLevel, run_benchmark
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "tomcatv"
+    print(f"benchmark: {name}\n")
+    print(f"{'PUs':>4} {'tasks':>6}  | {'bb IPC':>7} {'bb span':>8}"
+          f" | {'dd IPC':>7} {'dd span':>8} {'measured':>9}")
+    for n_pus in (1, 2, 4, 8):
+        bb = run_benchmark(name, HeuristicLevel.BASIC_BLOCK, n_pus=n_pus)
+        dd = run_benchmark(name, HeuristicLevel.DATA_DEPENDENCE, n_pus=n_pus)
+        print(f"{n_pus:>4} {dd.dynamic_tasks:>6}  "
+              f"| {bb.ipc:>7.2f} {bb.window_span_formula:>8.0f}"
+              f" | {dd.ipc:>7.2f} {dd.window_span_formula:>8.0f}"
+              f" {dd.mean_window_span_measured:>9.1f}")
+    print("\nThe 1-PU row is the sequential (superscalar-like) baseline;")
+    print("window span grows with PUs only when tasks are large and the")
+    print("inter-task predictor stays accurate (the paper's equation).")
+
+
+if __name__ == "__main__":
+    main()

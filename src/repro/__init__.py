@@ -1,0 +1,67 @@
+"""Reproduction of *Task Selection for a Multiscalar Processor*
+(T. N. Vijaykumar and G. S. Sohi, MICRO-31, 1998).
+
+The package implements, from scratch:
+
+* a small RISC-like IR with CFG and dataflow analyses (:mod:`repro.ir`),
+* the paper's compiler task-selection heuristics
+  (:mod:`repro.compiler`),
+* synthetic SPEC95 stand-in workloads (:mod:`repro.workloads`),
+* control-flow prediction hardware models (:mod:`repro.predict`),
+* a trace-driven cycle-level Multiscalar simulator (:mod:`repro.sim`),
+* metrics and experiment harnesses regenerating the paper's Figure 5
+  and Table 1 (:mod:`repro.metrics`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import run_benchmark, HeuristicLevel
+
+    record = run_benchmark("compress", HeuristicLevel.DATA_DEPENDENCE,
+                           n_pus=4)
+    print(record.ipc, record.mean_task_size)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.compiler import (
+    HeuristicLevel,
+    SelectionConfig,
+    Task,
+    TaskPartition,
+    select_tasks,
+)
+from repro.experiments.runner import RunRecord, run_benchmark
+from repro.ir import IRBuilder, Interpreter, Program, Trace
+from repro.sim import (
+    MultiscalarMachine,
+    SimConfig,
+    SimResult,
+    build_task_stream,
+    simulate,
+)
+from repro.workloads import all_benchmarks, get_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HeuristicLevel",
+    "IRBuilder",
+    "Interpreter",
+    "MultiscalarMachine",
+    "Program",
+    "RunRecord",
+    "SelectionConfig",
+    "SimConfig",
+    "SimResult",
+    "Task",
+    "TaskPartition",
+    "Trace",
+    "all_benchmarks",
+    "build_task_stream",
+    "get_benchmark",
+    "run_benchmark",
+    "select_tasks",
+    "simulate",
+    "__version__",
+]

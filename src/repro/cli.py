@@ -1,0 +1,175 @@
+"""Command line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — one benchmark under one heuristic level / machine config.
+* ``figure5`` — regenerate the Figure 5 grid.
+* ``table1`` — regenerate Table 1.
+* ``breakdown`` — Figure 2 cycle accounting.
+* ``list`` — list the available benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.compiler import HeuristicLevel
+from repro.experiments.breakdown import format_breakdown, run_breakdown
+from repro.experiments.centralized import (
+    format_centralized,
+    run_centralized_comparison,
+)
+from repro.experiments.figure5 import format_figure5, run_figure5
+from repro.experiments.runner import run_benchmark
+from repro.experiments.table1 import format_table1, run_table1
+from repro.workloads import all_benchmarks
+
+_LEVELS = {level.value: level for level in HeuristicLevel}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (default 1.0)",
+    )
+    parser.add_argument(
+        "--benchmarks", default="",
+        help="comma-separated benchmark names (default: all)",
+    )
+
+
+def _names(args: argparse.Namespace) -> List[str]:
+    return [n for n in args.benchmarks.split(",") if n]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Task Selection for a Multiscalar "
+            "Processor' (MICRO-31, 1998)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one benchmark")
+    run_p.add_argument("benchmark")
+    run_p.add_argument(
+        "--level", choices=sorted(_LEVELS), default="data_dependence"
+    )
+    run_p.add_argument("--pus", type=int, default=4)
+    run_p.add_argument("--in-order", action="store_true")
+    run_p.add_argument("--scale", type=float, default=1.0)
+
+    fig_p = sub.add_parser("figure5", help="regenerate Figure 5")
+    _add_common(fig_p)
+    fig_p.add_argument("--pus", type=int, default=0,
+                       help="restrict to one PU count (default: 4 and 8)")
+    fig_p.add_argument("--in-order", action="store_true",
+                       help="in-order PUs only (default: both)")
+
+    tab_p = sub.add_parser("table1", help="regenerate Table 1")
+    _add_common(tab_p)
+    tab_p.add_argument("--pus", type=int, default=8)
+
+    brk_p = sub.add_parser("breakdown", help="Figure 2 cycle accounting")
+    _add_common(brk_p)
+    brk_p.add_argument("--pus", type=int, default=4)
+
+    cen_p = sub.add_parser(
+        "centralized",
+        help="distributed vs centralized motivation study",
+    )
+    _add_common(cen_p)
+    cen_p.add_argument("--pus", type=int, default=8)
+
+    sub.add_parser("list", help="list the available benchmarks")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    record = run_benchmark(
+        args.benchmark,
+        _LEVELS[args.level],
+        n_pus=args.pus,
+        out_of_order=not args.in_order,
+        scale=args.scale,
+    )
+    lines = [
+        f"benchmark            : {record.benchmark} ({record.suite})",
+        f"heuristic level      : {record.level.value}",
+        f"machine              : {record.n_pus} PUs, "
+        f"{'out-of-order' if record.out_of_order else 'in-order'}",
+        f"instructions         : {record.instructions}",
+        f"cycles               : {record.cycles}",
+        f"IPC                  : {record.ipc:.3f}",
+        f"dynamic tasks        : {record.dynamic_tasks}",
+        f"mean task size       : {record.mean_task_size:.1f}",
+        f"task mispredict      : {record.task_misprediction_percent:.1f}%",
+        f"br-equivalent mispred: "
+        f"{record.branch_normalized_misprediction_percent:.1f}%",
+        f"window span (eq.)    : {record.window_span_formula:.0f}",
+        f"window span (meas.)  : {record.mean_window_span_measured:.0f}",
+        f"control squashes     : {record.control_squashes}",
+        f"memory squashes      : {record.memory_squashes}",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_figure5(args: argparse.Namespace) -> str:
+    pus = [args.pus] if args.pus else [4, 8]
+    modes = [False] if args.in_order else [True, False]
+    configs = [(n, ooo) for ooo in modes for n in pus]
+    result = run_figure5(
+        benchmarks=_names(args), configs=configs, scale=args.scale
+    )
+    return format_figure5(result, configs=configs)
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    result = run_table1(
+        benchmarks=_names(args), n_pus=args.pus, scale=args.scale
+    )
+    return format_table1(result)
+
+
+def _cmd_breakdown(args: argparse.Namespace) -> str:
+    names = _names(args) or ["compress", "m88ksim", "tomcatv", "hydro2d"]
+    result = run_breakdown(names, n_pus=args.pus, scale=args.scale)
+    return format_breakdown(result)
+
+
+def _cmd_centralized(args: argparse.Namespace) -> str:
+    names = _names(args) or ["compress", "m88ksim", "tomcatv", "wave5"]
+    result = run_centralized_comparison(names, n_pus=args.pus,
+                                        scale=args.scale)
+    return format_centralized(result)
+
+
+def _cmd_list(_args: argparse.Namespace) -> str:
+    lines = []
+    for bm in all_benchmarks():
+        lines.append(f"{bm.name:<10} [{bm.suite}] {bm.description}")
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "figure5": _cmd_figure5,
+    "table1": _cmd_table1,
+    "breakdown": _cmd_breakdown,
+    "centralized": _cmd_centralized,
+    "list": _cmd_list,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The paper's contribution: compiler task selection for Multiscalar.
+
+Public surface:
+
+* :class:`~repro.compiler.heuristics.HeuristicLevel` and
+  :class:`~repro.compiler.heuristics.SelectionConfig` — which heuristics
+  to apply (the paper's progression: basic block → control flow →
+  data dependence → + task size) and their thresholds (N = 4 targets,
+  CALL_THRESH = 30, LOOP_THRESH = 30).
+* :func:`~repro.compiler.partition.select_tasks` — the driver; returns
+  a :class:`~repro.compiler.task.TaskPartition`.
+* :class:`~repro.compiler.task.Task` /
+  :class:`~repro.compiler.task.TaskPartition` — the static task model
+  (connected single-entry CFG subgraphs, possibly overlapping).
+* :mod:`~repro.compiler.transforms` — loop unrolling and induction
+  increment hoisting.
+* :mod:`~repro.compiler.regcomm` — register communication release
+  points (dead register analysis).
+"""
+
+from repro.compiler.heuristics import HeuristicLevel, SelectionConfig
+from repro.compiler.partition import select_tasks
+from repro.compiler.task import Target, TargetKind, Task, TaskPartition
+
+__all__ = [
+    "HeuristicLevel",
+    "SelectionConfig",
+    "Target",
+    "TargetKind",
+    "Task",
+    "TaskPartition",
+    "select_tasks",
+]

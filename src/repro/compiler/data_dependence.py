@@ -1,0 +1,157 @@
+"""The data dependence heuristic (Section 3.4, Figure 3).
+
+The paper's ``dependence_task()`` integrates dependence steering into
+the CFG traversal: a basic block is explored "only if it is dependent
+on other basic blocks included in the task" — concretely, only blocks
+in the *codependent set* of some dependence whose producer is already
+in the task.  Combined with the observation that "the data dependence
+heuristic terminates tasks as soon as a data dependence is included",
+this yields the growth policy implemented here:
+
+* while the task contains no dependence producer, grow exactly like
+  the control flow heuristic (adjacent blocks, reconvergence);
+* once one or more dependences are *open* (producer included, consumer
+  not yet), explore only blocks on forward paths to an open consumer;
+* once dependences have been *closed* (producer and consumer both
+  included) and nothing remains open, stop growing.
+
+Dependences are the function's register def-use chains, ranked by
+profiled dynamic frequency; loop-carried dependences (consumer only
+reachable through a back edge) have an empty codependent set and are
+ignored here — they are inherently inter-task and are handled by
+induction hoisting and the register ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.compiler.control_flow import GrowthPolicy
+from repro.compiler.heuristics import SelectionConfig
+from repro.ir.cfg import CFG
+from repro.ir.dataflow import DefUseEdge, codependent_set, def_use_chains
+from repro.ir.function import Function
+from repro.profiling import Profile
+
+
+@dataclass(frozen=True)
+class RankedDependence:
+    """A profiled def-use dependence with its codependent block set."""
+
+    frequency: int
+    edge: DefUseEdge
+    codependent: FrozenSet[str]
+
+
+def ranked_dependences(
+    function: Function, cfg: CFG, profile: Profile, config: SelectionConfig
+) -> List[RankedDependence]:
+    """Inter-block def-use edges, most dynamically frequent first.
+
+    Never-executed dependences and dependences with no forward
+    producer→consumer path (loop-carried) are dropped; ties break on
+    the edge's deterministic sort key.  At most
+    ``config.max_dependences`` are returned (a compile-time guard).
+    """
+    ranked: List[Tuple[int, DefUseEdge]] = []
+    for edge in def_use_chains(function, cfg):
+        if not edge.crosses_blocks:
+            continue
+        freq = profile.defuse_count(function.name, edge)
+        if freq > 0:
+            ranked.append((freq, edge))
+    ranked.sort(
+        key=lambda item: (
+            -item[0],
+            item[1].def_block,
+            item[1].def_index,
+            item[1].use_block,
+            item[1].use_index,
+            item[1].register,
+        )
+    )
+    out: List[RankedDependence] = []
+    for freq, edge in ranked:
+        if len(out) >= config.max_dependences:
+            break
+        codep = frozenset(codependent_set(cfg, edge))
+        if codep:
+            out.append(RankedDependence(freq, edge, codep))
+    return out
+
+
+class DependenceBook:
+    """Per-function dependence index, shared across all task growths."""
+
+    def __init__(
+        self,
+        function: Function,
+        cfg: CFG,
+        profile: Profile,
+        config: SelectionConfig,
+    ) -> None:
+        self.cfg = cfg
+        self.dependences = ranked_dependences(function, cfg, profile, config)
+        self.by_producer: Dict[str, List[int]] = {}
+        self.by_consumer: Dict[str, List[int]] = {}
+        for idx, dep in enumerate(self.dependences):
+            self.by_producer.setdefault(dep.edge.def_block, []).append(idx)
+            self.by_consumer.setdefault(dep.edge.use_block, []).append(idx)
+
+    def policy(self) -> "DependencePolicy":
+        """A fresh growth policy for one task growth."""
+        return DependencePolicy(self)
+
+
+class DependencePolicy(GrowthPolicy):
+    """Stateful dependence steering for a single task growth."""
+
+    def __init__(self, book: DependenceBook) -> None:
+        self.book = book
+        self.members: set = set()
+        self.open: set = set()  # dependence indices: producer in, consumer out
+        self.closed_any = False
+
+    def on_include(self, label: str) -> None:
+        self.members.add(label)
+        # Close open dependences whose consumer just arrived.
+        for idx in self.book.by_consumer.get(label, ()):
+            if idx in self.open:
+                self.open.discard(idx)
+                self.closed_any = True
+        # Open dependences produced here (unless already satisfied).
+        for idx in self.book.by_producer.get(label, ()):
+            dep = self.book.dependences[idx]
+            if dep.edge.use_block in self.members:
+                self.closed_any = True
+            else:
+                self.open.add(idx)
+
+    def _reconverges(self, child: str) -> bool:
+        """``child`` is a static join point (>= 2 CFG predecessors).
+
+        Reconverging paths are the control flow heuristic's core asset
+        ("reconverging control flow paths can be exploited") and the
+        data dependence heuristic is applied *in conjunction with* it,
+        so join blocks stay included even when no dependence pulls
+        growth toward them — including joins whose other arm is cold
+        (a never-profiled side path has no ranked dependences at all).
+        """
+        return len(self.book.cfg.preds.get(child, ())) >= 2
+
+    def allow(self, parent: str, child: str) -> bool:
+        if self.open:
+            # Steer along codependent sets toward open consumers;
+            # always admit reconvergence joins.
+            deps = self.book.dependences
+            if any(child in deps[idx].codependent for idx in self.open):
+                return True
+            return self._reconverges(child)
+        if self.closed_any:
+            # Dependences enclosed, nothing open: stop growing except
+            # through joins ("terminates tasks as soon as a dependence
+            # is included", tempered by the control flow heuristic).
+            return self._reconverges(child)
+        # No dependence encountered yet: plain control flow growth.
+        return True

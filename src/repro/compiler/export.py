@@ -1,0 +1,112 @@
+"""Partition inspection: JSON and Graphviz DOT exports.
+
+Tooling for understanding what the heuristics chose: dump a
+:class:`~repro.compiler.task.TaskPartition` as structured JSON (for
+diffing selections across heuristic levels or thresholds) or as a DOT
+graph with one cluster per task (for rendering with Graphviz).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.compiler.task import TaskPartition
+from repro.profiling import Profile
+
+
+def partition_to_json(
+    partition: TaskPartition, profile: Optional[Profile] = None
+) -> str:
+    """Serialise the partition (and optional profile counts) to JSON."""
+    program = partition.program
+    tasks: List[Dict] = []
+    for task in partition.tasks():
+        entry: Dict = {
+            "id": task.task_id,
+            "function": task.function,
+            "root": list(task.root),
+            "blocks": sorted(list(b) for b in task.blocks),
+            "internal_edges": sorted(
+                [list(src), list(dst)] for src, dst in task.internal_edges
+            ),
+            "targets": [str(t) for t in task.targets],
+            "absorbed_calls": sorted(
+                list(b) for b in task.absorbed_calls
+            ),
+            "static_size": task.static_size(program),
+        }
+        if profile is not None:
+            entry["dynamic_block_counts"] = {
+                f"{b[0]}:{b[1]}": profile.block_count(b)
+                for b in sorted(task.blocks)
+            }
+        tasks.append(entry)
+    payload = {
+        "program": program.main_name,
+        "task_count": len(partition),
+        "tasks": tasks,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _dot_quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def partition_to_dot(
+    partition: TaskPartition, function: Optional[str] = None
+) -> str:
+    """Render the partition as a Graphviz digraph.
+
+    One cluster per task (blocks as nodes, internal edges solid);
+    inter-task target edges are dashed.  ``function`` restricts the
+    graph to one function's tasks (default: all).
+    """
+    lines: List[str] = ["digraph partition {", "  rankdir=TB;",
+                        "  node [shape=box, fontsize=10];"]
+    program = partition.program
+
+    def node_id(block_id) -> str:
+        return _dot_quote(f"{block_id[0]}:{block_id[1]}")
+
+    for task in partition.tasks():
+        if function is not None and task.function != function:
+            continue
+        lines.append(f"  subgraph cluster_task{task.task_id} {{")
+        lines.append(
+            f"    label={_dot_quote(f'task {task.task_id}')}; color=gray;"
+        )
+        for block_id in sorted(task.blocks):
+            size = program.block(block_id).size
+            label = f"{block_id[1]}\\n({size} insts)"
+            shape = "box, style=bold" if block_id == task.root else "box"
+            lines.append(
+                f"    {node_id(block_id)}_{task.task_id} "
+                f"[label={_dot_quote(label)}, shape={shape}];"
+            )
+        for src, dst in sorted(task.internal_edges):
+            lines.append(
+                f"    {node_id(src)}_{task.task_id} -> "
+                f"{node_id(dst)}_{task.task_id};"
+            )
+        lines.append("  }")
+    # Inter-task edges: task root -> target root (dashed).
+    for task in partition.tasks():
+        if function is not None and task.function != function:
+            continue
+        for target in task.targets:
+            if target.block is None:
+                continue
+            if not partition.has_root(target.block):
+                continue
+            dst_task = partition.task_at(target.block)
+            if function is not None and dst_task.function != function:
+                continue
+            lines.append(
+                f"  {node_id(task.root)}_{task.task_id} -> "
+                f"{node_id(dst_task.root)}_{dst_task.task_id} "
+                "[style=dashed, color=blue];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

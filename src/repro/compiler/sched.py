@@ -1,0 +1,160 @@
+"""Register communication scheduling (Section 3.3 / [18]).
+
+The Multiscalar compiler schedules instructions so that producers of
+inter-task values execute *early* in their task and consumers *late*.
+The dominant case is loop-carried register chains: with tasks that are
+loop iterations, the next task stalls until the carried value arrives,
+so the instructions that compute it should sit at the top of the task.
+
+This pass reorders instructions *within* basic blocks: the local
+dependence chain feeding each block's last definition of a loop-carried
+register is hoisted to the front (original relative order preserved
+within groups), independent work sinks behind it.  On an in-order PU
+this converts a serial inter-task chain into a software pipeline: the
+chain advances as soon as its input arrives while the independent tail
+of the previous task still executes.
+
+Legality: the chain set is closed under local RAW producers by
+construction; WAR / WAW hazards and memory ordering are handled by
+pulling conflicting earlier instructions into the chain as well, so
+the reordered block computes exactly the same values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.block import BasicBlock
+from repro.ir.cfg import build_cfg
+from repro.ir.dataflow import live_registers
+from repro.ir.function import Function
+from repro.ir.program import Program
+
+
+def carried_registers(function: Function) -> Dict[str, Set[str]]:
+    """Per block: registers whose value is consumed by a later iteration.
+
+    A register defined in a loop block and live-in at that loop's
+    header flows around the back edge — its final in-block definition
+    anchors the inter-task chain.
+    """
+    cfg = build_cfg(function)
+    live_in = live_registers(function, cfg)
+    result: Dict[str, Set[str]] = {lbl: set() for lbl in function.labels()}
+    for loop in cfg.loops:
+        header_live = live_in.get(loop.header, set())
+        for label in loop.body:
+            blk = function.block(label)
+            defined = {
+                ins.writes for ins in blk.instructions if ins.writes is not None
+            }
+            result[label] |= defined & header_live
+    return result
+
+
+def _schedule_block(blk: BasicBlock, carried: Set[str]) -> bool:
+    """Hoist the carried-register chain to the block front.
+
+    Returns True if the instruction order changed.
+    """
+    term = blk.terminator
+    body = blk.instructions[:-1] if term is not None else blk.instructions[:]
+    n = len(body)
+    if n < 2 or not carried:
+        return False
+
+    # Local producers: for each instruction, the indices of the latest
+    # preceding definitions of its source registers.
+    last_def: Dict[str, int] = {}
+    producers: List[List[int]] = []
+    last_def_of_reg: Dict[str, int] = {}
+    for i, ins in enumerate(body):
+        producers.append([last_def[r] for r in ins.reads if r in last_def])
+        if ins.writes is not None:
+            last_def[ins.writes] = i
+            last_def_of_reg[ins.writes] = i
+
+    def raw_closure(seed: int) -> Set[int]:
+        out = {seed}
+        stack = [seed]
+        while stack:
+            i = stack.pop()
+            for p in producers[i]:
+                if p not in out:
+                    out.add(p)
+                    stack.append(p)
+        return out
+
+    # Seed candidates: the final definitions of carried registers.
+    # Hoisting only pays when the chain is a small prefix of the block
+    # (independent work must remain behind it to overlap), so seeds
+    # are taken greedily by closure size up to half the block.
+    seeds = sorted(
+        (last_def_of_reg[reg] for reg in carried if reg in last_def_of_reg)
+    )
+    if not seeds:
+        return False
+    budget = max(2, n // 2)
+    chain: Set[int] = set()
+    for seed in sorted(seeds, key=lambda s: len(raw_closure(s))):
+        candidate = chain | raw_closure(seed)
+        if len(candidate) <= budget:
+            chain = candidate
+    if not chain:
+        return False
+
+    # Hazard closure: an earlier non-chain instruction that conflicts
+    # with a later chain instruction must move with it.
+    changed = True
+    while changed:
+        changed = False
+        chain_mem = [i for i in chain if body[i].opcode.is_memory]
+        for i in sorted(chain):
+            ins = body[i]
+            for j in range(i):
+                if j in chain:
+                    continue
+                other = body[j]
+                conflict = False
+                if other.writes is not None and other.writes == ins.writes:
+                    conflict = True  # WAW: last-def order must hold
+                if ins.writes is not None and ins.writes in other.reads:
+                    conflict = True  # WAR: the old value must be read first
+                if other.opcode.is_memory and any(m > j for m in chain_mem):
+                    conflict = True  # memory program order
+                if conflict:
+                    chain.add(j)
+                    stack = [j]
+                    while stack:
+                        k = stack.pop()
+                        for p in producers[k]:
+                            if p not in chain:
+                                chain.add(p)
+                                stack.append(p)
+                    changed = True
+        # (loop until no new conflicts)
+
+    if len(chain) >= n:
+        return False
+    order = sorted(chain) + [i for i in range(n) if i not in chain]
+    if order == list(range(n)):
+        return False
+    new_body = [body[i] for i in order]
+    if term is not None:
+        blk.instructions[:] = new_body + [term]
+    else:
+        blk.instructions[:] = new_body
+    return True
+
+
+def schedule_register_communication(program: Program) -> int:
+    """Apply communication scheduling to every block; return #changed."""
+    changed = 0
+    for function in program.functions():
+        carried = carried_registers(function)
+        for blk in function.blocks():
+            if _schedule_block(blk, carried[blk.label]):
+                changed += 1
+    if changed:
+        program.invalidate_layout()
+    return changed

@@ -1,0 +1,76 @@
+"""The task size heuristic (Section 3.2).
+
+Two mechanisms keep tasks out of the too-small regime without letting
+them grow unbounded:
+
+* **Loop unrolling** — loop bodies smaller than LOOP_THRESH static
+  instructions are expanded to roughly LOOP_THRESH by body
+  replication (delegated to :mod:`repro.compiler.transforms`).
+* **Call absorption** — calls to functions with fewer than CALL_THRESH
+  *dynamic* instructions per invocation (profiled, inclusive of
+  callees) do not terminate tasks; the callee executes inside the
+  caller's task.  The paper includes entire calls rather than inlining
+  "because inlining may cause code-bloat".  Recursive functions are
+  never absorbed (their dynamic size is unbounded in general and
+  absorption could swallow arbitrarily much work).
+
+Larger calls, loop entries, and loop exits always terminate tasks;
+those rules live in :mod:`repro.compiler.control_flow`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.compiler.heuristics import SelectionConfig
+from repro.ir.program import Program
+from repro.profiling import Profile
+
+
+def recursive_functions(program: Program) -> Set[str]:
+    """Functions on a call-graph cycle (directly or mutually recursive)."""
+    graph: Dict[str, Set[str]] = {
+        f.name: set(f.callees()) for f in program.functions()
+    }
+    recursive: Set[str] = set()
+    for start in graph:
+        # DFS from start; if start is reachable from one of its callees,
+        # it sits on a cycle.
+        stack = list(graph[start])
+        seen: Set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node == start:
+                recursive.add(start)
+                break
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(graph.get(node, ()))
+    return recursive
+
+
+def absorbed_functions(
+    program: Program, profile: Profile, config: SelectionConfig
+) -> Set[str]:
+    """Functions whose call sites are absorbed into the caller's task.
+
+    A function qualifies when its profiled mean dynamic size (inclusive
+    of callees) is below ``config.call_thresh`` and it is not
+    recursive.  Functions never invoked in the profile are judged by
+    static size instead (a conservative stand-in).
+    """
+    if not config.use_task_size:
+        return set()
+    recursive = recursive_functions(program)
+    absorbed: Set[str] = set()
+    for function in program.functions():
+        if function.name == program.main_name:
+            continue
+        if function.name in recursive:
+            continue
+        mean = profile.mean_dynamic_call_size(function.name)
+        size = mean if mean is not None else float(function.size)
+        if size < config.call_thresh:
+            absorbed.add(function.name)
+    return absorbed

@@ -1,0 +1,17 @@
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+* :mod:`~repro.experiments.runner` — one canonical pipeline run
+  (build → select tasks → trace → task stream → simulate) with
+  caching, so PU-count / issue-model sweeps share compilation work.
+* :mod:`~repro.experiments.figure5` — Figure 5: IPC of the heuristic
+  progression on 4 and 8 PUs, out-of-order and in-order.
+* :mod:`~repro.experiments.table1` — Table 1: task size, control
+  transfers per task, task/branch misprediction, window span.
+* :mod:`~repro.experiments.breakdown` — Figure 2 cycle accounting.
+* :mod:`~repro.experiments.ablations` — N-target / threshold /
+  sync-table / forwarding-policy sweeps (DESIGN.md §4).
+"""
+
+from repro.experiments.runner import RunRecord, clear_cache, run_benchmark
+
+__all__ = ["RunRecord", "clear_cache", "run_benchmark"]

@@ -1,0 +1,176 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* :func:`sweep_max_targets` — the hardware-target width N
+  (Section 2.4.2: tasks with more successors than the tables track
+  lose prediction accuracy).
+* :func:`sweep_thresholds` — CALL_THRESH / LOOP_THRESH (Section 3.2
+  picked 30 to keep task overhead near 6 %).
+* :func:`sweep_sync_table` — the memory dependence synchronisation
+  table (Section 3.4 relies on it to avoid excessive squashing).
+* :func:`sweep_forward_policy` — register communication scheduling
+  (Section 3.3 / [18]): compiled release points vs oracle-eager vs
+  task-end forwarding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.compiler import HeuristicLevel, SelectionConfig
+from repro.experiments.runner import RunRecord, run_benchmark
+from repro.sim import SimConfig
+from repro.sim.config import ForwardPolicy
+
+
+def sweep_max_targets(
+    benchmarks: Sequence[str],
+    values: Sequence[int] = (1, 2, 4, 8),
+    n_pus: int = 4,
+    scale: float = 1.0,
+) -> Dict[Tuple[str, int], RunRecord]:
+    """IPC as a function of the successor limit N."""
+    out: Dict[Tuple[str, int], RunRecord] = {}
+    for name in benchmarks:
+        for n in values:
+            selection = SelectionConfig(
+                level=HeuristicLevel.DATA_DEPENDENCE, max_targets=n
+            )
+            out[(name, n)] = run_benchmark(
+                name,
+                HeuristicLevel.DATA_DEPENDENCE,
+                n_pus=n_pus,
+                scale=scale,
+                selection=selection,
+            )
+    return out
+
+
+def sweep_thresholds(
+    benchmarks: Sequence[str],
+    values: Sequence[int] = (10, 30, 100),
+    n_pus: int = 4,
+    scale: float = 1.0,
+) -> Dict[Tuple[str, int], RunRecord]:
+    """IPC as CALL_THRESH = LOOP_THRESH varies (task size heuristic)."""
+    out: Dict[Tuple[str, int], RunRecord] = {}
+    for name in benchmarks:
+        for thresh in values:
+            selection = SelectionConfig(
+                level=HeuristicLevel.TASK_SIZE,
+                call_thresh=thresh,
+                loop_thresh=thresh,
+            )
+            out[(name, thresh)] = run_benchmark(
+                name,
+                HeuristicLevel.TASK_SIZE,
+                n_pus=n_pus,
+                scale=scale,
+                selection=selection,
+            )
+    return out
+
+
+def sweep_sync_table(
+    benchmarks: Sequence[str],
+    n_pus: int = 4,
+    scale: float = 1.0,
+) -> Dict[Tuple[str, bool], RunRecord]:
+    """Memory squashes and IPC with and without the sync table."""
+    out: Dict[Tuple[str, bool], RunRecord] = {}
+    for name in benchmarks:
+        for enabled in (True, False):
+            sim = SimConfig(sync_table_size=256 if enabled else 0)
+            out[(name, enabled)] = run_benchmark(
+                name,
+                HeuristicLevel.DATA_DEPENDENCE,
+                n_pus=n_pus,
+                scale=scale,
+                sim=sim,
+            )
+    return out
+
+
+def sweep_arb_size(
+    benchmarks: Sequence[str],
+    values: Sequence[int] = (4, 32, 0),
+    n_pus: int = 4,
+    scale: float = 1.0,
+) -> Dict[Tuple[str, int], RunRecord]:
+    """IPC as ARB capacity varies (0 = unbounded).
+
+    Section 2.4.1: large tasks may overflow the ARB and stall until
+    speculation resolves; this is one of the paper's arguments for
+    bounding task size.
+    """
+    out: Dict[Tuple[str, int], RunRecord] = {}
+    for name in benchmarks:
+        for entries in values:
+            sim = SimConfig(arb_entries_per_pu=entries)
+            out[(name, entries)] = run_benchmark(
+                name,
+                HeuristicLevel.TASK_SIZE,
+                n_pus=n_pus,
+                scale=scale,
+                sim=sim,
+            )
+    return out
+
+
+def sweep_forward_policy(
+    benchmarks: Sequence[str],
+    n_pus: int = 4,
+    scale: float = 1.0,
+) -> Dict[Tuple[str, ForwardPolicy], RunRecord]:
+    """IPC under schedule / eager / lazy register forwarding."""
+    out: Dict[Tuple[str, ForwardPolicy], RunRecord] = {}
+    for name in benchmarks:
+        for policy in ForwardPolicy:
+            sim = SimConfig(forward_policy=policy)
+            out[(name, policy)] = run_benchmark(
+                name,
+                HeuristicLevel.DATA_DEPENDENCE,
+                n_pus=n_pus,
+                scale=scale,
+                sim=sim,
+            )
+    return out
+
+
+def sweep_profile_input(
+    benchmarks: Sequence[str],
+    n_pus: int = 4,
+    scale: float = 1.0,
+) -> Dict[Tuple[str, str], RunRecord]:
+    """Profile-input sensitivity: select tasks on "train" data, run
+    "ref" data, vs the paper's same-input profiling.
+
+    The heuristics only consume coarse frequencies (block counts,
+    dependence ranks), so a representative train input should produce
+    nearly the same partition and IPC.
+    """
+    out: Dict[Tuple[str, str], RunRecord] = {}
+    for name in benchmarks:
+        out[(name, "same-input")] = run_benchmark(
+            name, HeuristicLevel.DATA_DEPENDENCE, n_pus=n_pus, scale=scale
+        )
+        out[(name, "train-profiled")] = run_benchmark(
+            name,
+            HeuristicLevel.DATA_DEPENDENCE,
+            n_pus=n_pus,
+            scale=scale,
+            profile_input="train",
+        )
+    return out
+
+
+def format_sweep(records: Dict, label: str) -> str:
+    """Generic one-line-per-cell report for any sweep result."""
+    lines: List[str] = [f"== ablation: {label} =="]
+    for key, rec in sorted(records.items(), key=lambda kv: str(kv[0])):
+        name, variant = key
+        lines.append(
+            f"{name:<12} {str(variant):<22} ipc={rec.ipc:5.2f} "
+            f"taskpred={rec.task_prediction_accuracy:6.3f} "
+            f"memsq={rec.memory_squashes:4d} ctlsq={rec.control_squashes:4d}"
+        )
+    return "\n".join(lines)

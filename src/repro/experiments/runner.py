@@ -1,0 +1,181 @@
+"""The canonical experiment pipeline with compilation caching.
+
+``run_benchmark`` executes the full flow of Section 4: build the
+workload, apply the task selection heuristics, execute functionally,
+split the trace into dynamic tasks, and replay it on the timing model.
+Compilation products (partition / trace / stream) are cached per
+``(benchmark, level, scale)`` so that machine sweeps (PU counts,
+in-order vs out-of-order) reuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.compiler import HeuristicLevel, SelectionConfig, TaskPartition, select_tasks
+from repro.compiler.regcomm import ReleaseAnalysis
+from repro.ir.interp import Trace, run_program
+from repro.metrics import normalized_branch_misprediction, window_span
+from repro.sim import (
+    CycleBreakdown,
+    MultiscalarMachine,
+    SimConfig,
+    TaskStream,
+    build_task_stream,
+)
+from repro.workloads import get_benchmark
+
+_CompileKey = Tuple[str, HeuristicLevel, float, int, int, int, str, str]
+
+
+@dataclass
+class Compiled:
+    """Cached compilation products for one (benchmark, config)."""
+
+    partition: TaskPartition
+    trace: Trace
+    stream: TaskStream
+    release: ReleaseAnalysis
+
+
+@dataclass
+class RunRecord:
+    """Everything one simulated run reports."""
+
+    benchmark: str
+    suite: str
+    level: HeuristicLevel
+    n_pus: int
+    out_of_order: bool
+    cycles: int
+    instructions: int
+    ipc: float
+    dynamic_tasks: int
+    mean_task_size: float
+    mean_control_transfers: float
+    mean_branches: float
+    task_prediction_accuracy: float
+    branch_prediction_accuracy: float
+    control_squashes: int
+    memory_squashes: int
+    mean_window_span_measured: float
+    breakdown: CycleBreakdown
+
+    @property
+    def task_misprediction_percent(self) -> float:
+        """Task misprediction rate in percent (Table 1 "task pred")."""
+        return (1.0 - self.task_prediction_accuracy) * 100.0
+
+    @property
+    def branch_normalized_misprediction_percent(self) -> float:
+        """Per-branch-equivalent misprediction percent (Table 1 "br pred")."""
+        return 100.0 * normalized_branch_misprediction(
+            1.0 - self.task_prediction_accuracy, self.mean_branches
+        )
+
+    @property
+    def window_span_formula(self) -> float:
+        """Window span via the Section 4.3.4 equation."""
+        return window_span(
+            self.mean_task_size, self.task_prediction_accuracy, self.n_pus
+        )
+
+
+_compile_cache: Dict[_CompileKey, Compiled] = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached compilations (tests use this for isolation)."""
+    _compile_cache.clear()
+
+
+def compile_benchmark(
+    name: str,
+    level: HeuristicLevel,
+    scale: float = 1.0,
+    selection: Optional[SelectionConfig] = None,
+    input_set: str = "ref",
+    profile_input: Optional[str] = None,
+) -> Compiled:
+    """Build, select tasks for, and trace one benchmark (cached).
+
+    ``profile_input`` selects the input data used for *profiling*
+    (task selection); ``input_set`` the data that is measured.  The
+    default profiles and measures the same data, as in the paper; pass
+    ``profile_input="train"`` to study profile-input sensitivity.
+    """
+    selection = selection or SelectionConfig(level=level)
+    if selection.level is not level:
+        selection = replace(selection, level=level)
+    profile_input = profile_input or input_set
+    key = (
+        name,
+        level,
+        scale,
+        selection.max_targets,
+        selection.call_thresh,
+        selection.loop_thresh,
+        input_set,
+        profile_input,
+    )
+    cached = _compile_cache.get(key)
+    if cached is not None:
+        return cached
+    benchmark = get_benchmark(name)
+    program = benchmark.build(scale, input_set=profile_input)
+    partition = select_tasks(program, selection)
+    if profile_input != input_set:
+        # Same static code, different data: measure the ref input on
+        # the train-profiled partition (transforms never touch data).
+        measured = benchmark.build(scale, input_set=input_set)
+        partition.program.memory_image = dict(measured.memory_image)
+    trace = run_program(partition.program)
+    stream = build_task_stream(trace, partition)
+    release = ReleaseAnalysis(partition)
+    compiled = Compiled(partition, trace, stream, release)
+    _compile_cache[key] = compiled
+    return compiled
+
+
+def run_benchmark(
+    name: str,
+    level: HeuristicLevel,
+    n_pus: int = 4,
+    out_of_order: bool = True,
+    scale: float = 1.0,
+    selection: Optional[SelectionConfig] = None,
+    sim: Optional[SimConfig] = None,
+    input_set: str = "ref",
+    profile_input: Optional[str] = None,
+) -> RunRecord:
+    """Run the full pipeline and return the measured record."""
+    benchmark = get_benchmark(name)
+    compiled = compile_benchmark(
+        name, level, scale, selection, input_set, profile_input
+    )
+    config = (sim or SimConfig()).scaled_for_pus(n_pus)
+    config = replace(config, out_of_order=out_of_order)
+    machine = MultiscalarMachine(compiled.stream, config, compiled.release)
+    result = machine.run()
+    stream = compiled.stream
+    return RunRecord(
+        benchmark=name,
+        suite=benchmark.suite,
+        level=level,
+        n_pus=n_pus,
+        out_of_order=out_of_order,
+        cycles=result.cycles,
+        instructions=result.committed_instructions,
+        ipc=result.ipc,
+        dynamic_tasks=result.dynamic_tasks,
+        mean_task_size=stream.mean_task_size,
+        mean_control_transfers=stream.mean_control_transfers(),
+        mean_branches=stream.mean_conditional_branches(),
+        task_prediction_accuracy=result.task_prediction_accuracy,
+        branch_prediction_accuracy=result.gshare_accuracy,
+        control_squashes=result.control_squashes,
+        memory_squashes=result.memory_squashes,
+        mean_window_span_measured=result.mean_window_span,
+        breakdown=result.breakdown,
+    )

@@ -1,0 +1,259 @@
+"""Textual assembly for the reproduction IR.
+
+Lets workloads be written, stored, and diffed as plain text, and makes
+partitions and transforms inspectable.  The format round-trips:
+``parse_program(program_to_text(p))`` reproduces ``p`` exactly.
+
+Example::
+
+    .main main
+    .func main
+    entry:
+        li      r1, #0
+        li      r2, #10
+        jump    @body
+    body:
+        add     r3, r3, r1
+        load    r4, [r2 + 8]
+        store   r4, [r2 + 16]
+        add     r1, r1, #1
+        slt     r9, r1, r2
+        bnez    r9, @body, @done
+    done:
+        halt
+    .memory 100 3.5
+
+Syntax rules:
+
+* ``.main NAME`` (optional, default ``main``) picks the entry function;
+  ``.func NAME`` opens a function; ``label:`` opens a block.
+* Register operands are bare (``r1``/``f2``); immediates are ``#``-
+  prefixed; memory operands are ``[base + offset]`` (offset may be
+  negative); control targets are ``@``-prefixed.
+* Conditional branches and calls carry their fallthrough as a second
+  ``@`` operand; a block with no terminator lists its fallthrough on a
+  trailing ``fallthrough @label`` line (emitted only when needed).
+* ``.memory ADDR VALUE`` populates the initial memory image.
+* ``#`` at line start or ``;`` anywhere begins a comment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.program import Program
+
+
+class AsmSyntaxError(ValueError):
+    """A line could not be parsed; carries the line number."""
+
+    def __init__(self, line_no: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_no}: {reason}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+# ------------------------------------------------------------------ printing
+
+
+def _format_instruction(ins: Instruction) -> str:
+    op = ins.opcode
+    if op is Opcode.LOAD:
+        return f"load    {ins.dst}, [{ins.srcs[0]} + {int(ins.imm or 0)}]"
+    if op is Opcode.STORE:
+        return (
+            f"store   {ins.srcs[0]}, [{ins.srcs[1]} + {int(ins.imm or 0)}]"
+        )
+    if op in (Opcode.BEQZ, Opcode.BNEZ):
+        return f"{op.value:<7} {ins.srcs[0]}, @{ins.target}"
+    if op is Opcode.JUMP:
+        return f"jump    @{ins.target}"
+    if op is Opcode.CALL:
+        return f"call    @{ins.target}"
+    if op in (Opcode.RET, Opcode.HALT):
+        return op.value
+    operands: List[str] = []
+    if ins.dst is not None:
+        operands.append(ins.dst)
+    operands.extend(ins.srcs)
+    if ins.imm is not None:
+        operands.append(f"#{ins.imm}")
+    return f"{op.value:<7} " + ", ".join(operands)
+
+
+def program_to_text(program: Program) -> str:
+    """Serialise ``program`` to the assembly text format."""
+    lines: List[str] = [f".main {program.main_name}"]
+    for func in program.functions():
+        lines.append(f".func {func.name}")
+        for label in func.labels():
+            blk = func.block(label)
+            lines.append(f"{label}:")
+            term = blk.terminator
+            for ins in blk.instructions:
+                text = _format_instruction(ins)
+                if ins is term and ins.opcode in (
+                    Opcode.BEQZ, Opcode.BNEZ, Opcode.CALL
+                ):
+                    text += f", @{blk.fallthrough}"
+                lines.append(f"    {text}")
+            if term is None and blk.fallthrough is not None:
+                lines.append(f"    fallthrough @{blk.fallthrough}")
+    for addr in sorted(program.memory_image):
+        lines.append(f".memory {addr} {program.memory_image[addr]}")
+    return "\n".join(lines) + "\n"
+
+
+# ------------------------------------------------------------------- parsing
+
+
+def _parse_number(token: str, line_no: int, line: str) -> float:
+    try:
+        value = float(token)
+    except ValueError:
+        raise AsmSyntaxError(line_no, line, f"bad number {token!r}") from None
+    if value.is_integer() and ("." not in token and "e" not in token.lower()):
+        return int(value)
+    return value
+
+
+def _parse_operands(rest: str) -> List[str]:
+    return [tok.strip() for tok in rest.split(",") if tok.strip()]
+
+
+def _parse_mem_operand(
+    token: str, line_no: int, line: str
+) -> Tuple[str, int]:
+    if not (token.startswith("[") and token.endswith("]")):
+        raise AsmSyntaxError(line_no, line, f"bad memory operand {token!r}")
+    inner = token[1:-1].replace(" ", "")
+    if "+-" in inner:
+        base, offset = inner.split("+-", 1)
+        return base, -int(offset)
+    if "+" in inner:
+        base, offset = inner.split("+", 1)
+        return base, int(offset)
+    return inner, 0
+
+
+def _parse_instruction(
+    mnemonic: str, operands: List[str], line_no: int, line: str
+) -> Tuple[Instruction, Optional[str]]:
+    """Returns (instruction, explicit fallthrough label or None)."""
+    try:
+        op = Opcode(mnemonic)
+    except ValueError:
+        raise AsmSyntaxError(
+            line_no, line, f"unknown mnemonic {mnemonic!r}"
+        ) from None
+
+    if op is Opcode.LOAD:
+        base, offset = _parse_mem_operand(operands[1], line_no, line)
+        return Instruction(op, dst=operands[0], srcs=(base,), imm=offset), None
+    if op is Opcode.STORE:
+        base, offset = _parse_mem_operand(operands[1], line_no, line)
+        return (
+            Instruction(op, srcs=(operands[0], base), imm=offset),
+            None,
+        )
+    if op in (Opcode.BEQZ, Opcode.BNEZ):
+        target = operands[1].lstrip("@")
+        fallthrough = (
+            operands[2].lstrip("@") if len(operands) > 2 else None
+        )
+        return (
+            Instruction(op, srcs=(operands[0],), target=target),
+            fallthrough,
+        )
+    if op is Opcode.JUMP:
+        return Instruction(op, target=operands[0].lstrip("@")), None
+    if op is Opcode.CALL:
+        target = operands[0].lstrip("@")
+        fallthrough = (
+            operands[1].lstrip("@") if len(operands) > 1 else None
+        )
+        return Instruction(op, target=target), fallthrough
+    if op in (Opcode.RET, Opcode.HALT):
+        return Instruction(op), None
+
+    # ALU forms: dst first, then sources / immediate.
+    if not operands:
+        raise AsmSyntaxError(line_no, line, "missing operands")
+    dst = operands[0]
+    srcs: List[str] = []
+    imm: Optional[float] = None
+    for token in operands[1:]:
+        if token.startswith("#"):
+            imm = _parse_number(token[1:], line_no, line)
+        else:
+            srcs.append(token)
+    return Instruction(op, dst=dst, srcs=tuple(srcs), imm=imm), None
+
+
+def parse_program(text: str) -> Program:
+    """Parse the assembly text format into a validated program."""
+    main_name = "main"
+    functions: List[Function] = []
+    func: Optional[Function] = None
+    block: Optional[BasicBlock] = None
+    memory: List[Tuple[int, float]] = []
+
+    def close_block() -> None:
+        nonlocal block
+        block = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].rstrip()
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.startswith(".main"):
+            main_name = stripped.split()[1]
+            continue
+        if stripped.startswith(".memory"):
+            parts = stripped.split()
+            if len(parts) != 3:
+                raise AsmSyntaxError(line_no, line, "expected .memory A V")
+            addr = int(parts[1])
+            memory.append((addr, _parse_number(parts[2], line_no, line)))
+            continue
+        if stripped.startswith(".func"):
+            func = Function(stripped.split()[1])
+            functions.append(func)
+            close_block()
+            continue
+        if stripped.endswith(":") and " " not in stripped:
+            if func is None:
+                raise AsmSyntaxError(line_no, line, "label outside .func")
+            label = stripped[:-1]
+            new_block = BasicBlock(label=label, instructions=[])
+            if block is not None and block.terminator is None \
+                    and block.fallthrough is None:
+                block.fallthrough = label
+            func.add_block(new_block)
+            block = new_block
+            continue
+        if block is None:
+            raise AsmSyntaxError(line_no, line, "instruction outside block")
+        if stripped.startswith("fallthrough"):
+            block.fallthrough = stripped.split("@", 1)[1].strip()
+            continue
+        parts = stripped.split(None, 1)
+        mnemonic = parts[0]
+        operands = _parse_operands(parts[1]) if len(parts) > 1 else []
+        instruction, fallthrough = _parse_instruction(
+            mnemonic, operands, line_no, line
+        )
+        block.instructions.append(instruction)
+        if fallthrough is not None:
+            block.fallthrough = fallthrough
+
+    program = Program(main=main_name)
+    for fn in functions:
+        program.add_function(fn)
+    for addr, value in memory:
+        program.memory_image[addr] = value
+    program.validate()
+    return program

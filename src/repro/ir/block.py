@@ -1,0 +1,122 @@
+"""Basic blocks of the reproduction IR.
+
+A basic block is a straight-line sequence of instructions with a single
+entry (its first instruction) and a single exit (its terminator).  The
+terminator is either the last instruction (a branch / jump / call /
+ret / halt) or an implicit fallthrough to ``fallthrough``.
+
+Blocks are identified by a label unique within their function; the
+``BlockId`` pair ``(function_name, label)`` is unique within a program
+and is what CFG analyses and task selection key on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.ir.instructions import Instruction, Opcode
+
+BlockId = Tuple[str, str]
+"""Program-wide block identity: ``(function_name, block_label)``."""
+
+
+@dataclass
+class BasicBlock:
+    """A basic block: label, instruction list, and fallthrough edge."""
+
+    label: str
+    instructions: List[Instruction]
+    fallthrough: Optional[str] = None
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The final control instruction, or ``None`` for pure fallthrough."""
+        if self.instructions and self.instructions[-1].opcode.is_control:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def ends_in_call(self) -> bool:
+        """True if the block's terminator is a CALL."""
+        term = self.terminator
+        return term is not None and term.opcode is Opcode.CALL
+
+    @property
+    def ends_in_return(self) -> bool:
+        """True if the block's terminator is a RET."""
+        term = self.terminator
+        return term is not None and term.opcode is Opcode.RET
+
+    @property
+    def ends_in_halt(self) -> bool:
+        """True if the block's terminator is HALT."""
+        term = self.terminator
+        return term is not None and term.opcode is Opcode.HALT
+
+    def successor_labels(self) -> List[str]:
+        """Labels of intra-function CFG successors, in priority order.
+
+        For a conditional branch the order is (taken target,
+        fallthrough); calls report the continuation (``fallthrough``)
+        as their successor — the inter-procedural edge is not part of
+        the intra-function CFG.  Returns and halts have no successors.
+        """
+        term = self.terminator
+        succs: List[str] = []
+        if term is None:
+            if self.fallthrough is not None:
+                succs.append(self.fallthrough)
+        elif term.opcode.is_branch:
+            assert term.target is not None
+            succs.append(term.target)
+            if self.fallthrough is not None and self.fallthrough != term.target:
+                succs.append(self.fallthrough)
+        elif term.opcode is Opcode.JUMP:
+            assert term.target is not None
+            succs.append(term.target)
+        elif term.opcode is Opcode.CALL:
+            if self.fallthrough is not None:
+                succs.append(self.fallthrough)
+        # RET / HALT: no intra-function successors.
+        return succs
+
+    @property
+    def size(self) -> int:
+        """Number of static instructions in the block."""
+        return len(self.instructions)
+
+    def count_control_transfers(self) -> int:
+        """Number of control transfer instructions in the block."""
+        return sum(1 for ins in self.instructions if ins.opcode.is_control)
+
+    def validate(self) -> None:
+        """Check basic-block structural invariants; raise ``ValueError``.
+
+        * Control instructions may appear only in terminator position.
+        * Branch blocks must have a fallthrough.
+        * Fallthrough-only blocks must have a fallthrough or end the
+          function (which is invalid — functions end in RET/HALT).
+        """
+        for ins in self.instructions[:-1]:
+            if ins.opcode.is_control:
+                raise ValueError(
+                    f"block {self.label!r}: control instruction {ins} "
+                    "before terminator position"
+                )
+        term = self.terminator
+        if term is not None and term.opcode.is_branch and self.fallthrough is None:
+            raise ValueError(
+                f"block {self.label!r}: conditional branch without fallthrough"
+            )
+        if term is None and self.fallthrough is None:
+            raise ValueError(
+                f"block {self.label!r}: no terminator and no fallthrough"
+            )
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"    {ins}" for ins in self.instructions)
+        if self.terminator is None and self.fallthrough is not None:
+            lines.append(f"    ; falls through to {self.fallthrough}")
+        return "\n".join(lines)

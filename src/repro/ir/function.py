@@ -1,0 +1,113 @@
+"""Functions of the reproduction IR.
+
+A function is an ordered collection of basic blocks with a designated
+entry block.  Block order is the layout order (used for pretty
+printing and for deterministic iteration); control flow is defined by
+the blocks' terminators and fallthrough labels, not by layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.ir.block import BasicBlock
+from repro.ir.instructions import Opcode
+
+
+class Function:
+    """An IR function: named, with an entry block and a block map."""
+
+    def __init__(self, name: str, entry_label: Optional[str] = None) -> None:
+        self.name = name
+        self._blocks: Dict[str, BasicBlock] = {}
+        self._order: List[str] = []
+        self.entry_label: Optional[str] = entry_label
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        """Add ``block``; the first block added becomes the entry."""
+        if block.label in self._blocks:
+            raise ValueError(
+                f"function {self.name!r}: duplicate block label {block.label!r}"
+            )
+        self._blocks[block.label] = block
+        self._order.append(block.label)
+        if self.entry_label is None:
+            self.entry_label = block.label
+        return block
+
+    def remove_block(self, label: str) -> None:
+        """Remove the block named ``label`` (must not be the entry)."""
+        if label == self.entry_label:
+            raise ValueError(f"cannot remove entry block {label!r}")
+        del self._blocks[label]
+        self._order.remove(label)
+
+    def block(self, label: str) -> BasicBlock:
+        """Return the block named ``label``; ``KeyError`` if absent."""
+        return self._blocks[label]
+
+    def has_block(self, label: str) -> bool:
+        """True if a block named ``label`` exists."""
+        return label in self._blocks
+
+    @property
+    def entry(self) -> BasicBlock:
+        """The entry block."""
+        if self.entry_label is None:
+            raise ValueError(f"function {self.name!r} has no blocks")
+        return self._blocks[self.entry_label]
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        """Iterate blocks in layout order."""
+        for label in self._order:
+            yield self._blocks[label]
+
+    def labels(self) -> List[str]:
+        """Block labels in layout order."""
+        return list(self._order)
+
+    @property
+    def size(self) -> int:
+        """Total static instruction count."""
+        return sum(b.size for b in self.blocks())
+
+    def callees(self) -> List[str]:
+        """Names of functions this function calls (with repeats)."""
+        out = []
+        for blk in self.blocks():
+            term = blk.terminator
+            if term is not None and term.opcode is Opcode.CALL:
+                assert term.target is not None
+                out.append(term.target)
+        return out
+
+    def fresh_label(self, stem: str) -> str:
+        """Return a block label derived from ``stem`` not yet in use."""
+        if stem not in self._blocks:
+            return stem
+        i = 1
+        while f"{stem}.{i}" in self._blocks:
+            i += 1
+        return f"{stem}.{i}"
+
+    def validate(self) -> None:
+        """Check function-level invariants; raise ``ValueError``.
+
+        * entry exists;
+        * every block is individually valid;
+        * every successor label resolves to a block in this function.
+        """
+        if self.entry_label is None or self.entry_label not in self._blocks:
+            raise ValueError(f"function {self.name!r}: missing entry block")
+        for blk in self.blocks():
+            blk.validate()
+            for succ in blk.successor_labels():
+                if succ not in self._blocks:
+                    raise ValueError(
+                        f"function {self.name!r}: block {blk.label!r} "
+                        f"targets unknown block {succ!r}"
+                    )
+
+    def __str__(self) -> str:
+        header = f"func {self.name} (entry {self.entry_label}):"
+        return "\n".join([header] + [str(b) for b in self.blocks()])

@@ -1,0 +1,237 @@
+"""Instruction set of the reproduction IR.
+
+A deliberately small RISC-like ISA, rich enough to express the SPEC95
+stand-in workloads and to drive the Multiscalar timing model:
+
+* integer ALU ops (add/sub/mul/div/logic/shifts/compares),
+* floating point ops (on a separate register file),
+* loads and stores (word addressed, integer or fp payload),
+* control transfers (conditional branches, jumps, calls, returns,
+  halt).
+
+Registers are named strings: ``"r0"``–``"r31"`` for integers (``r0``
+is hard-wired to zero, as in MIPS) and ``"f0"``–``"f15"`` for floating
+point.  Instructions are value objects; identity of a *static*
+instruction is its ``(function, block, index)`` position, carried by
+the containers rather than the instruction itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+INT_REGISTER_COUNT = 32
+FP_REGISTER_COUNT = 16
+
+ZERO_REG = "r0"
+
+
+def int_reg(index: int) -> str:
+    """Return the name of integer register ``index`` (0..31)."""
+    if not 0 <= index < INT_REGISTER_COUNT:
+        raise ValueError(f"integer register index out of range: {index}")
+    return f"r{index}"
+
+
+def fp_reg(index: int) -> str:
+    """Return the name of floating point register ``index`` (0..15)."""
+    if not 0 <= index < FP_REGISTER_COUNT:
+        raise ValueError(f"fp register index out of range: {index}")
+    return f"f{index}"
+
+
+def is_int_reg(name: str) -> bool:
+    """True if ``name`` names an integer register."""
+    return name.startswith("r") and name[1:].isdigit()
+
+
+def is_fp_reg(name: str) -> bool:
+    """True if ``name`` names a floating point register."""
+    return name.startswith("f") and name[1:].isdigit()
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class of an opcode (Section 4.2 PU configuration)."""
+
+    INT = "int"
+    FP = "fp"
+    MEM = "mem"
+    BRANCH = "branch"
+
+
+class Opcode(enum.Enum):
+    """All opcodes of the IR.
+
+    The ``value`` is the assembly mnemonic used by ``Instruction.__str__``.
+    """
+
+    # Integer ALU.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    SLT = "slt"  # set if less-than
+    SLE = "sle"  # set if less-or-equal
+    SEQ = "seq"  # set if equal
+    SNE = "sne"  # set if not-equal
+    LI = "li"  # load immediate
+    MOV = "mov"
+    # Floating point.
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FMOV = "fmov"
+    FLI = "fli"  # fp load immediate
+    CVTIF = "cvtif"  # int -> fp
+    CVTFI = "cvtfi"  # fp -> int (truncating)
+    # Memory (address = src_reg + imm; payload register class decides int/fp).
+    LOAD = "load"
+    STORE = "store"
+    # Control.
+    BEQZ = "beqz"
+    BNEZ = "bnez"
+    JUMP = "jump"
+    CALL = "call"
+    RET = "ret"
+    HALT = "halt"
+
+    @property
+    def is_branch(self) -> bool:
+        """True for conditional branches."""
+        return self in (Opcode.BEQZ, Opcode.BNEZ)
+
+    @property
+    def is_control(self) -> bool:
+        """True for any control transfer instruction."""
+        return self in _CONTROL_OPS
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self in (Opcode.LOAD, Opcode.STORE)
+
+    @property
+    def op_class(self) -> OpClass:
+        """Functional unit class this opcode executes on."""
+        return _OP_CLASS[self]
+
+    @property
+    def latency(self) -> int:
+        """Execution latency in cycles, excluding memory access time."""
+        return _LATENCY[self]
+
+
+_CONTROL_OPS = frozenset(
+    {Opcode.BEQZ, Opcode.BNEZ, Opcode.JUMP, Opcode.CALL, Opcode.RET, Opcode.HALT}
+)
+
+_FP_OPS = frozenset(
+    {
+        Opcode.FADD,
+        Opcode.FSUB,
+        Opcode.FMUL,
+        Opcode.FDIV,
+        Opcode.FMOV,
+        Opcode.FLI,
+        Opcode.CVTIF,
+        Opcode.CVTFI,
+    }
+)
+
+_OP_CLASS = {}
+for _op in Opcode:
+    if _op in _CONTROL_OPS:
+        _OP_CLASS[_op] = OpClass.BRANCH
+    elif _op in (Opcode.LOAD, Opcode.STORE):
+        _OP_CLASS[_op] = OpClass.MEM
+    elif _op in _FP_OPS:
+        _OP_CLASS[_op] = OpClass.FP
+    else:
+        _OP_CLASS[_op] = OpClass.INT
+
+_LATENCY = {
+    Opcode.MUL: 3,
+    Opcode.DIV: 12,
+    Opcode.REM: 12,
+    Opcode.FADD: 2,
+    Opcode.FSUB: 2,
+    Opcode.FMUL: 4,
+    Opcode.FDIV: 12,
+    Opcode.CVTIF: 2,
+    Opcode.CVTFI: 2,
+}
+for _op in Opcode:
+    _LATENCY.setdefault(_op, 1)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single IR instruction.
+
+    Fields:
+
+    * ``opcode`` — the :class:`Opcode`.
+    * ``dst`` — destination register name, or ``None``.
+    * ``srcs`` — tuple of source register names (order significant).
+    * ``imm`` — immediate operand (int or float), or ``None``.
+    * ``target`` — control target label: a block label for
+      branches/jumps, a function name for calls.
+
+    Encoding conventions:
+
+    * ``LOAD dst, srcs[0] + imm`` — address is ``srcs[0] + imm``.
+    * ``STORE srcs[0] -> srcs[1] + imm`` — value ``srcs[0]`` stored at
+      ``srcs[1] + imm``.
+    * ``BEQZ srcs[0], target`` — branch to ``target`` if zero; the
+      fallthrough successor is the block's ``fallthrough`` field.
+    * ``CALL target`` — arguments are passed in ``r4``–``r7`` /
+      ``f4``–``f7`` by convention; result in ``r2`` / ``f2``.
+    """
+
+    opcode: Opcode
+    dst: Optional[str] = None
+    srcs: Tuple[str, ...] = field(default_factory=tuple)
+    imm: Optional[float] = None
+    target: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.srcs, tuple):
+            object.__setattr__(self, "srcs", tuple(self.srcs))
+
+    @property
+    def reads(self) -> Tuple[str, ...]:
+        """Register names this instruction reads (excluding ``r0``)."""
+        return tuple(s for s in self.srcs if s != ZERO_REG)
+
+    @property
+    def writes(self) -> Optional[str]:
+        """Register name this instruction writes, or ``None``.
+
+        Writes to ``r0`` are discarded and reported as ``None``.
+        """
+        if self.dst == ZERO_REG:
+            return None
+        return self.dst
+
+    def __str__(self) -> str:
+        parts = [self.opcode.value]
+        operands = []
+        if self.dst is not None:
+            operands.append(self.dst)
+        operands.extend(self.srcs)
+        if self.imm is not None:
+            operands.append(str(self.imm))
+        if self.target is not None:
+            operands.append(f"@{self.target}")
+        if operands:
+            parts.append(", ".join(operands))
+        return " ".join(parts)

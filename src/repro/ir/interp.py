@@ -1,0 +1,304 @@
+"""Functional execution of IR programs, with dynamic trace capture.
+
+The interpreter is the "functional" half of the classic functional /
+timing simulator split: it executes a program exactly (register and
+memory values, branch outcomes, effective addresses) and records a
+:class:`Trace` — the linear dynamic instruction stream.  The timing
+model (``repro.sim``) replays the trace under a task partition, so
+timing bugs can never corrupt program semantics.
+
+Semantics notes:
+
+* Integer division/remainder truncate toward zero (C semantics);
+  division by zero yields 0 (the workloads avoid it, but the guard
+  keeps fuzzed programs executable).
+* Memory is word addressed; uninitialised words read as 0.
+* ``CALL`` pushes a return continuation (the call block's fallthrough);
+  ``RET`` pops it.  Registers are a single global file, as on real
+  hardware — calling conventions are the workloads' concern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.block import BlockId
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.program import Program
+
+
+class ExecutionLimitExceeded(RuntimeError):
+    """Raised when a program exceeds the dynamic instruction budget."""
+
+
+class DynInst:
+    """One dynamic instruction in a trace.
+
+    Attributes:
+        index: position in the trace (0-based).
+        block: the static block id ``(function, label)``.
+        iidx: index of the static instruction within its block.
+        op: the :class:`~repro.ir.instructions.Opcode`.
+        pc: static instruction address.
+        reads: register names read.
+        write: register name written, or ``None``.
+        addr: effective memory address for LOAD/STORE, else ``None``.
+        taken: branch outcome for conditional branches, else ``None``.
+        callee: callee function name for CALL, else ``None``.
+    """
+
+    __slots__ = (
+        "index",
+        "block",
+        "iidx",
+        "op",
+        "pc",
+        "reads",
+        "write",
+        "addr",
+        "taken",
+        "callee",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        block: BlockId,
+        iidx: int,
+        op: Opcode,
+        pc: int,
+        reads: Tuple[str, ...],
+        write: Optional[str],
+        addr: Optional[int],
+        taken: Optional[bool],
+        callee: Optional[str],
+    ) -> None:
+        self.index = index
+        self.block = block
+        self.iidx = iidx
+        self.op = op
+        self.pc = pc
+        self.reads = reads
+        self.write = write
+        self.addr = addr
+        self.taken = taken
+        self.callee = callee
+
+    def __repr__(self) -> str:
+        return (
+            f"DynInst(#{self.index} {self.op.value} @ {self.block[0]}:"
+            f"{self.block[1]}[{self.iidx}])"
+        )
+
+
+class Trace:
+    """The dynamic instruction stream of one program execution."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.insts: List[DynInst] = []
+        #: dynamic block entry events as (trace index of first inst, block id)
+        self.block_entries: List[Tuple[int, BlockId]] = []
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def __iter__(self):
+        return iter(self.insts)
+
+    def __getitem__(self, index: int) -> DynInst:
+        return self.insts[index]
+
+    @property
+    def dynamic_instruction_count(self) -> int:
+        """Total dynamic instructions executed."""
+        return len(self.insts)
+
+    def control_transfer_count(self) -> int:
+        """Number of dynamic control transfer instructions."""
+        return sum(1 for d in self.insts if d.op.is_control)
+
+
+class Interpreter:
+    """Executes a :class:`~repro.ir.program.Program` and records a trace."""
+
+    def __init__(self, program: Program, max_instructions: int = 2_000_000) -> None:
+        program.validate()
+        self.program = program
+        self.max_instructions = max_instructions
+        self.int_regs: Dict[str, int] = {"r0": 0}
+        self.fp_regs: Dict[str, float] = {}
+        self.memory: Dict[int, float] = dict(program.memory_image)
+        self.halted = False
+
+    # ------------------------------------------------------------ registers
+
+    def read_reg(self, name: str) -> float:
+        """Current value of register ``name`` (0 if never written)."""
+        if name.startswith("f"):
+            return self.fp_regs.get(name, 0.0)
+        if name == "r0":
+            return 0
+        return self.int_regs.get(name, 0)
+
+    def write_reg(self, name: str, value: float) -> None:
+        """Set register ``name``; writes to ``r0`` are discarded."""
+        if name == "r0":
+            return
+        if name.startswith("f"):
+            self.fp_regs[name] = float(value)
+        else:
+            self.int_regs[name] = int(value)
+
+    # -------------------------------------------------------------- running
+
+    def run(self) -> Trace:
+        """Execute from ``main`` until HALT; return the trace."""
+        trace = Trace(self.program)
+        program = self.program
+        func_name = program.main_name
+        label = program.function(func_name).entry_label
+        assert label is not None
+        call_stack: List[Tuple[str, str]] = []
+        insts = trace.insts
+        limit = self.max_instructions
+
+        while not self.halted:
+            func = program.function(func_name)
+            blk = func.block(label)
+            trace.block_entries.append((len(insts), (func_name, label)))
+            next_func = func_name
+            next_label: Optional[str] = blk.fallthrough
+            for iidx, ins in enumerate(blk.instructions):
+                if len(insts) >= limit:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {limit} dynamic instructions"
+                    )
+                op = ins.opcode
+                addr: Optional[int] = None
+                taken: Optional[bool] = None
+                callee: Optional[str] = None
+
+                if op is Opcode.LOAD:
+                    base = self.read_reg(ins.srcs[0])
+                    addr = int(base) + int(ins.imm or 0)
+                    assert ins.dst is not None
+                    self.write_reg(ins.dst, self.memory.get(addr, 0))
+                elif op is Opcode.STORE:
+                    value = self.read_reg(ins.srcs[0])
+                    base = self.read_reg(ins.srcs[1])
+                    addr = int(base) + int(ins.imm or 0)
+                    self.memory[addr] = value
+                elif op is Opcode.BEQZ:
+                    taken = self.read_reg(ins.srcs[0]) == 0
+                    if taken:
+                        next_label = ins.target
+                elif op is Opcode.BNEZ:
+                    taken = self.read_reg(ins.srcs[0]) != 0
+                    if taken:
+                        next_label = ins.target
+                elif op is Opcode.JUMP:
+                    next_label = ins.target
+                elif op is Opcode.CALL:
+                    assert ins.target is not None
+                    callee = ins.target
+                    assert blk.fallthrough is not None, (
+                        f"call in {blk.label} lacks a continuation"
+                    )
+                    call_stack.append((func_name, blk.fallthrough))
+                    next_func = callee
+                    next_label = program.function(callee).entry_label
+                elif op is Opcode.RET:
+                    if not call_stack:
+                        raise RuntimeError(
+                            f"RET with empty call stack in {func_name}:{label}"
+                        )
+                    next_func, next_label = call_stack.pop()
+                elif op is Opcode.HALT:
+                    self.halted = True
+                    next_label = None
+                else:
+                    self._execute_alu(ins)
+
+                insts.append(
+                    DynInst(
+                        index=len(insts),
+                        block=(func_name, label),
+                        iidx=iidx,
+                        op=op,
+                        pc=program.pc_of(func_name, label, iidx),
+                        reads=ins.reads,
+                        write=ins.writes,
+                        addr=addr,
+                        taken=taken,
+                        callee=callee,
+                    )
+                )
+            if self.halted:
+                break
+            if next_label is None:
+                raise RuntimeError(
+                    f"fell off the end of block {func_name}:{label}"
+                )
+            func_name, label = next_func, next_label
+        return trace
+
+    def _execute_alu(self, ins: Instruction) -> None:
+        op = ins.opcode
+        if op is Opcode.LI or op is Opcode.FLI:
+            assert ins.dst is not None and ins.imm is not None
+            self.write_reg(ins.dst, ins.imm)
+            return
+        if op in (Opcode.MOV, Opcode.FMOV, Opcode.CVTIF):
+            assert ins.dst is not None
+            self.write_reg(ins.dst, self.read_reg(ins.srcs[0]))
+            return
+        if op is Opcode.CVTFI:
+            assert ins.dst is not None
+            self.write_reg(ins.dst, int(self.read_reg(ins.srcs[0])))
+            return
+        a = self.read_reg(ins.srcs[0])
+        b = self.read_reg(ins.srcs[1]) if len(ins.srcs) > 1 else ins.imm
+        assert b is not None, f"missing second operand for {ins}"
+        assert ins.dst is not None
+        self.write_reg(ins.dst, _ALU_FUNCS[op](a, b))
+
+
+def _int_div(a: float, b: float) -> int:
+    if b == 0:
+        return 0
+    q = abs(int(a)) // abs(int(b))
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _int_rem(a: float, b: float) -> int:
+    if b == 0:
+        return 0
+    return int(a) - _int_div(a, b) * int(b)
+
+
+_ALU_FUNCS = {
+    Opcode.ADD: lambda a, b: int(a) + int(b),
+    Opcode.SUB: lambda a, b: int(a) - int(b),
+    Opcode.MUL: lambda a, b: int(a) * int(b),
+    Opcode.DIV: _int_div,
+    Opcode.REM: _int_rem,
+    Opcode.AND: lambda a, b: int(a) & int(b),
+    Opcode.OR: lambda a, b: int(a) | int(b),
+    Opcode.XOR: lambda a, b: int(a) ^ int(b),
+    Opcode.SHL: lambda a, b: int(a) << int(b),
+    Opcode.SHR: lambda a, b: int(a) >> int(b),
+    Opcode.SLT: lambda a, b: 1 if a < b else 0,
+    Opcode.SLE: lambda a, b: 1 if a <= b else 0,
+    Opcode.SEQ: lambda a, b: 1 if a == b else 0,
+    Opcode.SNE: lambda a, b: 1 if a != b else 0,
+    Opcode.FADD: lambda a, b: float(a) + float(b),
+    Opcode.FSUB: lambda a, b: float(a) - float(b),
+    Opcode.FMUL: lambda a, b: float(a) * float(b),
+    Opcode.FDIV: lambda a, b: float(a) / b if b != 0 else 0.0,
+}
+
+
+def run_program(program: Program, max_instructions: int = 2_000_000) -> Trace:
+    """Convenience: interpret ``program`` and return its trace."""
+    return Interpreter(program, max_instructions=max_instructions).run()

@@ -1,0 +1,114 @@
+"""Whole programs of the reproduction IR.
+
+A program bundles functions (with a designated ``main``), initial data
+memory, and assigned instruction addresses ("PCs") used by the
+predictors and caches.  Addresses are word-granular: every static
+instruction gets a distinct PC; block start PCs are what the inter-task
+predictor and the I-cache see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.ir.block import BasicBlock, BlockId
+from repro.ir.function import Function
+
+
+class Program:
+    """A complete IR program: functions + initial memory image."""
+
+    def __init__(self, main: str = "main") -> None:
+        self.main_name = main
+        self._functions: Dict[str, Function] = {}
+        self._order: List[str] = []
+        #: initial data memory image, word address -> int/float value
+        self.memory_image: Dict[int, float] = {}
+        self._pcs: Optional[Dict[Tuple[str, str, int], int]] = None
+
+    def add_function(self, func: Function) -> Function:
+        """Add ``func`` to the program."""
+        if func.name in self._functions:
+            raise ValueError(f"duplicate function name {func.name!r}")
+        self._functions[func.name] = func
+        self._order.append(func.name)
+        self._pcs = None
+        return func
+
+    def function(self, name: str) -> Function:
+        """Return the function named ``name``; ``KeyError`` if absent."""
+        return self._functions[name]
+
+    def has_function(self, name: str) -> bool:
+        """True if a function named ``name`` exists."""
+        return name in self._functions
+
+    @property
+    def main(self) -> Function:
+        """The entry function."""
+        return self._functions[self.main_name]
+
+    def functions(self) -> Iterator[Function]:
+        """Iterate functions in insertion order."""
+        for name in self._order:
+            yield self._functions[name]
+
+    def block(self, block_id: BlockId) -> BasicBlock:
+        """Resolve a program-wide :data:`BlockId` to its block."""
+        func_name, label = block_id
+        return self._functions[func_name].block(label)
+
+    @property
+    def size(self) -> int:
+        """Total static instruction count."""
+        return sum(f.size for f in self.functions())
+
+    def invalidate_layout(self) -> None:
+        """Drop cached PC assignments after an IR transform."""
+        self._pcs = None
+
+    def _assign_pcs(self) -> Dict[Tuple[str, str, int], int]:
+        pcs: Dict[Tuple[str, str, int], int] = {}
+        pc = 0
+        for func in self.functions():
+            for blk in func.blocks():
+                for idx in range(len(blk.instructions)):
+                    pcs[(func.name, blk.label, idx)] = pc
+                    pc += 1
+                if not blk.instructions:
+                    # Empty blocks still occupy an address so that
+                    # block_pc is well defined.
+                    pcs[(func.name, blk.label, 0)] = pc
+                    pc += 1
+        return pcs
+
+    def pc_of(self, func_name: str, label: str, index: int) -> int:
+        """PC of the instruction at ``(func, block, index)``."""
+        if self._pcs is None:
+            self._pcs = self._assign_pcs()
+        return self._pcs[(func_name, label, index)]
+
+    def block_pc(self, block_id: BlockId) -> int:
+        """PC of the first instruction of ``block_id``."""
+        func_name, label = block_id
+        return self.pc_of(func_name, label, 0)
+
+    def validate(self) -> None:
+        """Check program-level invariants; raise ``ValueError``.
+
+        * ``main`` exists; every function validates;
+        * every CALL target resolves to a function.
+        """
+        if self.main_name not in self._functions:
+            raise ValueError(f"missing entry function {self.main_name!r}")
+        for func in self.functions():
+            func.validate()
+            for callee in func.callees():
+                if callee not in self._functions:
+                    raise ValueError(
+                        f"function {func.name!r} calls unknown "
+                        f"function {callee!r}"
+                    )
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(f) for f in self.functions())

@@ -1,0 +1,15 @@
+"""Measurement helpers for the paper's reported quantities."""
+
+from repro.metrics.stats import (
+    geometric_mean,
+    improvement_percent,
+    normalized_branch_misprediction,
+)
+from repro.metrics.window import window_span
+
+__all__ = [
+    "geometric_mean",
+    "improvement_percent",
+    "normalized_branch_misprediction",
+    "window_span",
+]

@@ -1,0 +1,45 @@
+"""Small statistics helpers used by the experiment reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+
+def improvement_percent(new: float, base: float) -> float:
+    """Percentage improvement of ``new`` over ``base`` (Figure 5 axis)."""
+    if base <= 0:
+        raise ValueError("baseline must be positive")
+    return (new / base - 1.0) * 100.0
+
+
+def normalized_branch_misprediction(
+    task_misprediction: float, branches_per_task: float
+) -> float:
+    """Per-branch misprediction equivalent of a task misprediction rate.
+
+    The paper's "br pred" column (Section 4.3.3): a task containing B
+    dynamic branches that is predicted correctly with probability
+    ``1 - m_task`` corresponds to an effective per-branch misprediction
+    ``m_br`` with ``(1 - m_br)^B = 1 - m_task``.
+
+    Note: for ``branches_per_task >= 1`` the normalised rate is at most
+    the task rate; below one branch per task the equivalent per-branch
+    rate is legitimately *higher* (one mispredict spans several tasks'
+    worth of branches).
+    """
+    if not 0.0 <= task_misprediction <= 1.0:
+        raise ValueError("misprediction rate must be within [0, 1]")
+    if branches_per_task <= 0:
+        return task_misprediction
+    return 1.0 - (1.0 - task_misprediction) ** (1.0 / branches_per_task)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (used to summarise per-suite IPC ratios)."""
+    items: List[float] = list(values)
+    if not items:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in items):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in items) / len(items))

@@ -1,0 +1,36 @@
+"""The window span metric (Section 4.3.4).
+
+For a superscalar processor the dynamic window size measures
+exploitable parallelism; a Multiscalar processor holds several
+disjoint task windows at once, so the paper defines the *window span*
+— the total dynamic instructions in all tasks in flight:
+
+    window_span = sum_{i=0}^{N-1} TaskSize * Pred^i
+
+where ``TaskSize`` is the average dynamic task size, ``Pred`` the
+average inter-task prediction accuracy, and ``N`` the number of PUs:
+each additional PU contributes a window discounted by the probability
+that the speculation chain reaching it is entirely correct.
+"""
+
+from __future__ import annotations
+
+
+def window_span(task_size: float, prediction_accuracy: float, n_pus: int) -> float:
+    """Evaluate the paper's window span equation.
+
+    ``prediction_accuracy`` is a fraction in [0, 1]; ``task_size`` is
+    the mean dynamic instructions per task.
+    """
+    if n_pus < 1:
+        raise ValueError("n_pus must be >= 1")
+    if not 0.0 <= prediction_accuracy <= 1.0:
+        raise ValueError("prediction accuracy must be within [0, 1]")
+    if task_size < 0:
+        raise ValueError("task size must be non-negative")
+    total = 0.0
+    weight = 1.0
+    for _ in range(n_pus):
+        total += task_size * weight
+        weight *= prediction_accuracy
+    return total

@@ -1,0 +1,22 @@
+"""Control flow prediction hardware models (Section 4.2).
+
+* :class:`~repro.predict.gshare.GsharePredictor` — intra-task branch
+  prediction: gshare with 16-bit global history and a 64K-entry table
+  of 2-bit counters.
+* :class:`~repro.predict.path_predictor.PathPredictor` — inter-task
+  prediction: a path-based scheme (Jacobson et al. [9]) with 16-bit
+  path history and a 64K-entry table of {2-bit counter, 2-bit target
+  number} pairs, plus a return address stack for tasks that end in
+  returns.
+"""
+
+from repro.predict.counters import SaturatingCounter
+from repro.predict.gshare import GsharePredictor
+from repro.predict.path_predictor import PathPredictor, ReturnAddressStack
+
+__all__ = [
+    "GsharePredictor",
+    "PathPredictor",
+    "ReturnAddressStack",
+    "SaturatingCounter",
+]

@@ -1,0 +1,44 @@
+"""Saturating counters — the building block of both predictors."""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """An n-bit up/down saturating counter.
+
+    The counter predicts "strong/weak not-taken" in its lower half and
+    "weak/strong taken" in its upper half; 2-bit counters (the paper's
+    tables) saturate at 0 and 3 and flip prediction at the midpoint.
+    """
+
+    __slots__ = ("value", "maximum", "threshold")
+
+    def __init__(self, bits: int = 2, initial: int = 0) -> None:
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        self.maximum = (1 << bits) - 1
+        self.threshold = (self.maximum + 1) // 2
+        if not 0 <= initial <= self.maximum:
+            raise ValueError(f"initial value {initial} out of range")
+        self.value = initial
+
+    @property
+    def taken(self) -> bool:
+        """Current prediction."""
+        return self.value >= self.threshold
+
+    @property
+    def is_saturated(self) -> bool:
+        """True at either extreme."""
+        return self.value in (0, self.maximum)
+
+    def update(self, taken: bool) -> None:
+        """Train toward the actual outcome."""
+        if taken:
+            if self.value < self.maximum:
+                self.value += 1
+        elif self.value > 0:
+            self.value -= 1
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter(value={self.value}, max={self.maximum})"

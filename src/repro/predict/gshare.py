@@ -1,0 +1,63 @@
+"""gshare intra-task branch predictor.
+
+Configuration from Section 4.2: 16-bit global history XOR-folded with
+the branch PC, indexing a 64K-entry table of 2-bit counters.  Used by
+the PU model to charge intra-task fetch bubbles on conditional branch
+mispredictions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class GsharePredictor:
+    """gshare: PC ⊕ global-history indexed table of 2-bit counters."""
+
+    def __init__(self, history_bits: int = 16, table_bits: int = 16) -> None:
+        self.history_bits = history_bits
+        self.table_bits = table_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.index_mask = (1 << table_bits) - 1
+        self.history = 0
+        # Flat int array of 2-bit counters (initialised weakly not-taken
+        # at 1 to avoid a long cold-start of strong wrong predictions).
+        self.table: List[int] = [1] * (1 << table_bits)
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ (self.history & self.history_mask)) & self.index_mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict, train, shift history; return True on mispredict."""
+        idx = self._index(pc)
+        counter = self.table[idx]
+        predicted = counter >= 2
+        if taken:
+            if counter < 3:
+                self.table[idx] = counter + 1
+        elif counter > 0:
+            self.table[idx] = counter - 1
+        self.history = ((self.history << 1) | int(taken)) & self.history_mask
+        self.predictions += 1
+        mispredicted = predicted != taken
+        if mispredicted:
+            self.mispredictions += 1
+        return mispredicted
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct predictions so far (1.0 when unused)."""
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+    def reset_stats(self) -> None:
+        """Zero the accounting, keep the learned state."""
+        self.predictions = 0
+        self.mispredictions = 0

@@ -1,0 +1,121 @@
+"""Path-based inter-task target predictor.
+
+Section 4.2: "The inter-task prediction uses a path-based scheme [9]
+with 16-bit history, 64K-entry table of 2-bit counters and 2-bit
+target numbers."
+
+A table entry holds a predicted *target number* (index into the task's
+ordered successor list, at most ``2**target_bits`` targets) guarded by
+a 2-bit confidence counter: a hit strengthens, a miss weakens, a miss
+at confidence zero replaces the stored target.  The path history is a
+hash of recent task start PCs; tasks whose dynamic successor is a
+return are resolved through a return address stack, as for superscalar
+return prediction.
+
+Tasks with more successors than the target-number width can never have
+their overflow targets predicted — the paper's motivation for keeping
+tasks at N = 4 successors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """A bounded return address stack for RETURN-target resolution."""
+
+    def __init__(self, depth: int = 64) -> None:
+        self.depth = depth
+        self._stack: List[object] = []
+        self.overflows = 0
+
+    def push(self, item: object) -> None:
+        """Push a return continuation; oldest entry drops on overflow."""
+        if len(self._stack) >= self.depth:
+            self._stack.pop(0)
+            self.overflows += 1
+        self._stack.append(item)
+
+    def pop(self) -> Optional[object]:
+        """Pop the predicted return continuation (None if empty)."""
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def peek(self) -> Optional[object]:
+        """Top of stack without popping."""
+        if self._stack:
+            return self._stack[-1]
+        return None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class PathPredictor:
+    """Path-history-indexed table of (2-bit counter, target number)."""
+
+    def __init__(
+        self,
+        history_bits: int = 16,
+        table_bits: int = 16,
+        target_bits: int = 2,
+    ) -> None:
+        self.history_bits = history_bits
+        self.table_bits = table_bits
+        self.target_bits = target_bits
+        self.max_targets = 1 << target_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.index_mask = (1 << table_bits) - 1
+        self.history = 0
+        size = 1 << table_bits
+        self.counters: List[int] = [0] * size
+        self.targets: List[int] = [0] * size
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self.history) & self.index_mask
+
+    def predict(self, pc: int) -> int:
+        """Predicted target number for the task starting at ``pc``."""
+        return self.targets[self._index(pc)]
+
+    def update(self, pc: int, actual_index: int) -> bool:
+        """Train on the resolved target number; return True on mispredict.
+
+        ``actual_index`` beyond the representable range trains the
+        entry toward replacement but can never be predicted.
+        """
+        idx = self._index(pc)
+        predicted = self.targets[idx]
+        representable = actual_index < self.max_targets
+        correct = representable and predicted == actual_index
+        if correct:
+            if self.counters[idx] < 3:
+                self.counters[idx] += 1
+        elif self.counters[idx] > 0:
+            self.counters[idx] -= 1
+        elif representable:
+            self.targets[idx] = actual_index
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        return not correct
+
+    def push_history(self, pc: int) -> None:
+        """Fold the next task's start PC into the path history."""
+        self.history = ((self.history << 3) ^ pc) & self.history_mask
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct target predictions so far."""
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+    def reset_stats(self) -> None:
+        """Zero the accounting, keep the learned state."""
+        self.predictions = 0
+        self.mispredictions = 0

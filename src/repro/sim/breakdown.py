@@ -1,0 +1,86 @@
+"""Cycle accounting per the paper's Figure 2 time line.
+
+Every PU-cycle of the simulation is attributed to exactly one
+category.  Scenario 1 (task retires): task start overhead, useful
+cycles, intra-task data dependence delay, inter-task data
+communication delay, memory stall, load imbalance, task end overhead.
+Scenario 2 (task squashed): the *entire* time since the start of the
+task is re-attributed to control flow or memory dependence
+misspeculation penalty.  Idle PU cycles (no task assigned) are
+reported separately.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class StallReason(enum.Enum):
+    """Why a PU made no progress in a given cycle."""
+
+    USEFUL = "useful"
+    TASK_START = "task_start_overhead"
+    TASK_END = "task_end_overhead"
+    INTRA_DEP = "intra_task_dependence"
+    INTER_COMM = "inter_task_communication"
+    MEMORY = "memory_stall"
+    SYNC_WAIT = "memory_sync_wait"
+    FETCH = "fetch_stall"
+    LOAD_IMBALANCE = "load_imbalance"
+    IDLE = "idle"
+
+
+@dataclass
+class CycleBreakdown:
+    """Accumulated PU-cycles per category across a whole run."""
+
+    per_reason: Dict[StallReason, int] = field(
+        default_factory=lambda: {reason: 0 for reason in StallReason}
+    )
+    control_misspeculation: int = 0
+    memory_misspeculation: int = 0
+
+    def charge(self, reason: StallReason, cycles: int = 1) -> None:
+        """Add ``cycles`` to ``reason``."""
+        self.per_reason[reason] += cycles
+
+    def charge_control_squash(self, cycles: int) -> None:
+        """Account a control flow misspeculation penalty."""
+        self.control_misspeculation += cycles
+
+    def charge_memory_squash(self, cycles: int) -> None:
+        """Account a memory dependence misspeculation penalty."""
+        self.memory_misspeculation += cycles
+
+    @property
+    def total_pu_cycles(self) -> int:
+        """All attributed PU-cycles including squash penalties."""
+        return (
+            sum(self.per_reason.values())
+            + self.control_misspeculation
+            + self.memory_misspeculation
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat mapping for reports."""
+        out = {reason.value: count for reason, count in self.per_reason.items()}
+        out["control_misspeculation"] = self.control_misspeculation
+        out["memory_misspeculation"] = self.memory_misspeculation
+        return out
+
+    def merged(self, other: "CycleBreakdown") -> "CycleBreakdown":
+        """Element-wise sum (for aggregating across runs)."""
+        result = CycleBreakdown()
+        for reason in StallReason:
+            result.per_reason[reason] = (
+                self.per_reason[reason] + other.per_reason[reason]
+            )
+        result.control_misspeculation = (
+            self.control_misspeculation + other.control_misspeculation
+        )
+        result.memory_misspeculation = (
+            self.memory_misspeculation + other.memory_misspeculation
+        )
+        return result

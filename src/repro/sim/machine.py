@@ -1,0 +1,378 @@
+"""The Multiscalar machine: sequencer, PU ring, squash and retire.
+
+Per-cycle phases:
+
+A. **Completions** — each PU drains instructions finishing this cycle;
+   completed stores are checked against speculatively executed loads
+   of later tasks (ARB violation → memory dependence squash).  A task
+   whose successor was mispredicted resolves the misprediction when it
+   completes: wrong-path occupancy is squashed (control penalty) and
+   the sequencer redirects.
+B. **Retire** — the oldest task, once complete, commits for
+   ``task_end_overhead`` cycles and frees its PU; tasks retire strictly
+   in program order (waiting tasks accumulate *load imbalance*).
+C. **Assign** — the sequencer assigns at most one task per cycle to
+   the next PU around the ring; after assigning it predicts the task's
+   successor (path-based predictor + return address stack).  While a
+   misprediction is unresolved, free PUs fill with wrong-path work.
+D. **Execute** — each PU issues and fetches; every occupied PU-cycle
+   is charged to a Figure-2 category.
+
+The simulation is trace-driven: squashed work re-executes the same
+dynamic instructions at later cycles; committed instruction count
+equals the trace length exactly once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.regcomm import ReleaseAnalysis
+from repro.compiler.task import TargetKind
+from repro.predict import PathPredictor, ReturnAddressStack
+from repro.sim.breakdown import CycleBreakdown, StallReason
+from repro.sim.config import SimConfig
+from repro.sim.memory import MemoryHierarchy
+from repro.sim.pu import ProcessingUnit
+from repro.sim.runstate import RunState
+from repro.sim.taskstream import TaskStream
+
+
+@dataclass
+class SimResult:
+    """Everything a run measures."""
+
+    cycles: int
+    committed_instructions: int
+    dynamic_tasks: int
+    task_predictions: int
+    task_mispredictions: int
+    control_squashes: int
+    memory_squashes: int
+    gshare_accuracy: float
+    branch_count: int
+    mean_window_span: float
+    breakdown: CycleBreakdown
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.committed_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def task_prediction_accuracy(self) -> float:
+        """Fraction of correctly predicted inter-task transitions."""
+        if self.task_predictions == 0:
+            return 1.0
+        return 1.0 - self.task_mispredictions / self.task_predictions
+
+
+class SimulationStuck(RuntimeError):
+    """The cycle loop exceeded ``max_cycles`` (a model bug guard)."""
+
+
+class MultiscalarMachine:
+    """Cycle-level model of the whole processor."""
+
+    def __init__(
+        self,
+        stream: TaskStream,
+        config: Optional[SimConfig] = None,
+        release: Optional[ReleaseAnalysis] = None,
+    ) -> None:
+        self.config = config or SimConfig()
+        self.stream = stream
+        self.state = RunState(stream, self.config, release)
+        self.hierarchy = MemoryHierarchy(self.config)
+        self.predictor = PathPredictor()
+        self.ras = ReturnAddressStack()
+        self.pus = [
+            ProcessingUnit(i, self.config, self.state)
+            for i in range(self.config.n_pus)
+        ]
+        for pu in self.pus:
+            pu.attach_egress({})
+            pu.icache_access = self.hierarchy.inst_access  # type: ignore[assignment]
+        self.breakdown = CycleBreakdown()
+        # sync table: (store_pc, load_pc) -> None, LRU-ordered
+        self.sync_pairs: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        # speculative loads awaiting their producer store:
+        # store_idx -> list of (load_idx, seq, generation)
+        self.pending_viol: Dict[int, List[Tuple[int, int, int]]] = {}
+        self.retire_seq = 0
+        self.next_seq = 0
+        self.next_assign_pu = 0
+        self.resume_cycle = 0
+        self.pending_mispredict: Optional[int] = None
+        self.in_flight: Dict[int, ProcessingUnit] = {}
+        self.task_predictions = 0
+        self.task_mispredictions = 0
+        self.control_squashes = 0
+        self.memory_squashes = 0
+        self._retiring_pu: Optional[ProcessingUnit] = None
+        self._retire_finish = -1
+        self._active_span = 0
+        self._span_accum = 0
+        self.cycle = 0
+
+    # ------------------------------------------------------------- services
+
+    def data_access(self, word_addr: int) -> int:
+        """Data cache access latency (PU callback)."""
+        return self.hierarchy.data_access(word_addr)
+
+    def is_synchronised(self, store_idx: int, load_idx: int) -> bool:
+        """True if the sync table holds this (store PC, load PC) pair."""
+        key = (self.state.pc[store_idx], self.state.pc[load_idx])
+        if key in self.sync_pairs:
+            self.sync_pairs.move_to_end(key)
+            return True
+        return False
+
+    def _learn_sync(self, store_idx: int, load_idx: int) -> None:
+        if self.config.sync_table_size <= 0:
+            return
+        key = (self.state.pc[store_idx], self.state.pc[load_idx])
+        self.sync_pairs[key] = None
+        self.sync_pairs.move_to_end(key)
+        while len(self.sync_pairs) > self.config.sync_table_size:
+            self.sync_pairs.popitem(last=False)
+
+    def register_speculative_load(
+        self, store_idx: int, load_idx: int, seq: int
+    ) -> None:
+        """Record a load that issued before its producer store."""
+        self.pending_viol.setdefault(store_idx, []).append(
+            (load_idx, seq, self.state.generation[seq])
+        )
+
+    # --------------------------------------------------------------- squash
+
+    def _squash_from(self, first_seq: int, cycle: int, memory: bool) -> None:
+        """Squash every in-flight real task with seq >= ``first_seq``."""
+        victims = sorted(s for s in self.in_flight if s >= first_seq)
+        if (
+            self._retiring_pu is not None
+            and self._retiring_pu.seq >= first_seq
+        ):
+            # The task that began committing is itself a victim.
+            self._retiring_pu = None
+        for seq in victims:
+            pu = self.in_flight.pop(seq)
+            penalty = max(0, cycle - pu.assign_cycle)
+            if memory:
+                self.breakdown.charge_memory_squash(penalty)
+            else:
+                self.breakdown.charge_control_squash(penalty)
+            self._active_span -= self.stream.tasks[seq].length
+            self.state.clear_span(seq)
+            pu.reset_idle()
+        self._squash_wrong(cycle)
+        if self.pending_mispredict is not None and self.pending_mispredict >= first_seq:
+            self.pending_mispredict = None
+        self.next_seq = min(self.next_seq, first_seq)
+        if first_seq > 0:
+            prev_pu = self.state.pu_of_seq[first_seq - 1]
+            self.next_assign_pu = (prev_pu + 1) % self.config.n_pus
+        else:
+            self.next_assign_pu = 0
+        self.resume_cycle = max(self.resume_cycle, cycle + 1)
+
+    def _squash_wrong(self, cycle: int) -> None:
+        for pu in self.pus:
+            if pu.wrong:
+                self.breakdown.charge_control_squash(
+                    max(0, cycle - pu.assign_cycle)
+                )
+                pu.reset_idle()
+
+    def _check_store_violation(self, store_idx: int, cycle: int) -> None:
+        """A store completed: squash the earliest stale speculative load."""
+        entries = self.pending_viol.pop(store_idx, None)
+        if not entries:
+            return
+        state = self.state
+        victim_seq: Optional[int] = None
+        victim_load = -1
+        for load_idx, seq, gen in entries:
+            if state.generation[seq] != gen:
+                continue  # that execution was already squashed
+            if seq < self.retire_seq or seq not in self.in_flight:
+                continue
+            if victim_seq is None or seq < victim_seq:
+                victim_seq = seq
+                victim_load = load_idx
+        if victim_seq is None:
+            return
+        self.memory_squashes += 1
+        self._learn_sync(store_idx, victim_load)
+        self._squash_from(victim_seq, cycle, memory=True)
+
+    # --------------------------------------------------------------- assign
+
+    def _continuation_root(self, seq: int):
+        """Root of the task entered when the callee of task ``seq`` returns."""
+        dyn = self.stream.tasks[seq]
+        call_inst = self.stream.trace.insts[dyn.end - 1]
+        blk = self.stream.partition.program.block(call_inst.block)
+        assert blk.fallthrough is not None
+        return (call_inst.block[0], blk.fallthrough)
+
+    def _predict_successor(self, seq: int) -> None:
+        """Predict task ``seq``'s successor; set pending on mispredict."""
+        dyn = self.stream.tasks[seq]
+        if dyn.target is None:
+            return  # final task
+        pc = self.stream.partition.program.block_pc(dyn.task.root)
+        mispredicted_index = self.predictor.update(pc, dyn.target_index)
+        correct = not mispredicted_index
+        if correct and dyn.target.kind is TargetKind.RETURN:
+            correct = self.ras.peek() == dyn.next_root
+        if dyn.target.kind is TargetKind.CALL:
+            self.ras.push(self._continuation_root(seq))
+        elif dyn.target.kind is TargetKind.RETURN:
+            self.ras.pop()
+        self.predictor.push_history(pc)
+        self.task_predictions += 1
+        if not correct:
+            self.task_mispredictions += 1
+            self.pending_mispredict = seq
+            self.control_squashes += 1
+
+    def _assign(self, cycle: int) -> None:
+        if cycle < self.resume_cycle:
+            return
+        pu = self.pus[self.next_assign_pu]
+        if not pu.idle:
+            return
+        if self.pending_mispredict is not None:
+            pu.assign_wrong(cycle)
+            self.next_assign_pu = (self.next_assign_pu + 1) % self.config.n_pus
+            return
+        if self.next_seq >= len(self.stream.tasks):
+            return
+        seq = self.next_seq
+        dyn = self.stream.tasks[seq]
+        pu.assign(dyn, cycle)
+        self.in_flight[seq] = pu
+        self._active_span += dyn.length
+        self.next_seq += 1
+        self.next_assign_pu = (self.next_assign_pu + 1) % self.config.n_pus
+        self._predict_successor(seq)
+
+    # --------------------------------------------------------------- retire
+
+    def _retire(self, cycle: int) -> None:
+        if self._retiring_pu is not None:
+            if cycle >= self._retire_finish:
+                pu = self._retiring_pu
+                for reason, count in pu.local_counts.items():
+                    self.breakdown.charge(reason, count)
+                seq = pu.seq
+                self._active_span -= self.stream.tasks[seq].length
+                del self.in_flight[seq]
+                pu.reset_idle()
+                self.retire_seq += 1
+                self._retiring_pu = None
+            else:
+                return
+        pu = self.in_flight.get(self.retire_seq)
+        if pu is not None and pu.done:
+            pu.charge(StallReason.TASK_END, self.config.task_end_overhead)
+            pu.retiring = True
+            self._retiring_pu = pu
+            self._retire_finish = cycle + self.config.task_end_overhead
+
+    # ------------------------------------------------------------- run loop
+
+    def run(self) -> SimResult:
+        """Simulate until every dynamic task has retired."""
+        config = self.config
+        n_tasks = len(self.stream.tasks)
+        cycle = 0
+        if n_tasks == 0:
+            return self._result(0)
+
+        while self.retire_seq < n_tasks:
+            if cycle > config.max_cycles:
+                raise SimulationStuck(
+                    f"exceeded {config.max_cycles} cycles "
+                    f"(retired {self.retire_seq}/{n_tasks} tasks)"
+                )
+            # Phase A: completions (+ violation checks, + control resolve).
+            for pu in self.pus:
+                if pu.dyn_task is None:
+                    continue
+                for store_idx in pu.drain_completions(cycle):
+                    self._check_store_violation(store_idx, cycle)
+            if self.pending_mispredict is not None:
+                src = self.in_flight.get(self.pending_mispredict)
+                if src is not None and src.done:
+                    self._squash_wrong(cycle)
+                    self.next_assign_pu = (
+                        self.state.pu_of_seq[self.pending_mispredict] + 1
+                    ) % config.n_pus
+                    self.pending_mispredict = None
+                    self.resume_cycle = max(
+                        self.resume_cycle,
+                        cycle + config.task_mispredict_redirect,
+                    )
+            # Phase B: retire.
+            self._retire(cycle)
+            # Phase C: assign.
+            self._assign(cycle)
+            # Phase D: execute + accounting.
+            for pu in self.pus:
+                if pu.wrong:
+                    continue  # charged as penalty at resolution
+                if pu.dyn_task is None:
+                    self.breakdown.charge(StallReason.IDLE)
+                    continue
+                if pu.retiring:
+                    continue  # TASK_END charged up front
+                if pu.done:
+                    pu.charge(StallReason.LOAD_IMBALANCE)
+                    continue
+                issued, reason = pu.issue(cycle, self)
+                pu.fetch(cycle)
+                if issued:
+                    pu.charge(StallReason.USEFUL)
+                elif cycle < pu.assign_cycle + config.task_start_overhead:
+                    pu.charge(StallReason.TASK_START)
+                elif reason is not None:
+                    pu.charge(reason)
+                else:
+                    pu.charge(StallReason.FETCH)
+            self._span_accum += self._active_span
+            cycle += 1
+        self.cycle = cycle
+        return self._result(cycle)
+
+    def _result(self, cycles: int) -> SimResult:
+        mean_span = self._span_accum / cycles if cycles else 0.0
+        return SimResult(
+            cycles=cycles,
+            committed_instructions=len(self.stream.trace),
+            dynamic_tasks=len(self.stream.tasks),
+            task_predictions=self.task_predictions,
+            task_mispredictions=self.task_mispredictions,
+            control_squashes=self.control_squashes,
+            memory_squashes=self.memory_squashes,
+            gshare_accuracy=self.state.gshare_accuracy,
+            branch_count=self.state.branch_count,
+            mean_window_span=mean_span,
+            breakdown=self.breakdown,
+            cache_stats=self.hierarchy.stats(),
+        )
+
+
+def simulate(
+    stream: TaskStream,
+    config: Optional[SimConfig] = None,
+    release: Optional[ReleaseAnalysis] = None,
+) -> SimResult:
+    """Convenience: build a machine for ``stream`` and run it."""
+    return MultiscalarMachine(stream, config, release).run()

@@ -1,0 +1,378 @@
+"""One Multiscalar processing unit (Section 4.2 configuration).
+
+Each PU executes one dynamic task at a time: it fetches the task's
+instructions in (dynamic) program order at ``fetch_width`` per cycle,
+holds them in a ``rob_size`` window, and issues up to ``issue_width``
+ready instructions per cycle subject to the issue-list depth, the
+functional unit mix, and — in in-order mode — strict program order.
+Memory operations issue in program order within the task (the paper's
+single memory unit), which keeps intra-task memory semantics exact.
+
+The PU charges every occupied cycle to a Figure-2 category in a local
+breakdown; the machine merges it on retire or converts the whole
+occupancy into a misspeculation penalty on squash.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.breakdown import StallReason
+from repro.sim.config import SimConfig
+from repro.sim.runstate import (
+    OPCLASS_BRANCH,
+    OPCLASS_FP,
+    OPCLASS_INT,
+    OPCLASS_MEM,
+    RunState,
+)
+from repro.sim.taskstream import DynTask
+
+_NEVER = 1 << 60
+
+
+class ProcessingUnit:
+    """Execution state of one PU."""
+
+    def __init__(self, index: int, config: SimConfig, state: RunState) -> None:
+        self.index = index
+        self.config = config
+        self.state = state
+        self.reset_idle()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def reset_idle(self) -> None:
+        """Return to the idle state (no task assigned)."""
+        self.arb_used = 0
+        self.dyn_task: Optional[DynTask] = None
+        self.seq = -1
+        self.wrong = False
+        self.assign_cycle = -1
+        self.fetch_ptr = 0
+        self.fetch_resume = 0
+        self.next_mem_ptr = 0
+        self.pending_branch = -1
+        # window entries: [trace_idx, fetch_cycle]
+        self.window: List[List[int]] = []
+        self.unissued: List[List[int]] = []
+        self.in_flight: List[Tuple[int, int]] = []  # (complete_cycle, idx)
+        self.remaining = 0
+        self.done = False
+        self.done_cycle = -1
+        self.retiring = False
+        self.local_counts: Dict[StallReason, int] = {}
+
+    @property
+    def idle(self) -> bool:
+        """True when no task (real or wrong-path) occupies this PU."""
+        return self.dyn_task is None and not self.wrong
+
+    def assign(self, dyn_task: DynTask, cycle: int) -> None:
+        """Start executing ``dyn_task`` at ``cycle``."""
+        self.reset_idle()
+        self.dyn_task = dyn_task
+        self.seq = dyn_task.seq
+        self.assign_cycle = cycle
+        self.fetch_ptr = dyn_task.start
+        self.next_mem_ptr = dyn_task.start
+        self.fetch_resume = cycle + self.config.task_start_overhead
+        self.remaining = dyn_task.length
+        state = self.state
+        state.pu_of_seq[dyn_task.seq] = self.index
+
+    def assign_wrong(self, cycle: int) -> None:
+        """Occupy the PU with wrong-path work (after a task mispredict)."""
+        self.reset_idle()
+        self.wrong = True
+        self.assign_cycle = cycle
+
+    def charge(self, reason: StallReason, cycles: int = 1) -> None:
+        """Account ``cycles`` to ``reason`` in the task-local breakdown."""
+        self.local_counts[reason] = self.local_counts.get(reason, 0) + cycles
+
+    # ---------------------------------------------------------- completions
+
+    def drain_completions(self, cycle: int) -> List[int]:
+        """Pop instructions completing at ``cycle``; update run state.
+
+        Returns completed store indices (the machine checks them for
+        memory dependence violations).
+        """
+        state = self.state
+        config = self.config
+        completed_stores: List[int] = []
+        while self.in_flight and self.in_flight[0][0] <= cycle:
+            _, idx = heapq.heappop(self.in_flight)
+            state.complete[idx] = cycle
+            self.remaining -= 1
+            # Remove from window.
+            for pos, entry in enumerate(self.window):
+                if entry[0] == idx:
+                    del self.window[pos]
+                    break
+            if state.has_write[idx]:
+                if state.release_now[idx]:
+                    self._schedule_forward(idx, cycle)
+                elif config.forward_policy.value == "schedule":
+                    self._schedule_forward(idx, cycle + config.release_lag)
+                # LAZY: forwarded in bulk at task completion.
+            if state.is_store[idx]:
+                completed_stores.append(idx)
+            if idx == self.pending_branch:
+                self.pending_branch = -1
+                self.fetch_resume = cycle + config.branch_mispredict_penalty
+        if (
+            not self.done
+            and self.dyn_task is not None
+            and self.remaining == 0
+            and self.fetch_ptr >= self.dyn_task.end
+        ):
+            self.done = True
+            self.done_cycle = cycle
+            if config.forward_policy.value == "lazy":
+                self._forward_all_writes(cycle)
+        return completed_stores
+
+    def _schedule_forward(self, idx: int, earliest: int) -> None:
+        state = self.state
+        if state.forward[idx] >= 0:
+            return
+        if state.has_remote_consumer[idx]:
+            state.forward[idx] = self.machine_ring_slot(earliest)
+        else:
+            state.forward[idx] = earliest
+
+    def machine_ring_slot(self, earliest: int) -> int:
+        """Reserve a ring egress slot at or after ``earliest``."""
+        egress = self._egress
+        bandwidth = self.config.ring_bandwidth
+        cycle = earliest
+        while egress.get(cycle, 0) >= bandwidth:
+            cycle += 1
+        egress[cycle] = egress.get(cycle, 0) + 1
+        return cycle
+
+    def attach_egress(self, egress: Dict[int, int]) -> None:
+        """Give the PU its ring egress schedule (owned by the machine)."""
+        self._egress = egress
+
+    def _forward_all_writes(self, cycle: int) -> None:
+        state = self.state
+        assert self.dyn_task is not None
+        for i in range(self.dyn_task.start, self.dyn_task.end):
+            if state.has_write[i] and state.forward[i] < 0:
+                self._schedule_forward(i, cycle)
+
+    # ---------------------------------------------------------------- fetch
+
+    def fetch(self, cycle: int) -> None:
+        """Bring up to ``fetch_width`` instructions into the window."""
+        if self.dyn_task is None or self.done:
+            return
+        if cycle < self.fetch_resume or self.pending_branch >= 0:
+            return
+        state = self.state
+        config = self.config
+        end = self.dyn_task.end
+        fetched = 0
+        while (
+            fetched < config.fetch_width
+            and self.fetch_ptr < end
+            and len(self.window) < config.rob_size
+        ):
+            idx = self.fetch_ptr
+            if state.block_start[idx]:
+                latency = self.icache_access(state.pc[idx])
+                if latency > config.l1i.hit_latency:
+                    # Miss: stall the front end for the extra cycles,
+                    # then this (already-fetched) line streams in.
+                    self.fetch_resume = cycle + (latency - config.l1i.hit_latency)
+            entry = [idx, cycle]
+            self.window.append(entry)
+            self.unissued.append(entry)
+            self.fetch_ptr = idx + 1
+            fetched += 1
+            if state.is_cond_branch[idx] and state.gshare_mispred[idx]:
+                # Wrong-path fetch: stall until the branch resolves.
+                self.pending_branch = idx
+                self.fetch_resume = _NEVER
+                break
+            if self.fetch_resume > cycle:
+                break
+        if (
+            not self.done
+            and self.remaining == 0
+            and self.fetch_ptr >= end
+            and not self.window
+        ):
+            self.done = True
+            self.done_cycle = cycle
+            if config.forward_policy.value == "lazy":
+                self._forward_all_writes(cycle)
+
+    def icache_access(self, pc: int) -> int:
+        """Overridden by the machine with the shared hierarchy."""
+        return self.config.l1i.hit_latency
+
+    # ---------------------------------------------------------------- issue
+
+    def issue(self, cycle: int, machine) -> Tuple[int, Optional[StallReason]]:
+        """Issue ready instructions; return (#issued, stall reason).
+
+        The stall reason reflects the oldest unissued instruction when
+        nothing issued this cycle (None when something issued or there
+        is nothing to issue).
+        """
+        if self.dyn_task is None or self.done or not self.unissued:
+            return 0, None
+        config = self.config
+        state = self.state
+        issued = 0
+        fu_budget = {
+            OPCLASS_INT: config.int_units,
+            OPCLASS_FP: config.fp_units,
+            OPCLASS_MEM: config.mem_units,
+            OPCLASS_BRANCH: config.branch_units,
+        }
+        first_block: Optional[StallReason] = None
+        issued_entries: List[List[int]] = []
+
+        candidates = (
+            self.unissued
+            if not config.out_of_order
+            else self.unissued[: config.issue_list_size]
+        )
+        for entry in candidates:
+            if issued >= config.issue_width:
+                break
+            idx, fetch_cycle = entry
+            if fetch_cycle >= cycle:
+                # Decode: not issuable the cycle it was fetched.
+                if first_block is None:
+                    first_block = StallReason.FETCH
+                if not config.out_of_order:
+                    break
+                continue
+            reason = self._blocking_reason(idx, cycle, machine)
+            if reason is not None:
+                if first_block is None:
+                    first_block = reason
+                if not config.out_of_order:
+                    break
+                continue
+            opcls = state.opcls[idx]
+            if fu_budget[opcls] <= 0:
+                if first_block is None:
+                    first_block = StallReason.USEFUL
+                if not config.out_of_order:
+                    break
+                continue
+            fu_budget[opcls] -= 1
+            latency = self._issue_latency(idx, cycle, machine)
+            heapq.heappush(self.in_flight, (cycle + latency, idx))
+            issued_entries.append(entry)
+            issued += 1
+            if state.is_load[idx] or state.is_store[idx]:
+                self.next_mem_ptr = idx + 1
+                if self.seq != machine.retire_seq:
+                    self.arb_used += 1
+
+        for entry in issued_entries:
+            self.unissued.remove(entry)
+        if issued:
+            return issued, None
+        return 0, first_block
+
+    def _blocking_reason(
+        self, idx: int, cycle: int, machine
+    ) -> Optional[StallReason]:
+        """Why can't ``idx`` issue now?  ``None`` when it can."""
+        state = self.state
+        seq = self.seq
+        n_pus = self.config.n_pus
+        hop_latency = self.config.ring_hop_latency
+        my_pu = self.index
+        for p in state.producers[idx]:
+            pseq = state.task_seq[p]
+            if pseq == seq:
+                done = state.complete[p]
+                if done < 0 or done > cycle:
+                    return StallReason.INTRA_DEP
+            else:
+                fwd = state.forward[p]
+                if fwd < 0:
+                    return StallReason.INTER_COMM
+                prod_pu = state.pu_of_seq[pseq]
+                hops = (my_pu - prod_pu) % n_pus if prod_pu >= 0 else 1
+                extra = max(0, hops - 1) * hop_latency
+                if fwd + extra > cycle:
+                    return StallReason.INTER_COMM
+        if state.is_load[idx] or state.is_store[idx]:
+            # Program-order memory issue within the task.
+            mem_ptr = self._oldest_unissued_mem(idx)
+            if mem_ptr != idx:
+                return StallReason.MEMORY
+            # ARB capacity: a speculative task with a full ARB stalls
+            # its memory operations until it becomes the head.
+            capacity = self.config.arb_entries_per_pu
+            if (
+                capacity > 0
+                and self.arb_used >= capacity
+                and self.seq != machine.retire_seq
+            ):
+                return StallReason.MEMORY
+            if state.is_load[idx]:
+                return self._load_block_reason(idx, cycle, machine)
+        return None
+
+    def _oldest_unissued_mem(self, upto: int) -> int:
+        """Trace index of the oldest unissued memory op (<= ``upto``)."""
+        state = self.state
+        for entry in self.unissued:
+            i = entry[0]
+            if i > upto:
+                break
+            if state.is_load[i] or state.is_store[i]:
+                return i
+        return upto
+
+    def _load_block_reason(
+        self, idx: int, cycle: int, machine
+    ) -> Optional[StallReason]:
+        state = self.state
+        p = state.mem_producer[idx]
+        if p < 0:
+            return None
+        pseq = state.task_seq[p]
+        if pseq == self.seq:
+            done = state.complete[p]
+            if done < 0 or done > cycle:
+                return StallReason.MEMORY
+            return None
+        if state.complete[p] >= 0 and state.complete[p] <= cycle:
+            return None  # ARB forwards from the earlier task
+        if machine.is_synchronised(p, idx) and self.seq != machine.retire_seq:
+            return StallReason.SYNC_WAIT
+        return None  # speculate
+
+    def _issue_latency(self, idx: int, cycle: int, machine) -> int:
+        state = self.state
+        config = self.config
+        if state.is_load[idx]:
+            p = state.mem_producer[idx]
+            if p >= 0:
+                pseq = state.task_seq[p]
+                if pseq == self.seq:
+                    return config.stlf_latency
+                if state.complete[p] >= 0:
+                    return config.arb_latency
+                # Speculative load: may be violated when p executes.
+                machine.register_speculative_load(p, idx, self.seq)
+            return max(
+                config.arb_latency, machine.data_access(state.addr[idx])
+            )
+        if state.is_store[idx]:
+            return state.latency[idx]
+        return state.latency[idx]

@@ -1,0 +1,33 @@
+"""Synthetic workloads standing in for SPEC95 (see DESIGN.md §2).
+
+The paper compiles SPEC95 with a modified gcc; neither the suite nor
+the binaries are redistributable, so this package builds deterministic
+IR programs — one per SPEC95 benchmark name — whose *task-shaping*
+characteristics match each benchmark class:
+
+* integer codes: small basic blocks, irregular data-dependent control
+  flow, pointer-style memory access, frequent calls (and recursion for
+  ``li``);
+* floating point codes: regular loop nests over arrays, large basic
+  blocks, long fp dependence chains, highly predictable branches
+  (and, for ``fpppp``, the famously enormous straight-line blocks).
+
+Use :func:`~repro.workloads.registry.get_benchmark` /
+:func:`~repro.workloads.registry.all_benchmarks` to obtain programs.
+"""
+
+from repro.workloads.registry import (
+    Benchmark,
+    all_benchmarks,
+    fp_benchmarks,
+    get_benchmark,
+    integer_benchmarks,
+)
+
+__all__ = [
+    "Benchmark",
+    "all_benchmarks",
+    "fp_benchmarks",
+    "get_benchmark",
+    "integer_benchmarks",
+]

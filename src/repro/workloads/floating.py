@@ -1,0 +1,626 @@
+"""Synthetic SPECfp95 stand-ins.
+
+All ten are loop-nest codes over in-memory arrays, with the
+per-benchmark block-size and control-flow profiles the paper's
+Table 1 reports: large predictable loop bodies for tomcatv / swim /
+su2cor / mgrid / applu / turb3d / wave5, *small* bodies with boundary
+conditionals for hydro2d and apsi, and fpppp's signature giant
+straight-line basic blocks plus a tiny unrollable inner loop.
+
+Loop bound registers: ``r30`` outer, ``r29`` middle, ``r24`` inner
+(``r23`` for a fourth nesting level).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.program import Program
+from repro.workloads.kernels import (
+    counted_loop,
+    counted_loop_imm,
+    fill_words,
+    host_lcg,
+    if_then_else,
+)
+from repro.workloads.registry import register
+
+
+def _fp_values(seed: int, count: int, lo: float = 0.1, hi: float = 2.0):
+    rng = host_lcg(seed)
+    span = hi - lo
+    return [lo + span * (rng() % 10_000) / 10_000.0 for _ in range(count)]
+
+
+@register("tomcatv", "fp", "vectorised mesh generation (2D stencil sweeps)")
+def build_tomcatv(scale: float = 1.0) -> Program:
+    n = 18
+    iters = max(1, int(2 * scale))
+    x_base, y_base = 2000, 2000 + n * n
+    rx_base, ry_base = 2000 + 2 * n * n, 2000 + 3 * n * n
+    b = IRBuilder()
+
+    with b.function("main"):
+        b.fli("f15", 0.0)  # residual accumulator
+
+        def iteration(bb: IRBuilder) -> None:
+            def row(rb: IRBuilder) -> None:
+                def point(pb: IRBuilder) -> None:
+                    # addr = base + i*n + j
+                    pb.muli("r8", "r2", n)
+                    pb.add("r8", "r8", "r3")
+                    pb.addi("r9", "r8", x_base)
+                    pb.addi("r10", "r8", y_base)
+                    # Load the 4-neighbourhood of X and Y.
+                    pb.load("f4", "r9", -1)
+                    pb.load("f5", "r9", 1)
+                    pb.load("f6", "r9", -n)
+                    pb.load("f7", "r9", n)
+                    pb.load("f8", "r10", -1)
+                    pb.load("f9", "r10", 1)
+                    pb.load("f10", "r10", -n)
+                    pb.load("f11", "r10", n)
+                    # Large straight-line update (the tomcatv signature).
+                    pb.fadd("f12", "f4", "f5")
+                    pb.fadd("f13", "f6", "f7")
+                    pb.fadd("f12", "f12", "f13")
+                    pb.fli("f14", 0.25)
+                    pb.fmul("f12", "f12", "f14")
+                    pb.fadd("f13", "f8", "f9")
+                    pb.fadd("f2", "f10", "f11")
+                    pb.fadd("f13", "f13", "f2")
+                    pb.fmul("f13", "f13", "f14")
+                    pb.load("f2", "r9", 0)
+                    pb.fsub("f3", "f12", "f2")
+                    pb.fmul("f3", "f3", "f14")
+                    pb.fadd("f2", "f2", "f3")
+                    pb.addi("r11", "r8", rx_base)
+                    pb.store("f2", "r11", 0)
+                    pb.load("f2", "r10", 0)
+                    pb.fsub("f3", "f13", "f2")
+                    pb.fmul("f3", "f3", "f14")
+                    pb.fadd("f2", "f2", "f3")
+                    pb.addi("r11", "r8", ry_base)
+                    pb.store("f2", "r11", 0)
+                    pb.fadd("f15", "f15", "f3")
+
+                counted_loop_imm(rb, "r3", 1, n - 1, point, stem="tcj",
+                                 bound_reg="r24")
+
+            counted_loop_imm(bb, "r2", 1, n - 1, row, stem="tci",
+                             bound_reg="r29")
+
+            # Copy the relaxed values back.
+            def copy_row(rb: IRBuilder) -> None:
+                def copy_point(pb: IRBuilder) -> None:
+                    pb.muli("r8", "r2", n)
+                    pb.add("r8", "r8", "r3")
+                    pb.addi("r9", "r8", rx_base)
+                    pb.load("f4", "r9", 0)
+                    pb.addi("r10", "r8", x_base)
+                    pb.store("f4", "r10", 0)
+                    pb.addi("r9", "r8", ry_base)
+                    pb.load("f5", "r9", 0)
+                    pb.addi("r10", "r8", y_base)
+                    pb.store("f5", "r10", 0)
+
+                counted_loop_imm(rb, "r3", 1, n - 1, copy_point, stem="cpj",
+                                 bound_reg="r24")
+
+            counted_loop_imm(bb, "r2", 1, n - 1, copy_row, stem="cpi",
+                             bound_reg="r29")
+
+        counted_loop_imm(b, "r1", 0, iters, iteration, stem="tc")
+        b.store("f15", "r0", 900)
+        b.halt()
+
+    program = b.build()
+    fill_words(program, x_base, _fp_values(11, n * n))
+    fill_words(program, y_base, _fp_values(13, n * n))
+    fill_words(program, rx_base, [0.0] * (n * n))
+    fill_words(program, ry_base, [0.0] * (n * n))
+    return program
+
+
+@register("swim", "fp", "shallow water equations (finite differences)")
+def build_swim(scale: float = 1.0) -> Program:
+    n = 16
+    sweeps = max(1, int(3 * scale))
+    u_base, v_base, p_base = 2000, 2000 + n * n, 2000 + 2 * n * n
+    z_base = 2000 + 3 * n * n
+    b = IRBuilder()
+
+    with b.function("main"):
+        b.fli("f14", 0.5)
+        b.fli("f15", 0.05)  # dt-ish constant
+
+        def sweep(bb: IRBuilder) -> None:
+            def row(rb: IRBuilder) -> None:
+                def point(pb: IRBuilder) -> None:
+                    pb.muli("r8", "r2", n)
+                    pb.add("r8", "r8", "r3")
+                    pb.addi("r9", "r8", u_base)
+                    pb.addi("r10", "r8", v_base)
+                    pb.addi("r11", "r8", p_base)
+                    pb.load("f4", "r9", 0)
+                    pb.load("f5", "r9", 1)
+                    pb.load("f6", "r10", 0)
+                    pb.load("f7", "r10", n)
+                    pb.load("f8", "r11", 0)
+                    pb.load("f9", "r11", -1)
+                    pb.load("f10", "r11", -n)
+                    # Vorticity / height updates.
+                    pb.fsub("f11", "f5", "f4")
+                    pb.fsub("f12", "f7", "f6")
+                    pb.fadd("f11", "f11", "f12")
+                    pb.fmul("f11", "f11", "f15")
+                    pb.fadd("f13", "f8", "f9")
+                    pb.fadd("f13", "f13", "f10")
+                    pb.fmul("f13", "f13", "f14")
+                    pb.fsub("f13", "f13", "f11")
+                    pb.addi("r12", "r8", z_base)
+                    pb.store("f13", "r12", 0)
+                    pb.fmul("f4", "f4", "f14")
+                    pb.fadd("f4", "f4", "f11")
+                    pb.store("f4", "r9", 0)
+                    pb.fmul("f6", "f6", "f14")
+                    pb.fsub("f6", "f6", "f11")
+                    pb.store("f6", "r10", 0)
+                    pb.fadd("f8", "f8", "f13")
+                    pb.fmul("f8", "f8", "f14")
+                    pb.store("f8", "r11", 0)
+
+                counted_loop_imm(rb, "r3", 1, n - 1, point, stem="swj",
+                                 bound_reg="r24")
+
+            counted_loop_imm(bb, "r2", 1, n - 1, row, stem="swi",
+                             bound_reg="r29")
+
+        counted_loop_imm(b, "r1", 0, sweeps, sweep, stem="sw")
+        b.store("f13", "r0", 900)
+        b.halt()
+
+    program = b.build()
+    fill_words(program, u_base, _fp_values(21, n * n))
+    fill_words(program, v_base, _fp_values(23, n * n))
+    fill_words(program, p_base, _fp_values(25, n * n))
+    fill_words(program, z_base, [0.0] * (n * n))
+    return program
+
+
+@register("su2cor", "fp", "quark propagator (small dense matrix kernels)")
+def build_su2cor(scale: float = 1.0) -> Program:
+    sites = max(1, int(110 * scale))
+    m_base = 2000   # a 4x4 coupling matrix
+    vec_base = 2100  # per-site 16-element vectors (wrapped)
+    out_base = 6000
+    b = IRBuilder()
+
+    with b.function("main"):
+        def site(bb: IRBuilder) -> None:
+            bb.muli("r16", "r1", 16)
+            bb.andi("r16", "r16", 1023)
+
+            def mrow(rb: IRBuilder) -> None:
+                rb.fli("f12", 0.0)
+                rb.muli("r8", "r2", 4)
+
+                def mcol(cb: IRBuilder) -> None:
+                    cb.add("r9", "r8", "r3")
+                    cb.addi("r9", "r9", m_base)
+                    cb.load("f4", "r9", 0)
+                    cb.add("r10", "r16", "r3")
+                    cb.addi("r10", "r10", vec_base)
+                    cb.load("f5", "r10", 0)
+                    cb.fmul("f6", "f4", "f5")
+                    cb.fadd("f12", "f12", "f6")
+
+                counted_loop_imm(rb, "r3", 0, 4, mcol, stem="mc",
+                                 bound_reg="r24")
+                rb.add("r11", "r16", "r2")
+                rb.addi("r11", "r11", out_base)
+                rb.store("f12", "r11", 0)
+
+            counted_loop_imm(bb, "r2", 0, 4, mrow, stem="mr",
+                             bound_reg="r29")
+            # Normalise the output vector (dependent fp chain).
+            bb.addi("r12", "r16", out_base)
+            bb.load("f7", "r12", 0)
+            bb.load("f8", "r12", 1)
+            bb.fmul("f7", "f7", "f7")
+            bb.fmul("f8", "f8", "f8")
+            bb.fadd("f7", "f7", "f8")
+            bb.fli("f9", 1.0)
+            bb.fadd("f7", "f7", "f9")
+            bb.fdiv("f10", "f9", "f7")
+            bb.store("f10", "r12", 2)
+
+        counted_loop_imm(b, "r1", 0, sites, site, stem="site")
+        b.halt()
+
+    program = b.build()
+    fill_words(program, m_base, _fp_values(31, 16, 0.2, 0.9))
+    fill_words(program, vec_base, _fp_values(33, 1100))
+    return program
+
+
+@register("hydro2d", "fp", "hydrodynamics (small bodies, boundary tests)")
+def build_hydro2d(scale: float = 1.0) -> Program:
+    n = 18
+    passes = max(1, int(3 * scale))
+    r_base, p_base = 2000, 2000 + n * n
+    b = IRBuilder()
+
+    with b.function("main"):
+        b.fli("f14", 0.3)
+
+        def hpass(bb: IRBuilder) -> None:
+            def row(rb: IRBuilder) -> None:
+                def point(pb: IRBuilder) -> None:
+                    pb.muli("r8", "r2", n)
+                    pb.add("r8", "r8", "r3")
+                    pb.addi("r9", "r8", r_base)
+                    pb.load("f4", "r9", 0)
+                    pb.load("f5", "r9", 1)
+                    pb.fsub("f6", "f5", "f4")
+                    pb.fmul("f6", "f6", "f14")
+                    # Boundary/limit conditional: the small-block
+                    # control flow hydro2d is known for.
+                    pb.cvtfi("r10", "f6")
+                    pb.slti("r11", "r10", 1)
+
+                    def limit(lb: IRBuilder) -> None:
+                        lb.fadd("f4", "f4", "f6")
+                        lb.addi("r12", "r8", p_base)
+                        lb.store("f4", "r12", 0)
+
+                    def clamp(lb: IRBuilder) -> None:
+                        lb.fli("f7", 1.0)
+                        lb.addi("r12", "r8", p_base)
+                        lb.store("f7", "r12", 0)
+
+                    if_then_else(pb, "r11", limit, clamp, stem="lim")
+
+                counted_loop_imm(rb, "r3", 0, n - 1, point, stem="hyj",
+                                 bound_reg="r24")
+
+            counted_loop_imm(bb, "r2", 0, n, row, stem="hyi",
+                             bound_reg="r29")
+
+        counted_loop_imm(b, "r1", 0, passes, hpass, stem="hy")
+        b.halt()
+
+    program = b.build()
+    fill_words(program, r_base, _fp_values(41, n * n))
+    fill_words(program, p_base, [0.0] * (n * n))
+    return program
+
+
+@register("mgrid", "fp", "multigrid 3D stencil smoothing")
+def build_mgrid(scale: float = 1.0) -> Program:
+    n = 10
+    passes = max(1, int(2 * scale))
+    u_base = 2000
+    r_base = 2000 + n * n * n
+    b = IRBuilder()
+
+    with b.function("main"):
+        b.fli("f14", 0.125)
+
+        def mpass(bb: IRBuilder) -> None:
+            def plane(kb: IRBuilder) -> None:
+                def row(rb: IRBuilder) -> None:
+                    def point(pb: IRBuilder) -> None:
+                        pb.muli("r8", "r2", n)
+                        pb.add("r8", "r8", "r3")
+                        pb.muli("r9", "r15", n * n)
+                        pb.add("r8", "r8", "r9")
+                        pb.addi("r9", "r8", u_base)
+                        # 7-point stencil.
+                        pb.load("f4", "r9", 0)
+                        pb.load("f5", "r9", 1)
+                        pb.load("f6", "r9", -1)
+                        pb.load("f7", "r9", n)
+                        pb.load("f8", "r9", -n)
+                        pb.load("f9", "r9", n * n)
+                        pb.load("f10", "r9", -(n * n))
+                        pb.fadd("f11", "f5", "f6")
+                        pb.fadd("f12", "f7", "f8")
+                        pb.fadd("f13", "f9", "f10")
+                        pb.fadd("f11", "f11", "f12")
+                        pb.fadd("f11", "f11", "f13")
+                        pb.fmul("f11", "f11", "f14")
+                        pb.fadd("f11", "f11", "f4")
+                        pb.fmul("f11", "f11", "f14")
+                        pb.addi("r10", "r8", r_base)
+                        pb.store("f11", "r10", 0)
+
+                    counted_loop_imm(rb, "r3", 1, n - 1, point, stem="mgj",
+                                     bound_reg="r24")
+
+                counted_loop_imm(kb, "r2", 1, n - 1, row, stem="mgi",
+                                 bound_reg="r29")
+
+            counted_loop_imm(bb, "r15", 1, n - 1, plane, stem="mgk",
+                             bound_reg="r23")
+
+        counted_loop_imm(b, "r1", 0, passes, mpass, stem="mg")
+        b.halt()
+
+    program = b.build()
+    fill_words(program, u_base, _fp_values(51, n * n * n))
+    fill_words(program, r_base, [0.0] * (n * n * n))
+    return program
+
+
+@register("applu", "fp", "SSOR solver with per-point pivoting divides")
+def build_applu(scale: float = 1.0) -> Program:
+    n = 14
+    passes = max(1, int(2 * scale))
+    a_base = 2000
+    d_base = 2000 + n * n
+    b = IRBuilder()
+
+    with b.function("main"):
+        b.fli("f14", 0.2)
+        b.fli("f15", 1.0)
+
+        def spass(bb: IRBuilder) -> None:
+            def row(rb: IRBuilder) -> None:
+                def point(pb: IRBuilder) -> None:
+                    pb.muli("r8", "r2", n)
+                    pb.add("r8", "r8", "r3")
+                    pb.addi("r9", "r8", a_base)
+                    pb.addi("r13", "r8", d_base)
+                    pb.load("f4", "r9", 0)
+                    # West/north neighbours from the previous pass's
+                    # results (Jacobi-style), keeping points in a pass
+                    # independent.
+                    pb.load("f5", "r13", -1)
+                    pb.load("f6", "r13", -n)
+                    # Lower-triangular relaxation with a pivot divide.
+                    pb.fmul("f7", "f5", "f14")
+                    pb.fmul("f8", "f6", "f14")
+                    pb.fadd("f7", "f7", "f8")
+                    pb.fsub("f9", "f4", "f7")
+                    pb.fadd("f10", "f4", "f15")
+                    pb.fdiv("f11", "f9", "f10")
+                    pb.fmul("f11", "f11", "f14")
+                    pb.fadd("f12", "f11", "f7")
+                    pb.fmul("f12", "f12", "f14")
+                    pb.fadd("f13", "f12", "f11")
+                    pb.store("f13", "r9", 0)
+                    pb.store("f11", "r13", n * n)
+
+                counted_loop_imm(rb, "r3", 1, n, point, stem="apj",
+                                 bound_reg="r24")
+
+            counted_loop_imm(bb, "r2", 1, n, row, stem="api",
+                             bound_reg="r29")
+
+        counted_loop_imm(b, "r1", 0, passes, spass, stem="ap")
+        b.halt()
+
+    program = b.build()
+    fill_words(program, a_base, _fp_values(61, n * n, 0.5, 1.5))
+    fill_words(program, d_base, _fp_values(63, n * n, 0.5, 1.5))
+    fill_words(program, d_base + n * n, [0.0] * (n * n))
+    return program
+
+
+@register("turb3d", "fp", "turbulence (FFT-style strided butterflies)")
+def build_turb3d(scale: float = 1.0) -> Program:
+    size = 256
+    stages = max(1, int(4 * scale))
+    re_base, im_base = 2000, 2000 + size
+    b = IRBuilder()
+
+    with b.function("main"):
+        b.fli("f14", 0.7071)  # twiddle-ish constant
+
+        def stage(bb: IRBuilder) -> None:
+            def pair(pb: IRBuilder) -> None:
+                # Partner index: j XOR (1 << stage), computed with shifts.
+                pb.li("r8", 1)
+                pb.remi("r9", "r1", 7)
+
+                def shift_body(sb: IRBuilder) -> None:
+                    sb.shl("r8", "r8", 1)
+
+                counted_loop(pb, "r15", 0, "r9", shift_body, stem="sh")
+                pb.xor("r10", "r3", "r8")
+                pb.addi("r11", "r3", re_base)
+                pb.addi("r12", "r10", re_base)
+                pb.load("f4", "r11", 0)
+                pb.load("f5", "r12", 0)
+                pb.addi("r11", "r3", im_base)
+                pb.addi("r13", "r10", im_base)
+                pb.load("f6", "r11", 0)
+                pb.load("f7", "r13", 0)
+                # Butterfly.
+                pb.fadd("f8", "f4", "f5")
+                pb.fsub("f9", "f4", "f5")
+                pb.fadd("f10", "f6", "f7")
+                pb.fsub("f11", "f6", "f7")
+                pb.fmul("f9", "f9", "f14")
+                pb.fmul("f11", "f11", "f14")
+                pb.addi("r11", "r3", re_base)
+                pb.store("f8", "r11", 0)
+                pb.addi("r11", "r3", im_base)
+                pb.store("f10", "r11", 0)
+                pb.store("f9", "r12", 0)
+                pb.store("f11", "r13", 0)
+
+            counted_loop_imm(bb, "r3", 0, size // 2, pair, stem="fly",
+                             bound_reg="r29")
+
+        counted_loop_imm(b, "r1", 0, stages, stage, stem="stg")
+        b.halt()
+
+    program = b.build()
+    fill_words(program, re_base, _fp_values(71, size, -1.0, 1.0))
+    fill_words(program, im_base, _fp_values(73, size, -1.0, 1.0))
+    return program
+
+
+@register("apsi", "fp", "mesoscale weather (vertical columns, sign tests)")
+def build_apsi(scale: float = 1.0) -> Program:
+    cols, levels = 24, 20
+    passes = max(1, int(2 * scale))
+    t_base = 2000
+    q_base = 2000 + cols * levels
+    b = IRBuilder()
+
+    with b.function("main"):
+        b.fli("f14", 0.1)
+        b.fli("f15", 0.01)
+
+        def apass(bb: IRBuilder) -> None:
+            def column(cb: IRBuilder) -> None:
+                def level(lb: IRBuilder) -> None:
+                    lb.muli("r8", "r2", levels)
+                    lb.add("r8", "r8", "r3")
+                    lb.addi("r9", "r8", t_base)
+                    lb.load("f4", "r9", 0)
+                    lb.load("f5", "r9", -1)
+                    lb.fsub("f6", "f4", "f5")
+                    lb.fmul("f6", "f6", "f14")
+                    lb.cvtfi("r10", "f6")
+                    lb.slti("r11", "r10", 0)
+
+                    def stable(sb: IRBuilder) -> None:
+                        sb.fadd("f4", "f4", "f15")
+                        sb.store("f4", "r9", 0)
+
+                    def convect(sb: IRBuilder) -> None:
+                        sb.fadd("f7", "f4", "f5")
+                        sb.fli("f8", 0.5)
+                        sb.fmul("f7", "f7", "f8")
+                        sb.store("f7", "r9", 0)
+                        sb.store("f7", "r9", -1)
+                        sb.addi("r12", "r8", q_base)
+                        sb.store("f6", "r12", 0)
+
+                    if_then_else(lb, "r11", convect, stable, stem="cv")
+
+                counted_loop_imm(cb, "r3", 1, levels, level, stem="lvl",
+                                 bound_reg="r24")
+
+            counted_loop_imm(bb, "r2", 0, cols, column, stem="col",
+                             bound_reg="r29")
+
+        counted_loop_imm(b, "r1", 0, passes, apass, stem="aps")
+        b.halt()
+
+    program = b.build()
+    fill_words(program, t_base, _fp_values(81, cols * levels, 270.0, 300.0))
+    fill_words(program, q_base, [0.0] * (cols * levels))
+    return program
+
+
+@register("wave5", "fp", "particle-in-cell push and charge deposition")
+def build_wave5(scale: float = 1.0) -> Program:
+    particles = max(1, int(700 * scale))
+    cells = 128
+    pos_base, vel_base = 2000, 2000 + particles
+    field_base = 8000
+    charge_base = 8000 + cells
+    b = IRBuilder()
+
+    with b.function("main"):
+        b.fli("f14", 0.05)  # dt
+
+        def push(bb: IRBuilder) -> None:
+            bb.addi("r8", "r1", pos_base)
+            bb.addi("r9", "r1", vel_base)
+            bb.load("f4", "r8", 0)
+            bb.load("f5", "r9", 0)
+            # Gather the field at the particle's cell.
+            bb.cvtfi("r10", "f4")
+            bb.andi("r10", "r10", cells - 1)
+            bb.addi("r11", "r10", field_base)
+            bb.load("f6", "r11", 0)
+            # Leapfrog update.
+            bb.fmul("f7", "f6", "f14")
+            bb.fadd("f5", "f5", "f7")
+            bb.fmul("f8", "f5", "f14")
+            bb.fadd("f4", "f4", "f8")
+            bb.store("f4", "r8", 0)
+            bb.store("f5", "r9", 0)
+            # Scatter charge.
+            bb.cvtfi("r12", "f4")
+            bb.andi("r12", "r12", cells - 1)
+            bb.addi("r13", "r12", charge_base)
+            bb.load("r14", "r13", 0)
+            bb.addi("r14", "r14", 1)
+            bb.store("r14", "r13", 0)
+
+        counted_loop_imm(b, "r1", 0, particles, push, stem="pcl")
+        b.halt()
+
+    program = b.build()
+    fill_words(program, pos_base, _fp_values(91, particles, 0.0, 120.0))
+    fill_words(program, vel_base, _fp_values(93, particles, -1.0, 1.0))
+    fill_words(program, field_base, _fp_values(95, cells, -0.5, 0.5))
+    fill_words(program, charge_base, [0] * cells)
+    return program
+
+
+@register("fpppp", "fp", "two-electron integrals (giant basic blocks)")
+def build_fpppp(scale: float = 1.0) -> Program:
+    outer = max(1, int(26 * scale))
+    data_base = 2000
+    out_base = 4000
+    b = IRBuilder()
+
+    with b.function("main"):
+        b.fli("f15", 0.999)
+
+        def integral(bb: IRBuilder) -> None:
+            # Gather a handful of operands.
+            bb.muli("r8", "r1", 16)
+            bb.andi("r8", "r8", 511)
+            bb.addi("r9", "r8", data_base)
+            bb.load("f4", "r9", 0)
+            bb.load("f5", "r9", 1)
+            bb.load("f6", "r9", 2)
+            bb.load("f7", "r9", 3)
+            bb.fmov("f9", "f4")
+            bb.fmov("f10", "f5")
+            bb.fmov("f11", "f6")
+            bb.fmov("f12", "f7")
+            # The fpppp signature: one enormous straight-line block of
+            # fp arithmetic (~240 operations) carrying four independent
+            # dependence chains (real fpppp has high in-block ILP).
+            for k in range(60):
+                acc = ("f9", "f10", "f11", "f12")[k % 4]
+                op = ("f5", "f6", "f7", "f4")[(k + 1) % 4]
+                bb.fmul(acc, acc, "f15")
+                bb.fadd(acc, acc, op)
+                bb.fmul(acc, acc, "f15")
+                bb.fsub(acc, acc, "f4")
+            bb.fadd("f9", "f9", "f10")
+            bb.fadd("f11", "f11", "f12")
+            bb.fadd("f12", "f9", "f11")
+            bb.addi("r10", "r8", out_base)
+            bb.store("f12", "r10", 0)
+            # A tiny inner loop: the unrolling candidate the paper
+            # notes fpppp responds to.
+            bb.fli("f13", 0.0)
+
+            def accumulate(ab: IRBuilder) -> None:
+                ab.add("r11", "r8", "r3")
+                ab.addi("r11", "r11", data_base)
+                ab.load("f8", "r11", 0)
+                ab.fadd("f13", "f13", "f8")
+
+            counted_loop_imm(bb, "r3", 0, 6, accumulate, stem="acc",
+                             bound_reg="r24")
+            bb.store("f13", "r10", 64)
+
+        counted_loop_imm(b, "r1", 0, outer, integral, stem="fpx")
+        b.halt()
+
+    program = b.build()
+    fill_words(program, data_base, _fp_values(101, 520, 0.5, 1.5))
+    fill_words(program, out_base, [0.0] * 200)
+    return program

@@ -1,0 +1,756 @@
+"""Synthetic SPECint95 stand-ins.
+
+Shapes per benchmark (matching Table 1's qualitative profile):
+
+* ``go`` — irregular game-position evaluation: tiny blocks,
+  LCG-driven unpredictable branches, a non-absorbable helper call.
+* ``m88ksim`` — fetch/decode/dispatch interpreter over a packed
+  instruction array.
+* ``cc`` — token-driven parser with an explicit stack, a bump
+  allocator, and a small absorbable helper.
+* ``compress`` — LZW-style hash probing with a *short* inner probe
+  loop (the benchmark the paper notes responds to the task size
+  heuristic).
+* ``li`` — recursive expression-tree evaluator (frequent calls, the
+  smallest tasks of the suite).
+* ``ijpeg`` — blocked 8x8 transform with regular inner loops
+  (loop-level tasks).
+* ``perl`` — opcode dispatch with hash-table and short string loops.
+* ``vortex`` — record store: binary-search lookups, field
+  validation, medium-sized update calls.
+
+Loop bound registers: ``r30`` outer, ``r29`` middle, ``r24`` inner.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.program import Program
+from repro.workloads.kernels import (
+    counted_loop,
+    counted_loop_imm,
+    fill_words,
+    host_lcg as _host_lcg,
+    if_then_else,
+    lcg_next,
+    lcg_seed,
+    switch_chain,
+)
+from repro.workloads.registry import register
+
+
+@register("go", "int", "game position evaluation with irregular control flow")
+def build_go(scale: float = 1.0) -> Program:
+    moves = max(1, int(300 * scale))
+    board_base, board_cells = 1000, 361
+    b = IRBuilder()
+
+    with b.function("evaluate"):
+        # Sum a strided sample of the board: a ~50-instruction helper,
+        # too big to absorb, called on a fraction of moves.
+        b.li("r2", 0)
+
+        def eval_body(bb: IRBuilder) -> None:
+            bb.muli("r8", "r3", 19)
+            bb.addi("r8", "r8", board_base)
+            bb.load("r9", "r8", 0)
+            bb.add("r2", "r2", "r9")
+            bb.load("r9", "r8", 5)
+            bb.add("r2", "r2", "r9")
+            bb.load("r9", "r8", 11)
+            bb.sub("r2", "r2", "r9")
+
+        counted_loop_imm(b, "r3", 0, 19, eval_body, stem="eval", bound_reg="r24")
+        b.ret()
+
+    with b.function("main"):
+        lcg_seed(b, "r26", 20230)
+        b.li("r16", 0)  # score
+        b.li("r17", 0)  # captures
+
+        def move(bb: IRBuilder) -> None:
+            lcg_next(bb, "r8", "r26")
+            bb.remi("r9", "r8", board_cells)  # position
+            bb.addi("r10", "r9", board_base)
+            bb.load("r11", "r10", 0)  # cell occupancy
+            bb.shr("r12", "r8", 8)
+            bb.andi("r12", "r12", 1)  # colour bit
+
+            def claim(cb: IRBuilder) -> None:
+                cb.addi("r13", "r12", 1)
+                cb.store("r13", "r10", 0)
+                # Inspect two neighbours with unpredictable guards.
+                cb.slti("r14", "r9", board_cells - 1)
+
+                def right(nb: IRBuilder) -> None:
+                    nb.load("r15", "r10", 1)
+                    nb.seq("r15", "r15", "r13")
+                    nb.add("r17", "r17", "r15")
+
+                if_then_else(cb, "r14", right, stem="right")
+                cb.slti("r14", "r9", 19)
+                cb.xori("r14", "r14", 1)  # pos >= 19
+
+                def up(nb: IRBuilder) -> None:
+                    nb.load("r15", "r10", -19)
+                    nb.seq("r15", "r15", "r13")
+                    nb.add("r17", "r17", "r15")
+
+                if_then_else(cb, "r14", up, stem="up")
+
+            def contested(cb: IRBuilder) -> None:
+                cb.addi("r13", "r12", 1)
+                cb.sne("r14", "r11", "r13")
+
+                def enemy(nb: IRBuilder) -> None:
+                    nb.subi("r16", "r16", 1)
+                    nb.store("r0", "r10", 0)
+
+                def friend(nb: IRBuilder) -> None:
+                    nb.addi("r16", "r16", 2)
+
+                if_then_else(cb, "r14", enemy, friend, stem="fight")
+
+            if_then_else(bb, "r11", contested, claim, stem="cell")
+            bb.andi("r13", "r8", 15)
+            # Call evaluate on every 16th move.
+            eval_lbl = bb.new_label("deep")
+            skip_lbl = bb.new_label("skip")
+            bb.bnez("r13", skip_lbl, fallthrough=eval_lbl)
+            with bb.block(eval_lbl):
+                cont = bb.new_label("cont")
+                bb.call("evaluate", fallthrough=cont)
+                with bb.block(cont):
+                    bb.add("r16", "r16", "r2")
+                    bb.jump(skip_lbl)
+            bb.open_block(skip_lbl)
+
+        counted_loop_imm(b, "r1", 0, moves, move, stem="move")
+        b.store("r16", "r0", 900)
+        b.store("r17", "r0", 901)
+        b.halt()
+
+    program = b.build()
+    rng = _host_lcg(77)
+    fill_words(program, board_base, [rng() % 3 for _ in range(board_cells)])
+    return program
+
+
+@register("m88ksim", "int", "fetch/decode/dispatch CPU interpreter")
+def build_m88ksim(scale: float = 1.0) -> Program:
+    steps = max(1, int(1100 * scale))
+    imem_base, imem_size = 2000, 512
+    regs_base = 3500  # 32 simulated registers
+    dmem_base = 4000  # simulated data memory (256 words)
+    b = IRBuilder()
+
+    with b.function("main"):
+        b.li("r16", 0)  # simulated PC
+        b.li("r17", 0)  # cycle counter
+
+        def step(bb: IRBuilder) -> None:
+            # fetch
+            bb.remi("r8", "r16", imem_size)
+            bb.addi("r8", "r8", imem_base)
+            bb.load("r9", "r8", 0)  # packed instruction word
+            bb.addi("r16", "r16", 1)
+            # decode
+            bb.andi("r10", "r9", 7)        # opcode
+            bb.shr("r11", "r9", 3)
+            bb.andi("r11", "r11", 31)      # rs
+            bb.shr("r12", "r9", 8)
+            bb.andi("r12", "r12", 31)      # rt
+            bb.addi("r13", "r11", regs_base)
+            bb.load("r14", "r13", 0)       # rs value
+            bb.addi("r15", "r12", regs_base)
+
+            def op_add(cb: IRBuilder) -> None:
+                cb.load("r18", "r15", 0)
+                cb.add("r18", "r18", "r14")
+                cb.store("r18", "r15", 0)
+
+            def op_sub(cb: IRBuilder) -> None:
+                cb.load("r18", "r15", 0)
+                cb.sub("r18", "r18", "r14")
+                cb.store("r18", "r15", 0)
+
+            def op_logic(cb: IRBuilder) -> None:
+                cb.load("r18", "r15", 0)
+                cb.xor("r18", "r18", "r14")
+                cb.andi("r18", "r18", 0xFFFF)
+                cb.store("r18", "r15", 0)
+
+            def op_load(cb: IRBuilder) -> None:
+                cb.andi("r18", "r14", 255)
+                cb.addi("r18", "r18", dmem_base)
+                cb.load("r19", "r18", 0)
+                cb.store("r19", "r15", 0)
+
+            def op_store(cb: IRBuilder) -> None:
+                cb.load("r18", "r15", 0)
+                cb.andi("r19", "r14", 255)
+                cb.addi("r19", "r19", dmem_base)
+                cb.store("r18", "r19", 0)
+
+            def op_branch(cb: IRBuilder) -> None:
+                cb.slti("r18", "r14", 1 << 29)
+
+                def taken(tb: IRBuilder) -> None:
+                    tb.shr("r19", "r9", 13)
+                    tb.andi("r19", "r19", 63)
+                    tb.add("r16", "r16", "r19")
+
+                if_then_else(cb, "r18", taken, stem="brsim")
+
+            switch_chain(
+                bb, "r10",
+                [op_add, op_sub, op_logic, op_load, op_store, op_branch],
+                stem="op",
+            )
+            bb.addi("r17", "r17", 1)
+
+        counted_loop_imm(b, "r1", 0, steps, step, stem="sim")
+        b.store("r17", "r0", 900)
+        b.halt()
+
+    program = b.build()
+    rng = _host_lcg(424242)
+    fill_words(program, imem_base, [rng() for _ in range(imem_size)])
+    fill_words(program, regs_base, [rng() % 1000 for _ in range(32)])
+    fill_words(program, dmem_base, [rng() % 5000 for _ in range(256)])
+    return program
+
+
+@register("cc", "int", "token-driven parser with stack and bump allocator")
+def build_cc(scale: float = 1.0) -> Program:
+    tokens = max(1, int(900 * scale))
+    token_base = 2000
+    stack_base = 6000
+    heap_base = 8000
+    b = IRBuilder()
+
+    with b.function("make_node"):
+        # Tiny constructor: absorbable under CALL_THRESH.
+        b.store("r4", "r5", 0)   # kind
+        b.store("r6", "r5", 1)   # payload
+        b.store("r0", "r5", 2)   # link
+        b.addi("r2", "r5", 0)
+        b.ret()
+
+    with b.function("main"):
+        b.li("r16", stack_base)  # parse stack pointer
+        b.li("r17", heap_base)   # bump allocator
+        b.li("r18", 0)           # node count
+        b.li("r19", 0)           # error count
+
+        def consume(bb: IRBuilder) -> None:
+            bb.addi("r8", "r1", token_base)
+            bb.load("r9", "r8", 0)  # token kind in [0, 6)
+
+            def t_ident(cb: IRBuilder) -> None:
+                cb.mov("r4", "r9")
+                cb.mov("r5", "r17")
+                cb.addi("r17", "r17", 4)
+                cb.mov("r6", "r1")
+                cont = cb.new_label("cc_cont")
+                cb.call("make_node", fallthrough=cont)
+                cb.open_block(cont)
+                cb.store("r2", "r16", 0)
+                cb.addi("r16", "r16", 1)
+                cb.addi("r18", "r18", 1)
+
+            def t_number(cb: IRBuilder) -> None:
+                cb.muli("r10", "r9", 3)
+                cb.add("r10", "r10", "r1")
+                cb.store("r10", "r16", 0)
+                cb.addi("r16", "r16", 1)
+
+            def t_binop(cb: IRBuilder) -> None:
+                cb.slti("r11", "r16", stack_base + 2)
+
+                def underflow(ub: IRBuilder) -> None:
+                    ub.addi("r19", "r19", 1)
+
+                def reduce(ub: IRBuilder) -> None:
+                    ub.subi("r16", "r16", 1)
+                    ub.load("r12", "r16", 0)
+                    ub.load("r13", "r16", -1)
+                    ub.add("r12", "r12", "r13")
+                    ub.store("r12", "r16", -1)
+
+                if_then_else(cb, "r11", underflow, reduce, stem="binop")
+
+            def t_lparen(cb: IRBuilder) -> None:
+                cb.li("r12", -1)
+                cb.store("r12", "r16", 0)
+                cb.addi("r16", "r16", 1)
+
+            def t_rparen(cb: IRBuilder) -> None:
+                # Pop until the matching marker (short, variable loop).
+                head = cb.new_label("pop_head")
+                body = cb.new_label("pop_body")
+                out = cb.new_label("pop_out")
+                cb.jump(head)
+                with cb.block(head):
+                    cb.slti("r11", "r16", stack_base + 1)
+                    cb.bnez("r11", out, fallthrough=body)
+                with cb.block(body):
+                    cb.subi("r16", "r16", 1)
+                    cb.load("r12", "r16", 0)
+                    cb.seqi("r13", "r12", -1)
+                    cb.beqz("r13", head, fallthrough=out)
+                cb.open_block(out)
+
+            def t_other(cb: IRBuilder) -> None:
+                cb.addi("r19", "r19", 1)
+                cb.andi("r11", "r9", 3)
+                cb.add("r18", "r18", "r11")
+
+            switch_chain(
+                bb, "r9",
+                [t_ident, t_number, t_binop, t_lparen, t_rparen, t_other],
+                stem="tok",
+            )
+
+        counted_loop_imm(b, "r1", 0, tokens, consume, stem="parse")
+        b.store("r18", "r0", 900)
+        b.store("r19", "r0", 901)
+        b.halt()
+
+    program = b.build()
+    rng = _host_lcg(99)
+    # Skewed token mix, as in real source text: identifiers and
+    # numbers dominate, stray tokens are rare.
+    mix = [0] * 6 + [1] * 5 + [2] * 2 + [3, 4, 5]
+    fill_words(program, token_base, [mix[rng() % 16] for _ in range(tokens)])
+    return program
+
+
+@register("compress", "int", "LZW-style hashing with a short probe loop")
+def build_compress(scale: float = 1.0) -> Program:
+    length = max(1, int(600 * scale))
+    input_base = 2000
+    table_base = 12000  # 512 entries of (key, code)
+    table_mask = 511
+    b = IRBuilder()
+
+    with b.function("main"):
+        b.li("r16", 0)    # prev code
+        b.li("r17", 256)  # next free code
+        b.li("r18", 0)    # output count
+        b.li("r20", 0)    # running checksum (independent of the chain)
+
+        def step(bb: IRBuilder) -> None:
+            bb.addi("r8", "r1", input_base)
+            bb.load("r9", "r8", 0)          # next byte
+            # Bit-packing bookkeeping: depends only on the input byte
+            # and the loop index, so it overlaps the hash chain.
+            bb.muli("r21", "r9", 31)
+            bb.xor("r20", "r20", "r21")
+            bb.andi("r22", "r1", 255)
+            bb.addi("r22", "r22", input_base + 2048)
+            bb.store("r9", "r22", 0)
+            bb.shl("r10", "r16", 8)
+            bb.or_("r10", "r10", "r9")      # pair key
+            bb.muli("r11", "r10", 2654435761)
+            bb.shr("r11", "r11", 16)
+            bb.andi("r11", "r11", table_mask)
+            # Short linear-probe loop (the unrolling candidate).
+            head = bb.new_label("probe_head")
+            hit = bb.new_label("probe_hit")
+            miss = bb.new_label("probe_miss")
+            out = bb.new_label("probe_out")
+            bb.li("r12", 0)                 # probe count
+            bb.jump(head)
+            with bb.block(head):
+                bb.add("r13", "r11", "r12")
+                bb.andi("r13", "r13", table_mask)
+                bb.shl("r13", "r13", 1)
+                bb.addi("r13", "r13", table_base)
+                bb.load("r14", "r13", 0)    # stored key
+                bb.seq("r15", "r14", "r10")
+                bb.bnez("r15", hit, fallthrough=miss)
+            with bb.block(miss):
+                bb.addi("r12", "r12", 1)
+                bb.slti("r15", "r12", 4)
+                bb.bnez("r15", head, fallthrough=out)
+            with bb.block(hit):
+                bb.load("r16", "r13", 1)    # chain: prev = stored code
+                bb.jump(out)
+            bb.open_block(out)
+            # On miss (probe exhausted, r15 == 0): emit + insert.
+            bb.seqi("r15", "r12", 4)
+
+            def emit(cb: IRBuilder) -> None:
+                cb.store("r16", "r0", 950)  # "output" the prev code
+                cb.addi("r18", "r18", 1)
+                cb.store("r10", "r13", 0)   # insert at last probe slot
+                cb.store("r17", "r13", 1)
+                cb.addi("r17", "r17", 1)
+                cb.mov("r16", "r9")
+
+            if_then_else(bb, "r15", emit, stem="emit")
+
+        counted_loop_imm(b, "r1", 0, length, step, stem="comp")
+        b.store("r18", "r0", 900)
+        b.store("r20", "r0", 902)
+        b.halt()
+
+    program = b.build()
+    rng = _host_lcg(1234)
+    # Skewed byte distribution: repeats make the hash chains hit.
+    fill_words(program, input_base, [(rng() >> 5) % 17 for _ in range(length)])
+    return program
+
+
+@register("li", "int", "recursive expression-tree interpreter")
+def build_li(scale: float = 1.0) -> Program:
+    # Complete binary tree of height h: nodes stored as 4 words
+    # [op, left_addr, right_addr, value].
+    height = 9 if scale >= 1.0 else max(4, int(9 * scale))
+    repeats = max(1, round(2 * max(scale, 0.25)))
+    tree_base = 8000
+    stack_base = 30000
+    b = IRBuilder()
+
+    with b.function("eval"):
+        # r4 = node address; result in r2; explicit memory stack (r25).
+        b.load("r8", "r4", 0)  # op
+
+        leaf = b.new_label("leaf")
+        inner = b.new_label("inner")
+        b.beqz("r8", leaf, fallthrough=inner)
+        with b.block(leaf):
+            b.load("r2", "r4", 3)
+            b.ret()
+        with b.block(inner):
+            b.store("r4", "r25", 0)
+            b.addi("r25", "r25", 1)
+            b.load("r4", "r4", 1)  # left child
+            left_done = b.new_label("left_done")
+            b.call("eval", fallthrough=left_done)
+        with b.block(left_done):
+            b.load("r9", "r25", -1)   # node
+            b.store("r2", "r25", 0)   # push left result
+            b.addi("r25", "r25", 1)
+            b.load("r4", "r9", 2)     # right child
+            right_done = b.new_label("right_done")
+            b.call("eval", fallthrough=right_done)
+        with b.block(right_done):
+            b.subi("r25", "r25", 1)
+            b.load("r10", "r25", 0)   # left result
+            b.subi("r25", "r25", 1)
+            b.load("r9", "r25", 0)    # node
+            b.load("r8", "r9", 0)     # op again
+
+            def c_add(cb: IRBuilder) -> None:
+                cb.add("r2", "r10", "r2")
+
+            def c_sub(cb: IRBuilder) -> None:
+                cb.sub("r2", "r10", "r2")
+
+            def c_min(cb: IRBuilder) -> None:
+                cb.slt("r11", "r10", "r2")
+
+                def pick_left(pb: IRBuilder) -> None:
+                    pb.mov("r2", "r10")
+
+                if_then_else(cb, "r11", pick_left, stem="min")
+
+            switch_chain(b, "r8", [c_add, c_add, c_sub, c_min], stem="comb")
+            b.ret()
+
+    with b.function("main"):
+        b.li("r25", stack_base)
+        b.li("r17", 0)
+
+        def run(bb: IRBuilder) -> None:
+            bb.li("r4", tree_base)
+            done = bb.new_label("eval_done")
+            bb.call("eval", fallthrough=done)
+            bb.open_block(done)
+            bb.add("r17", "r17", "r2")
+
+        counted_loop_imm(b, "r1", 0, repeats, run, stem="rep")
+        b.store("r17", "r0", 900)
+        b.halt()
+
+    program = b.build()
+    # Lay out the complete tree breadth-first.
+    rng = _host_lcg(555)
+    n_nodes = (1 << height) - 1
+    first_leaf = (1 << (height - 1)) - 1
+    for i in range(n_nodes):
+        addr = tree_base + 4 * i
+        if i >= first_leaf:
+            program.memory_image[addr] = 0
+            program.memory_image[addr + 3] = rng() % 100
+        else:
+            program.memory_image[addr] = 1 + rng() % 3
+            program.memory_image[addr + 1] = tree_base + 4 * (2 * i + 1)
+            program.memory_image[addr + 2] = tree_base + 4 * (2 * i + 2)
+            program.memory_image[addr + 3] = 0
+    return program
+
+
+@register("ijpeg", "int", "blocked 8x8 transform with regular inner loops")
+def build_ijpeg(scale: float = 1.0) -> Program:
+    blocks = max(1, int(24 * scale))  # number of 8x8 blocks processed
+    image_base = 2000
+    out_base = 20000
+    quant_base = 40000
+    b = IRBuilder()
+
+    with b.function("main"):
+        b.li("r16", 0)  # nonzero coefficient count
+
+        def per_block(bb: IRBuilder) -> None:
+            bb.muli("r17", "r1", 64)  # block offset
+
+            def per_row(rb: IRBuilder) -> None:
+                # 1D transform along the row: accumulate 8 taps.
+                rb.muli("r18", "r2", 8)
+                rb.add("r18", "r18", "r17")
+                rb.li("r19", 0)  # accumulator
+
+                def tap(tb: IRBuilder) -> None:
+                    tb.add("r8", "r18", "r3")
+                    tb.addi("r8", "r8", image_base)
+                    tb.load("r9", "r8", 0)
+                    tb.addi("r10", "r3", 1)
+                    tb.mul("r9", "r9", "r10")
+                    tb.add("r19", "r19", "r9")
+
+                counted_loop_imm(rb, "r3", 0, 8, tap, stem="tap",
+                                 bound_reg="r24")
+                # Quantise and store the row coefficient.
+                rb.addi("r8", "r2", quant_base)
+                rb.load("r9", "r8", 0)
+                rb.div("r10", "r19", "r9")
+                rb.add("r11", "r18", "r2")
+                rb.addi("r11", "r11", out_base)
+                rb.store("r10", "r11", 0)
+
+                def count_nz(cb: IRBuilder) -> None:
+                    cb.addi("r16", "r16", 1)
+
+                rb.sne("r12", "r10", "r0")
+                if_then_else(rb, "r12", count_nz, stem="nz")
+
+            counted_loop_imm(bb, "r2", 0, 8, per_row, stem="row",
+                             bound_reg="r29")
+
+        counted_loop_imm(b, "r1", 0, blocks, per_block, stem="blk")
+        b.store("r16", "r0", 900)
+        b.halt()
+
+    program = b.build()
+    rng = _host_lcg(31415)
+    fill_words(program, image_base, [rng() % 256 for _ in range(blocks * 64)])
+    fill_words(program, quant_base, [3 + (i % 13) for i in range(8)])
+    return program
+
+
+@register("perl", "int", "opcode dispatch with hash table and string loops")
+def build_perl(scale: float = 1.0) -> Program:
+    ops = max(1, int(700 * scale))
+    ops_base = 2000
+    hash_base = 10000  # 256 buckets of (key, value)
+    str_base = 14000
+    b = IRBuilder()
+
+    with b.function("intern"):
+        # Tiny symbol hash: absorbable under CALL_THRESH.
+        b.muli("r2", "r4", 2654435761)
+        b.shr("r2", "r2", 20)
+        b.andi("r2", "r2", 255)
+        b.ret()
+
+    with b.function("main"):
+        b.li("r16", 0)  # value accumulator
+        b.li("r17", 0)  # defined-count
+
+        def dispatch(bb: IRBuilder) -> None:
+            bb.addi("r8", "r1", ops_base)
+            bb.load("r9", "r8", 0)   # packed op
+            bb.andi("r10", "r9", 3)  # opcode in [0, 4)
+            bb.shr("r11", "r9", 2)   # operand
+
+            def op_set(cb: IRBuilder) -> None:
+                cb.mov("r4", "r11")
+                cont = cb.new_label("perl_cont")
+                cb.call("intern", fallthrough=cont)
+                cb.open_block(cont)
+                cb.shl("r12", "r2", 1)
+                cb.addi("r12", "r12", hash_base)
+                cb.store("r11", "r12", 0)
+                cb.store("r16", "r12", 1)
+                cb.addi("r17", "r17", 1)
+
+            def op_get(cb: IRBuilder) -> None:
+                cb.mov("r4", "r11")
+                cont = cb.new_label("perl_cont")
+                cb.call("intern", fallthrough=cont)
+                cb.open_block(cont)
+                cb.shl("r12", "r2", 1)
+                cb.addi("r12", "r12", hash_base)
+                cb.load("r13", "r12", 0)
+                cb.seq("r14", "r13", "r11")
+
+                def hit(hb: IRBuilder) -> None:
+                    hb.load("r15", "r12", 1)
+                    hb.add("r16", "r16", "r15")
+
+                def miss(hb: IRBuilder) -> None:
+                    hb.subi("r16", "r16", 1)
+
+                if_then_else(cb, "r14", hit, miss, stem="lookup")
+
+            def op_string(cb: IRBuilder) -> None:
+                # Walk a short "string" (4-11 chars) summing chars.
+                cb.andi("r12", "r11", 7)
+                cb.addi("r12", "r12", 4)
+
+                def ch(sb: IRBuilder) -> None:
+                    sb.addi("r13", "r3", str_base)
+                    sb.load("r14", "r13", 0)
+                    sb.add("r16", "r16", "r14")
+
+                counted_loop(cb, "r3", 0, "r12", ch, stem="str")
+
+            def op_arith(cb: IRBuilder) -> None:
+                cb.muli("r12", "r11", 3)
+                cb.addi("r12", "r12", 7)
+                cb.remi("r12", "r12", 1000)
+                cb.add("r16", "r16", "r12")
+
+            switch_chain(bb, "r10", [op_set, op_get, op_string, op_arith],
+                         stem="perlop")
+
+        counted_loop_imm(b, "r1", 0, ops, dispatch, stem="interp")
+        b.store("r16", "r0", 900)
+        b.store("r17", "r0", 901)
+        b.halt()
+
+    program = b.build()
+    rng = _host_lcg(2718)
+    fill_words(program, ops_base, [rng() % 4096 for _ in range(ops)])
+    fill_words(program, str_base, [32 + rng() % 96 for _ in range(16)])
+    return program
+
+
+@register("vortex", "int", "record store with binary search and updates")
+def build_vortex(scale: float = 1.0) -> Program:
+    n_records = 256
+    lookups = max(1, int(260 * scale))
+    index_base = 5000            # sorted keys
+    records_base = 10000         # 8 words per record
+    b = IRBuilder()
+
+    with b.function("update_record"):
+        # Medium-sized transaction body: NOT absorbable (~35 dyn insts).
+        b.load("r8", "r4", 2)
+        b.addi("r8", "r8", 1)
+        b.store("r8", "r4", 2)      # bump version
+        b.load("r9", "r4", 3)
+        b.add("r9", "r9", "r5")
+        b.store("r9", "r4", 3)      # add amount
+        b.load("r10", "r4", 4)
+        b.load("r11", "r4", 5)
+        b.add("r12", "r10", "r11")
+        b.store("r12", "r4", 6)     # recompute checksum
+        b.slti("r13", "r9", 0)
+
+        def clamp(cb: IRBuilder) -> None:
+            cb.store("r0", "r4", 3)
+            cb.li("r2", 0)
+            cb.ret()
+
+        def ok(cb: IRBuilder) -> None:
+            cb.li("r2", 1)
+            cb.ret()
+
+        neg = b.new_label("neg")
+        pos = b.new_label("pos")
+        b.bnez("r13", neg, fallthrough=pos)
+        with b.block(neg):
+            clamp(b)
+        with b.block(pos):
+            ok(b)
+
+    with b.function("main"):
+        lcg_seed(b, "r26", 867)
+        b.li("r16", 0)  # found count
+        b.li("r17", 0)  # committed count
+
+        def transact(bb: IRBuilder) -> None:
+            lcg_next(bb, "r8", "r26")
+            bb.remi("r9", "r8", n_records * 2)  # probe key (half miss)
+            # Audit-trail bookkeeping: independent of the search chain.
+            bb.andi("r18", "r8", 127)
+            bb.addi("r18", "r18", records_base + n_records * 8)
+            bb.load("r19", "r18", 0)
+            bb.addi("r19", "r19", 1)
+            bb.store("r19", "r18", 0)
+            bb.shr("r20", "r8", 3)
+            bb.xor("r21", "r20", "r9")
+            bb.andi("r21", "r21", 1023)
+            # Binary search over the sorted index.
+            bb.li("r10", 0)                 # lo
+            bb.li("r11", n_records)         # hi
+            head = bb.new_label("bs_head")
+            body = bb.new_label("bs_body")
+            go_lo = bb.new_label("bs_lo")
+            go_hi = bb.new_label("bs_hi")
+            out = bb.new_label("bs_out")
+            bb.jump(head)
+            with bb.block(head):
+                bb.slt("r12", "r10", "r11")
+                bb.beqz("r12", out, fallthrough=body)
+            with bb.block(body):
+                bb.add("r13", "r10", "r11")
+                bb.shr("r13", "r13", 1)     # mid
+                bb.addi("r14", "r13", index_base)
+                bb.load("r15", "r14", 0)
+                bb.slt("r12", "r15", "r9")
+                bb.bnez("r12", go_lo, fallthrough=go_hi)
+            with bb.block(go_lo):
+                bb.addi("r10", "r13", 1)
+                bb.jump(head)
+            with bb.block(go_hi):
+                bb.mov("r11", "r13")
+                bb.jump(head)
+            bb.open_block(out)
+            # Validate the hit.
+            bb.addi("r14", "r10", index_base)
+            bb.load("r15", "r14", 0)
+            bb.seq("r12", "r15", "r9")
+
+            def found(cb: IRBuilder) -> None:
+                cb.addi("r16", "r16", 1)
+                cb.muli("r4", "r10", 8)
+                cb.addi("r4", "r4", records_base)
+                cb.andi("r5", "r8", 63)
+                cont = cb.new_label("vx_cont")
+                cb.call("update_record", fallthrough=cont)
+                cb.open_block(cont)
+                cb.add("r17", "r17", "r2")
+
+            if_then_else(bb, "r12", found, stem="found")
+
+        counted_loop_imm(b, "r1", 0, lookups, transact, stem="txn")
+        b.store("r16", "r0", 900)
+        b.store("r17", "r0", 901)
+        b.halt()
+
+    program = b.build()
+    rng = _host_lcg(4242)
+    keys = sorted(rng() % (n_records * 2) for _ in range(n_records))
+    fill_words(program, index_base, keys)
+    record_words = []
+    for i in range(n_records):
+        record_words.extend(
+            [keys[i], i, 0, rng() % 500, rng() % 97, rng() % 89, 0, 0]
+        )
+    fill_words(program, records_base, record_words)
+    return program

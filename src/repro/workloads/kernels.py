@@ -1,0 +1,230 @@
+"""Reusable IR-emission helpers for the synthetic benchmarks.
+
+All helpers emit into an :class:`~repro.ir.builder.IRBuilder` whose
+current block is open, and leave a (possibly different) block open on
+return, so they compose sequentially.  Structured-control helpers take
+callables that emit their bodies under the same contract.
+
+Register conventions used by the workloads:
+
+* ``r1``–``r3``: loop counters (outer to inner)
+* ``r4``–``r7`` / ``f4``–``f7``: call arguments; ``r2`` / ``f2`` results
+* ``r8``–``r15`` / ``f8``–``f11``: scratch
+* ``r16``–``r25`` / ``f12``–``f15``: benchmark state
+* ``r26``–``r28``: LCG pseudo-random state
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Optional, Sequence
+
+from repro.ir.builder import IRBuilder
+
+BodyFn = Callable[[IRBuilder], None]
+
+LCG_MULTIPLIER = 1103515245
+LCG_INCREMENT = 12345
+LCG_MASK = 0x7FFFFFFF
+
+
+#: named input sets: each offsets every data seed, giving the same
+#: static program different (deterministic) input data — the "train"
+#: set profiles task selection, the "ref" set is measured, mirroring
+#: SPEC95 methodology.
+INPUT_SETS = {"ref": 0, "train": 0x5EED1, "alt": 0xA17B3}
+
+_active_input_offset = 0
+
+
+@contextlib.contextmanager
+def input_set(name: str):
+    """Activate a named input set for workload builders (context)."""
+    global _active_input_offset
+    if name not in INPUT_SETS:
+        known = ", ".join(sorted(INPUT_SETS))
+        raise KeyError(f"unknown input set {name!r}; known: {known}")
+    previous = _active_input_offset
+    _active_input_offset = INPUT_SETS[name]
+    try:
+        yield
+    finally:
+        _active_input_offset = previous
+
+
+def host_lcg(seed: int) -> Callable[[], int]:
+    """A Python-side LCG matching the in-program generator.
+
+    Used to fill deterministic input data into program memory images;
+    the active :func:`input_set` perturbs the stream so the same
+    static program gets different data.
+    """
+    state = (seed + _active_input_offset) & LCG_MASK
+
+    def step() -> int:
+        nonlocal state
+        state = (state * LCG_MULTIPLIER + LCG_INCREMENT) & LCG_MASK
+        return state
+
+    return step
+
+
+def fill_words(program, base: int, values) -> None:
+    """Place input data into the program's initial memory image."""
+    for offset, value in enumerate(values):
+        program.memory_image[base + offset] = value
+
+
+def lcg_seed(b: IRBuilder, state_reg: str, seed: int) -> None:
+    """Initialise the in-program pseudo-random generator."""
+    b.li(state_reg, seed & LCG_MASK)
+
+
+def lcg_next(b: IRBuilder, dst: str, state_reg: str, scratch: str = "r28") -> None:
+    """Advance the LCG; leave the new 31-bit state in ``dst`` and
+    ``state_reg``.
+
+    Used to generate data-dependent, hard-to-predict branch conditions
+    (the integer benchmarks' irregular control flow).
+    """
+    b.muli(scratch, state_reg, LCG_MULTIPLIER)
+    b.addi(scratch, scratch, LCG_INCREMENT)
+    b.andi(state_reg, scratch, LCG_MASK)
+    if dst != state_reg:
+        b.mov(dst, state_reg)
+
+
+def counted_loop(
+    b: IRBuilder,
+    var: str,
+    start: int,
+    bound: str,
+    body: BodyFn,
+    step: int = 1,
+    stem: str = "loop",
+) -> None:
+    """Emit ``for (var = start; var < bound; var += step) body``.
+
+    ``bound`` is a register holding the (exclusive) limit.  The body
+    runs at least zero times (the condition is tested before entry).
+    """
+    head = b.new_label(f"{stem}_head")
+    body_lbl = b.new_label(f"{stem}_body")
+    exit_lbl = b.new_label(f"{stem}_exit")
+    b.li(var, start)
+    b.jump(head)
+    with b.block(head):
+        b.slt("r31", var, bound)
+        b.beqz("r31", exit_lbl, fallthrough=body_lbl)
+    with b.block(body_lbl):
+        body(b)
+        b.addi(var, var, step)
+        b.jump(head)
+    b.open_block(exit_lbl)
+
+
+def counted_loop_imm(
+    b: IRBuilder,
+    var: str,
+    start: int,
+    bound: int,
+    body: BodyFn,
+    step: int = 1,
+    stem: str = "loop",
+    bound_reg: str = "r30",
+) -> None:
+    """:func:`counted_loop` with an immediate bound."""
+    b.li(bound_reg, bound)
+    counted_loop(b, var, start, bound_reg, body, step=step, stem=stem)
+
+
+def if_then_else(
+    b: IRBuilder,
+    cond: str,
+    then_body: BodyFn,
+    else_body: Optional[BodyFn] = None,
+    stem: str = "if",
+) -> None:
+    """Emit ``if (cond != 0) then_body else else_body`` (diamond)."""
+    then_lbl = b.new_label(f"{stem}_then")
+    join_lbl = b.new_label(f"{stem}_join")
+    if else_body is not None:
+        else_lbl = b.new_label(f"{stem}_else")
+        b.bnez(cond, then_lbl, fallthrough=else_lbl)
+        with b.block(else_lbl):
+            else_body(b)
+            b.jump(join_lbl)
+    else:
+        b.bnez(cond, then_lbl, fallthrough=join_lbl)
+    with b.block(then_lbl):
+        then_body(b)
+        b.jump(join_lbl)
+    b.open_block(join_lbl)
+
+
+def switch_chain(
+    b: IRBuilder,
+    selector: str,
+    cases: Sequence[BodyFn],
+    scratch: str = "r31",
+    stem: str = "case",
+) -> None:
+    """Emit an if-else chain dispatching ``selector`` over ``cases``.
+
+    ``selector`` must hold a value in ``[0, len(cases))``; the last
+    case is the default.  This is the decode/dispatch idiom of the
+    interpreter-style integer benchmarks.
+    """
+    join_lbl = b.new_label(f"{stem}_join")
+    for i, case in enumerate(cases[:-1]):
+        case_lbl = b.new_label(f"{stem}_{i}")
+        next_lbl = b.new_label(f"{stem}_next{i}")
+        b.seqi(scratch, selector, i)
+        b.bnez(scratch, case_lbl, fallthrough=next_lbl)
+        with b.block(case_lbl):
+            case(b)
+            b.jump(join_lbl)
+        b.open_block(next_lbl)
+    cases[-1](b)
+    b.jump(join_lbl)
+    b.open_block(join_lbl)
+
+
+def fp_chain(
+    b: IRBuilder,
+    length: int,
+    acc: str = "f12",
+    operand: str = "f8",
+    pattern: Sequence[str] = ("fadd", "fmul"),
+) -> None:
+    """Emit a straight-line chain of ``length`` dependent fp ops.
+
+    Builds the long in-block dependence chains typical of the fp
+    benchmarks (and, with large ``length``, fpppp's giant blocks).
+    """
+    for i in range(length):
+        op = pattern[i % len(pattern)]
+        getattr(b, op)(acc, acc, operand)
+
+
+def store_array_init(
+    b: IRBuilder,
+    base: int,
+    count: int,
+    value_fn: Callable[[IRBuilder, str], None],
+    var: str = "r3",
+    stem: str = "init",
+) -> None:
+    """Emit a loop storing ``count`` generated values at ``base``.
+
+    ``value_fn(b, dst_reg)`` must leave each element's value in
+    ``dst_reg`` (an integer register, or use the fp path by storing an
+    fp register name).
+    """
+
+    def body(bb: IRBuilder) -> None:
+        value_fn(bb, "r8")
+        bb.addi("r9", var, base)
+        bb.store("r8", "r9", 0)
+
+    counted_loop_imm(b, var, 0, count, body, stem=stem)

@@ -1,0 +1,111 @@
+"""Benchmark registry: the 18 synthetic SPEC95 stand-ins.
+
+Integer suite: go, m88ksim, gcc (``cc``), compress, li, ijpeg, perl,
+vortex.  Floating point suite: tomcatv, swim, su2cor, hydro2d, mgrid,
+applu, turb3d, apsi, wave5, fpppp.  Each entry builds a fresh,
+deterministic :class:`~repro.ir.program.Program`; ``scale`` multiplies
+the dominant trip counts for longer or shorter runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.ir.program import Program
+
+BuilderFn = Callable[[float], Program]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A registered synthetic benchmark."""
+
+    name: str
+    suite: str  #: "int" or "fp"
+    description: str
+    builder: BuilderFn
+
+    def build(self, scale: float = 1.0, input_set: str = "ref") -> Program:
+        """Construct a fresh program instance.
+
+        ``input_set`` selects the deterministic input data ("ref",
+        "train", "alt"); the static code is identical across sets —
+        only the initial memory image differs.
+        """
+        from repro.workloads.kernels import input_set as activate
+
+        with activate(input_set):
+            program = self.builder(scale)
+        program.validate()
+        return program
+
+
+_REGISTRY: Dict[str, Benchmark] = {}
+
+
+def register(name: str, suite: str, description: str) -> Callable[[BuilderFn], BuilderFn]:
+    """Decorator registering a builder function under ``name``."""
+
+    def wrap(fn: BuilderFn) -> BuilderFn:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate benchmark {name!r}")
+        _REGISTRY[name] = Benchmark(
+            name=name, suite=suite, description=description, builder=fn
+        )
+        return fn
+
+    return wrap
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a benchmark by name (imports the suite modules lazily)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def all_benchmarks() -> List[Benchmark]:
+    """Every registered benchmark, integer suite first."""
+    _ensure_loaded()
+    return integer_benchmarks() + fp_benchmarks()
+
+
+def integer_benchmarks() -> List[Benchmark]:
+    """The integer suite, in the paper's Figure 5 order."""
+    _ensure_loaded()
+    order = ["cc", "compress", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"]
+    return [_REGISTRY[name] for name in order]
+
+
+def fp_benchmarks() -> List[Benchmark]:
+    """The floating point suite, in the paper's Figure 5 order."""
+    _ensure_loaded()
+    order = [
+        "tomcatv",
+        "su2cor",
+        "swim",
+        "turb3d",
+        "fpppp",
+        "mgrid",
+        "hydro2d",
+        "applu",
+        "apsi",
+        "wave5",
+    ]
+    return [_REGISTRY[name] for name in order]
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    global _loaded
+    if not _loaded:
+        # Importing the suite modules runs their @register decorators.
+        from repro.workloads import floating, integer  # noqa: F401
+
+        _loaded = True

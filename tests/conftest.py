@@ -1,0 +1,119 @@
+"""Shared fixtures: canonical small programs used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import IRBuilder
+
+
+def build_diamond_loop(n: int = 50):
+    """A loop whose body is an if-diamond; the workhorse fixture.
+
+    ``sum`` accumulates +5 on multiples of 3 and +1 otherwise; the
+    result is stored at address 100.
+    """
+    b = IRBuilder()
+    with b.function("main"):
+        b.li("r1", 0)
+        b.li("r2", n)
+        b.li("r3", 0)
+        body = b.new_label("body")
+        then = b.new_label("then")
+        other = b.new_label("other")
+        join = b.new_label("join")
+        done = b.new_label("done")
+        b.jump(body)
+        with b.block(body):
+            b.remi("r9", "r1", 3)
+            b.beqz("r9", then, fallthrough=other)
+        with b.block(then):
+            b.addi("r3", "r3", 5)
+            b.jump(join)
+        with b.block(other):
+            b.addi("r3", "r3", 1)
+        with b.block(join):
+            b.addi("r1", "r1", 1)
+            b.slt("r9", "r1", "r2")
+            b.bnez("r9", body, fallthrough=done)
+        with b.block(done):
+            b.store("r3", "r0", 100)
+            b.halt()
+    return b.build()
+
+
+def build_call_program(callee_size: str = "small"):
+    """main loops calling a helper; ``callee_size`` picks its weight.
+
+    ``small`` helpers (4 instructions) sit under CALL_THRESH and are
+    absorbable; ``large`` helpers contain a 40-iteration loop.
+    """
+    b = IRBuilder()
+    with b.function("helper"):
+        if callee_size == "small":
+            b.addi("r2", "r4", 7)
+            b.ret()
+        else:
+            b.li("r2", 0)
+            loop = b.new_label("hloop")
+            out = b.new_label("hout")
+            b.li("r9", 0)
+            b.jump(loop)
+            with b.block(loop):
+                b.add("r2", "r2", "r9")
+                b.addi("r9", "r9", 1)
+                b.slti("r8", "r9", 40)
+                b.bnez("r8", loop, fallthrough=out)
+            with b.block(out):
+                b.ret()
+    with b.function("main"):
+        b.li("r1", 0)
+        b.li("r16", 0)
+        body = b.new_label("body")
+        cont = b.new_label("cont")
+        done = b.new_label("done")
+        b.jump(body)
+        with b.block(body):
+            b.mov("r4", "r1")
+            b.call("helper", fallthrough=cont)
+        with b.block(cont):
+            b.add("r16", "r16", "r2")
+            b.addi("r1", "r1", 1)
+            b.slti("r9", "r1", 20)
+            b.bnez("r9", body, fallthrough=done)
+        with b.block(done):
+            b.store("r16", "r0", 100)
+            b.halt()
+    return b.build()
+
+
+def build_straightline(length: int = 12):
+    """A single-block program of dependent adds."""
+    b = IRBuilder()
+    with b.function("main"):
+        b.li("r1", 1)
+        for _ in range(length):
+            b.addi("r1", "r1", 1)
+        b.store("r1", "r0", 100)
+        b.halt()
+    return b.build()
+
+
+@pytest.fixture
+def diamond_loop():
+    return build_diamond_loop()
+
+
+@pytest.fixture
+def call_program():
+    return build_call_program("small")
+
+
+@pytest.fixture
+def big_call_program():
+    return build_call_program("large")
+
+
+@pytest.fixture
+def straightline():
+    return build_straightline()

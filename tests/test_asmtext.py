@@ -1,0 +1,148 @@
+"""Round-trip and error tests for the assembly text format."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.ir.asmtext import AsmSyntaxError, parse_program, program_to_text
+from repro.ir.interp import Interpreter, run_program
+from repro.workloads import get_benchmark
+from tests.conftest import (
+    build_call_program,
+    build_diamond_loop,
+    build_straightline,
+)
+from tests.test_property_pipeline import build_random_program, programs
+
+
+def roundtrip(program):
+    return parse_program(program_to_text(program))
+
+
+def final_memory(program):
+    interp = Interpreter(program, max_instructions=500_000)
+    interp.run()
+    return interp.memory
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "build", [build_diamond_loop, build_straightline,
+                  lambda: build_call_program("small"),
+                  lambda: build_call_program("large")]
+    )
+    def test_fixture_programs(self, build):
+        program = build()
+        again = roundtrip(program)
+        assert program_to_text(again) == program_to_text(program)
+        assert final_memory(again) == final_memory(program)
+
+    @pytest.mark.parametrize("name", ["compress", "li", "tomcatv", "fpppp"])
+    def test_benchmarks_roundtrip(self, name):
+        program = get_benchmark(name).build(0.1)
+        again = roundtrip(program)
+        assert program_to_text(again) == program_to_text(program)
+        assert len(run_program(again)) == len(run_program(program))
+
+    def test_memory_image_preserved(self):
+        program = get_benchmark("compress").build(0.1)
+        again = roundtrip(program)
+        assert again.memory_image == program.memory_image
+
+    def test_main_name_preserved(self, diamond_loop):
+        diamond_loop.main_name = "main"
+        text = program_to_text(diamond_loop)
+        assert text.startswith(".main main")
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(stmts=programs())
+    def test_random_programs_roundtrip(self, stmts):
+        program = build_random_program(stmts)
+        again = roundtrip(program)
+        assert program_to_text(again) == program_to_text(program)
+        assert final_memory(again) == final_memory(program)
+
+
+class TestSyntax:
+    def test_comments_and_blank_lines(self):
+        text = """
+.main main
+.func main
+# a full-line comment
+entry:
+    li      r1, #3   ; trailing comment
+    halt
+"""
+        program = parse_program(text)
+        assert program.main.entry.instructions[0].imm == 3
+
+    def test_branch_with_fallthrough(self):
+        text = """
+.func main
+entry:
+    beqz    r1, @a, @b
+a:
+    halt
+b:
+    jump    @a
+"""
+        program = parse_program(text)
+        assert program.main.entry.fallthrough == "b"
+        assert program.main.entry.terminator.target == "a"
+
+    def test_negative_memory_offset(self):
+        text = """
+.func main
+entry:
+    load    r1, [r2 + -4]
+    store   r1, [r2 + 8]
+    halt
+"""
+        program = parse_program(text)
+        load, store, _halt = program.main.entry.instructions
+        assert load.imm == -4
+        assert store.imm == 8
+
+    def test_float_immediate(self):
+        text = """
+.func main
+entry:
+    fli     f1, #0.25
+    halt
+"""
+        program = parse_program(text)
+        assert program.main.entry.instructions[0].imm == 0.25
+
+    def test_memory_directive(self):
+        text = """
+.func main
+entry:
+    halt
+.memory 100 42
+.memory 101 2.5
+"""
+        program = parse_program(text)
+        assert program.memory_image == {100: 42, 101: 2.5}
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmSyntaxError, match="unknown mnemonic"):
+            parse_program(".func main\nentry:\n    frobnicate r1\n    halt\n")
+
+    def test_instruction_outside_block(self):
+        with pytest.raises(AsmSyntaxError, match="outside block"):
+            parse_program(".func main\n    li r1, #1\n")
+
+    def test_label_outside_function(self):
+        with pytest.raises(AsmSyntaxError, match="outside .func"):
+            parse_program("entry:\n    halt\n")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AsmSyntaxError, match="memory operand"):
+            parse_program(".func main\nentry:\n    load r1, r2\n    halt\n")
+
+    def test_validation_still_applies(self):
+        # Parses but fails program validation (unknown jump target).
+        with pytest.raises(ValueError, match="unknown block"):
+            parse_program(".func main\nentry:\n    jump @ghost\n")

@@ -1,0 +1,187 @@
+"""Unit tests for basic blocks, functions, and programs."""
+
+import pytest
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.program import Program
+
+
+def _ins(op, **kw):
+    return Instruction(op, **kw)
+
+
+class TestBasicBlock:
+    def test_fallthrough_only_successors(self):
+        blk = BasicBlock("a", [_ins(Opcode.ADD, dst="r1", srcs=("r1", "r2"))],
+                         fallthrough="b")
+        assert blk.terminator is None
+        assert blk.successor_labels() == ["b"]
+
+    def test_branch_successors_taken_first(self):
+        blk = BasicBlock(
+            "a", [_ins(Opcode.BEQZ, srcs=("r1",), target="t")], fallthrough="f"
+        )
+        assert blk.successor_labels() == ["t", "f"]
+
+    def test_branch_with_same_target_and_fallthrough_dedups(self):
+        blk = BasicBlock(
+            "a", [_ins(Opcode.BNEZ, srcs=("r1",), target="x")], fallthrough="x"
+        )
+        assert blk.successor_labels() == ["x"]
+
+    def test_jump_successor(self):
+        blk = BasicBlock("a", [_ins(Opcode.JUMP, target="t")])
+        assert blk.successor_labels() == ["t"]
+
+    def test_call_successor_is_continuation(self):
+        blk = BasicBlock(
+            "a", [_ins(Opcode.CALL, target="f")], fallthrough="cont"
+        )
+        assert blk.ends_in_call
+        assert blk.successor_labels() == ["cont"]
+
+    def test_ret_and_halt_have_no_successors(self):
+        assert BasicBlock("a", [_ins(Opcode.RET)]).successor_labels() == []
+        assert BasicBlock("a", [_ins(Opcode.HALT)]).successor_labels() == []
+
+    def test_terminator_kind_flags(self):
+        assert BasicBlock("a", [_ins(Opcode.RET)]).ends_in_return
+        assert BasicBlock("a", [_ins(Opcode.HALT)]).ends_in_halt
+
+    def test_validate_rejects_mid_block_control(self):
+        blk = BasicBlock(
+            "a",
+            [_ins(Opcode.JUMP, target="x"),
+             _ins(Opcode.ADD, dst="r1", srcs=("r1", "r1"))],
+        )
+        with pytest.raises(ValueError, match="before terminator"):
+            blk.validate()
+
+    def test_validate_rejects_branch_without_fallthrough(self):
+        blk = BasicBlock("a", [_ins(Opcode.BEQZ, srcs=("r1",), target="t")])
+        with pytest.raises(ValueError, match="without fallthrough"):
+            blk.validate()
+
+    def test_validate_rejects_dangling_block(self):
+        blk = BasicBlock("a", [_ins(Opcode.ADD, dst="r1", srcs=("r1", "r1"))])
+        with pytest.raises(ValueError, match="no terminator"):
+            blk.validate()
+
+    def test_control_transfer_count(self):
+        blk = BasicBlock(
+            "a",
+            [_ins(Opcode.ADD, dst="r1", srcs=("r1", "r1")),
+             _ins(Opcode.JUMP, target="x")],
+        )
+        assert blk.count_control_transfers() == 1
+        assert blk.size == 2
+
+
+class TestFunction:
+    def test_first_block_becomes_entry(self):
+        fn = Function("f")
+        fn.add_block(BasicBlock("start", [_ins(Opcode.RET)]))
+        assert fn.entry_label == "start"
+        assert fn.entry.label == "start"
+
+    def test_duplicate_label_rejected(self):
+        fn = Function("f")
+        fn.add_block(BasicBlock("a", [_ins(Opcode.RET)]))
+        with pytest.raises(ValueError, match="duplicate"):
+            fn.add_block(BasicBlock("a", [_ins(Opcode.RET)]))
+
+    def test_remove_block(self):
+        fn = Function("f")
+        fn.add_block(BasicBlock("a", [_ins(Opcode.RET)]))
+        fn.add_block(BasicBlock("b", [_ins(Opcode.RET)]))
+        fn.remove_block("b")
+        assert not fn.has_block("b")
+        with pytest.raises(ValueError):
+            fn.remove_block("a")  # entry is protected
+
+    def test_callees_lists_repeats(self):
+        fn = Function("f")
+        fn.add_block(
+            BasicBlock("a", [_ins(Opcode.CALL, target="g")], fallthrough="b")
+        )
+        fn.add_block(
+            BasicBlock("b", [_ins(Opcode.CALL, target="g")], fallthrough="c")
+        )
+        fn.add_block(BasicBlock("c", [_ins(Opcode.RET)]))
+        assert fn.callees() == ["g", "g"]
+
+    def test_fresh_label(self):
+        fn = Function("f")
+        fn.add_block(BasicBlock("x", [_ins(Opcode.RET)]))
+        assert fn.fresh_label("x") == "x.1"
+        assert fn.fresh_label("y") == "y"
+
+    def test_validate_rejects_unknown_successor(self):
+        fn = Function("f")
+        fn.add_block(BasicBlock("a", [_ins(Opcode.JUMP, target="ghost")]))
+        with pytest.raises(ValueError, match="unknown block"):
+            fn.validate()
+
+    def test_size_totals_instructions(self):
+        fn = Function("f")
+        fn.add_block(
+            BasicBlock("a", [_ins(Opcode.LI, dst="r1", imm=1)], fallthrough="b")
+        )
+        fn.add_block(BasicBlock("b", [_ins(Opcode.RET)]))
+        assert fn.size == 2
+
+
+class TestProgram:
+    def _tiny(self):
+        prog = Program()
+        fn = Function("main")
+        fn.add_block(
+            BasicBlock(
+                "entry",
+                [_ins(Opcode.LI, dst="r1", imm=1), _ins(Opcode.HALT)],
+            )
+        )
+        prog.add_function(fn)
+        return prog
+
+    def test_pc_assignment_is_dense_and_stable(self):
+        prog = self._tiny()
+        assert prog.pc_of("main", "entry", 0) == 0
+        assert prog.pc_of("main", "entry", 1) == 1
+        assert prog.block_pc(("main", "entry")) == 0
+
+    def test_duplicate_function_rejected(self):
+        prog = self._tiny()
+        with pytest.raises(ValueError, match="duplicate"):
+            prog.add_function(Function("main"))
+
+    def test_validate_missing_main(self):
+        prog = Program()
+        fn = Function("not_main")
+        fn.add_block(BasicBlock("entry", [_ins(Opcode.HALT)]))
+        prog.add_function(fn)
+        with pytest.raises(ValueError, match="entry function"):
+            prog.validate()
+
+    def test_validate_unknown_callee(self):
+        prog = Program()
+        fn = Function("main")
+        fn.add_block(
+            BasicBlock("entry", [_ins(Opcode.CALL, target="ghost")],
+                       fallthrough="end")
+        )
+        fn.add_block(BasicBlock("end", [_ins(Opcode.HALT)]))
+        prog.add_function(fn)
+        with pytest.raises(ValueError, match="unknown"):
+            prog.validate()
+
+    def test_block_lookup_by_id(self):
+        prog = self._tiny()
+        assert prog.block(("main", "entry")).label == "entry"
+
+    def test_invalidate_layout_reassigns(self, diamond_loop):
+        pc_before = diamond_loop.block_pc(("main", "done_5"))
+        diamond_loop.invalidate_layout()
+        assert diamond_loop.block_pc(("main", "done_5")) == pc_before

@@ -1,0 +1,128 @@
+"""Unit tests for the IR builder."""
+
+import pytest
+
+from repro.ir import IRBuilder
+from repro.ir.instructions import Opcode
+
+
+class TestScopes:
+    def test_function_creates_entry_block(self):
+        b = IRBuilder()
+        with b.function("main"):
+            b.halt()
+        prog = b.build()
+        assert prog.main.entry_label == "entry"
+
+    def test_emit_outside_block_fails(self):
+        b = IRBuilder()
+        with pytest.raises(ValueError, match="no block"):
+            b.li("r1", 0)
+
+    def test_emit_after_terminator_fails(self):
+        b = IRBuilder()
+        with b.function("main"):
+            b.halt()
+            with pytest.raises(ValueError, match="no block"):
+                b.li("r1", 0)
+
+    def test_new_labels_are_unique(self):
+        b = IRBuilder()
+        labels = {b.new_label("x") for _ in range(100)}
+        assert len(labels) == 100
+
+
+class TestFallthrough:
+    def test_unterminated_block_falls_into_next(self):
+        b = IRBuilder()
+        with b.function("main"):
+            b.li("r1", 1)
+            nxt = b.new_label("next")
+            with b.block(nxt):
+                b.halt()
+        prog = b.build()
+        assert prog.main.entry.fallthrough == nxt
+
+    def test_branch_block_falls_into_next_when_unset(self):
+        b = IRBuilder()
+        with b.function("main"):
+            target = b.new_label("target")
+            b.beqz("r1", target)
+            ft = b.new_label("ft")
+            with b.block(ft):
+                b.jump(target)
+            with b.block(target):
+                b.halt()
+        prog = b.build()
+        assert prog.main.entry.fallthrough == ft
+
+    def test_explicit_fallthrough_wins(self):
+        b = IRBuilder()
+        with b.function("main"):
+            t = b.new_label("t")
+            other = b.new_label("other")
+            b.beqz("r1", t, fallthrough=other)
+            mid = b.new_label("mid")
+            with b.block(mid):
+                b.jump(other)
+            with b.block(other):
+                b.halt()
+            with b.block(t):
+                b.halt()
+        prog = b.build()
+        assert prog.main.entry.fallthrough == other
+
+    def test_dangling_fallthrough_at_function_end_fails(self):
+        b = IRBuilder()
+        with pytest.raises(ValueError, match="falls off"):
+            with b.function("main"):
+                b.beqz("r1", "nowhere")
+
+
+class TestEmitters:
+    def test_alu_helpers_emit_expected_opcodes(self):
+        b = IRBuilder()
+        with b.function("main"):
+            assert b.add("r1", "r2", "r3").opcode is Opcode.ADD
+            assert b.subi("r1", "r2", 4).opcode is Opcode.SUB
+            assert b.muli("r1", "r2", 4).imm == 4
+            assert b.slt("r1", "r2", "r3").opcode is Opcode.SLT
+            assert b.fadd("f1", "f2", "f3").opcode is Opcode.FADD
+            assert b.cvtfi("r1", "f1").opcode is Opcode.CVTFI
+            b.halt()
+        b.build()
+
+    def test_memory_helpers(self):
+        b = IRBuilder()
+        with b.function("main"):
+            load = b.load("r1", "r2", 8)
+            store = b.store("r1", "r2", -4)
+            b.halt()
+        assert load.srcs == ("r2",) and load.imm == 8
+        assert store.srcs == ("r1", "r2") and store.imm == -4
+
+    def test_call_records_target(self):
+        b = IRBuilder()
+        with b.function("helper"):
+            b.ret()
+        with b.function("main"):
+            cont = b.new_label("cont")
+            call = b.call("helper", fallthrough=cont)
+            with b.block(cont):
+                b.halt()
+        assert call.target == "helper"
+        b.build()
+
+    def test_build_validates_by_default(self):
+        b = IRBuilder()
+        with b.function("main"):
+            b.jump("ghost")
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_build_can_skip_validation(self):
+        b = IRBuilder()
+        with b.function("main"):
+            b.jump("ghost")
+        prog = b.build(validate=False)
+        assert prog.main.entry.terminator.target == "ghost"

@@ -1,0 +1,144 @@
+"""Unit tests for CFG analyses: DFS, dominators, loops, reachability."""
+
+import pytest
+
+from repro.ir import IRBuilder
+from repro.ir.cfg import build_cfg
+from tests.conftest import build_diamond_loop
+
+
+def nested_loop_program():
+    """Two nested counted loops."""
+    b = IRBuilder()
+    with b.function("main"):
+        b.li("r1", 0)
+        outer = b.new_label("outer")
+        inner = b.new_label("inner")
+        inner_exit = b.new_label("inner_exit")
+        done = b.new_label("done")
+        b.jump(outer)
+        with b.block(outer):
+            b.li("r2", 0)
+            b.jump(inner)
+        with b.block(inner):
+            b.addi("r2", "r2", 1)
+            b.slti("r9", "r2", 4)
+            b.bnez("r9", inner, fallthrough=inner_exit)
+        with b.block(inner_exit):
+            b.addi("r1", "r1", 1)
+            b.slti("r9", "r1", 3)
+            b.bnez("r9", outer, fallthrough=done)
+        with b.block(done):
+            b.halt()
+    return b.build()
+
+
+class TestStructure:
+    def test_succs_and_preds_are_consistent(self, diamond_loop):
+        cfg = build_cfg(diamond_loop.main)
+        for src, targets in cfg.succs.items():
+            for dst in targets:
+                assert src in cfg.preds[dst]
+
+    def test_dfs_numbers_start_at_entry(self, diamond_loop):
+        cfg = build_cfg(diamond_loop.main)
+        assert cfg.dfs_num["entry"] == 0
+
+    def test_rpo_entry_first(self, diamond_loop):
+        cfg = build_cfg(diamond_loop.main)
+        assert cfg.rpo[0] == "entry"
+        assert set(cfg.rpo) == set(diamond_loop.main.labels())
+
+    def test_back_edges_of_loop(self, diamond_loop):
+        cfg = build_cfg(diamond_loop.main)
+        assert len(cfg.back_edges) == 1
+        (src, dst), = cfg.back_edges
+        assert dst == "body_1"
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self, diamond_loop):
+        cfg = build_cfg(diamond_loop.main)
+        for label in cfg.rpo:
+            assert cfg.dominates("entry", label)
+
+    def test_branch_arms_do_not_dominate_join(self, diamond_loop):
+        cfg = build_cfg(diamond_loop.main)
+        assert not cfg.dominates("then_2", "join_4")
+        assert not cfg.dominates("other_3", "join_4")
+        assert cfg.dominates("body_1", "join_4")
+
+    def test_idom_is_a_dominator(self, diamond_loop):
+        cfg = build_cfg(diamond_loop.main)
+        for label, idom in cfg.idom.items():
+            if idom is not None:
+                assert cfg.dominates(idom, label)
+
+
+class TestLoops:
+    def test_single_loop_detected(self, diamond_loop):
+        cfg = build_cfg(diamond_loop.main)
+        assert len(cfg.loops) == 1
+        loop = cfg.loops[0]
+        assert loop.header == "body_1"
+        assert {"body_1", "then_2", "other_3", "join_4"} == set(loop.body)
+
+    def test_nested_loops(self):
+        prog = nested_loop_program()
+        cfg = build_cfg(prog.main)
+        assert len(cfg.loops) == 2
+        inner, outer = cfg.loops  # sorted by body size
+        assert inner.body < outer.body
+        assert inner.header in outer.body
+
+    def test_loop_classifiers(self):
+        prog = nested_loop_program()
+        cfg = build_cfg(prog.main)
+        inner, outer = cfg.loops
+        inner_head = inner.header
+        outer_block = next(
+            lbl for lbl in outer.body if lbl not in inner.body
+            and inner_head in cfg.succs[lbl]
+        )
+        exit_block = next(
+            succ for succ in cfg.succs[inner_head] if succ not in inner.body
+        )
+        # outer body -> inner header is a loop entry edge.
+        assert cfg.is_loop_entry_edge(outer_block, inner_head)
+        # inner's exit leaves the inner loop.
+        assert cfg.is_loop_exit_edge(inner_head, exit_block)
+        # back edges are not entry edges.
+        assert not cfg.is_loop_entry_edge(inner_head, inner_head)
+        assert cfg.is_back_edge(inner_head, inner_head)
+        assert cfg.is_loop_header(inner_head)
+        assert cfg.innermost_loop(inner_head).header == inner_head
+        assert cfg.loop_of_header("entry") is None
+
+
+class TestReachability:
+    def test_reachable_between_diamond(self, diamond_loop):
+        cfg = build_cfg(diamond_loop.main)
+        on_path = cfg.reachable_between("body_1", "join_4")
+        assert on_path == {"body_1", "then_2", "other_3", "join_4"}
+
+    def test_reachable_between_excludes_side_paths(self, diamond_loop):
+        cfg = build_cfg(diamond_loop.main)
+        on_path = cfg.reachable_between("then_2", "join_4")
+        assert on_path == {"then_2", "join_4"}
+
+    def test_no_forward_path_returns_empty(self, diamond_loop):
+        cfg = build_cfg(diamond_loop.main)
+        # join -> body is only reachable through the back edge.
+        assert cfg.reachable_between("join_4", "entry") == set()
+
+    def test_unreachable_blocks_tolerated(self):
+        b = IRBuilder()
+        with b.function("main"):
+            b.halt()
+            orphan = b.new_label("orphan")
+            with b.block(orphan):
+                b.halt()
+        prog = b.build()
+        cfg = build_cfg(prog.main)
+        assert orphan not in cfg.rpo
+        assert cfg.succs[orphan] == []

@@ -1,0 +1,83 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "compress"])
+        assert args.benchmark == "compress"
+        assert args.level == "data_dependence"
+        assert args.pus == 4
+        assert not args.in_order
+
+    def test_figure5_options(self):
+        args = build_parser().parse_args(
+            ["figure5", "--benchmarks", "compress,go", "--pus", "8",
+             "--scale", "0.2"]
+        )
+        assert args.benchmarks == "compress,go"
+        assert args.pus == 8
+        assert args.scale == 0.2
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out and "tomcatv" in out
+        assert "[int]" in out and "[fp]" in out
+
+    def test_run(self, capsys):
+        assert main(
+            ["run", "compress", "--level", "control_flow",
+             "--scale", "0.1", "--pus", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "window span" in out
+        assert "2 PUs" in out
+
+    def test_run_in_order(self, capsys):
+        assert main(["run", "compress", "--scale", "0.1", "--in-order"]) == 0
+        assert "in-order" in capsys.readouterr().out
+
+    def test_figure5(self, capsys):
+        assert main(
+            ["figure5", "--benchmarks", "compress", "--pus", "4",
+             "--scale", "0.1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "basic_block" in out
+
+    def test_table1(self, capsys):
+        assert main(
+            ["table1", "--benchmarks", "compress", "--scale", "0.1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "#dyn" in out and "compress" in out
+
+    def test_breakdown(self, capsys):
+        assert main(
+            ["breakdown", "--benchmarks", "compress", "--scale", "0.1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "useful" in out
+
+    def test_centralized(self, capsys):
+        assert main(
+            ["centralized", "--benchmarks", "compress", "--scale", "0.1",
+             "--pus", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "break-even" in out
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "nonexistent", "--scale", "0.1"])

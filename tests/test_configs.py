@@ -1,0 +1,95 @@
+"""Tests of the configuration objects (selection + machine)."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler.heuristics import HeuristicLevel, SelectionConfig
+from repro.sim.config import CacheConfig, ForwardPolicy, SimConfig
+
+
+class TestSelectionConfig:
+    def test_defaults_match_the_paper(self):
+        config = SelectionConfig()
+        assert config.max_targets == 4
+        assert config.call_thresh == 30
+        assert config.loop_thresh == 30
+
+    def test_level_ranks_are_ordered(self):
+        ranks = [level.rank for level in HeuristicLevel]
+        assert ranks == sorted(ranks)
+        assert HeuristicLevel.BASIC_BLOCK.rank < HeuristicLevel.TASK_SIZE.rank
+
+    @pytest.mark.parametrize(
+        "level,multi,dep,size",
+        [
+            (HeuristicLevel.BASIC_BLOCK, False, False, False),
+            (HeuristicLevel.CONTROL_FLOW, True, False, False),
+            (HeuristicLevel.DATA_DEPENDENCE, True, True, False),
+            (HeuristicLevel.TASK_SIZE, True, True, True),
+        ],
+    )
+    def test_flag_derivation(self, level, multi, dep, size):
+        config = SelectionConfig(level=level)
+        assert config.multi_block is multi
+        assert config.use_data_dependence is dep
+        assert config.use_task_size is size
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectionConfig(max_targets=0)
+        with pytest.raises(ValueError):
+            SelectionConfig(max_unroll=0)
+
+    def test_frozen(self):
+        config = SelectionConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.max_targets = 8
+
+
+class TestSimConfig:
+    def test_defaults_match_section_4_2(self):
+        config = SimConfig()
+        assert config.issue_width == 2
+        assert config.rob_size == 16
+        assert config.issue_list_size == 8
+        assert config.int_units == 2
+        assert config.fp_units == 1
+        assert config.sync_table_size == 256
+        assert config.l2.hit_latency == 12
+        assert config.memory_latency == 58
+        assert config.ring_bandwidth == 2
+
+    def test_scaled_for_pus_resizes_l1(self):
+        base = SimConfig()
+        four = base.scaled_for_pus(4)
+        eight = base.scaled_for_pus(8)
+        assert four.l1d.size_bytes == 64 * 1024
+        assert eight.l1d.size_bytes == 128 * 1024
+        assert eight.n_pus == 8
+        # Other parameters carry over.
+        assert eight.rob_size == base.rob_size
+
+    def test_scaled_preserves_overrides(self):
+        base = SimConfig(sync_table_size=0, out_of_order=False)
+        scaled = base.scaled_for_pus(8)
+        assert scaled.sync_table_size == 0
+        assert scaled.out_of_order is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(n_pus=0)
+        with pytest.raises(ValueError):
+            SimConfig(issue_width=0)
+        with pytest.raises(ValueError):
+            SimConfig(rob_size=0)
+
+    def test_cache_sets(self):
+        cache = CacheConfig(size_bytes=64 * 1024, assoc=2, line_bytes=32,
+                            hit_latency=1)
+        assert cache.sets == 1024
+
+    def test_forward_policy_values(self):
+        assert {p.value for p in ForwardPolicy} == {
+            "schedule", "eager", "lazy"
+        }

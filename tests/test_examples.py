@@ -1,0 +1,68 @@
+"""Smoke tests: every shipped example must run cleanly."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=600):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "basic_block" in out
+    assert "task_size" in out
+    assert "IPC" in out
+
+
+def test_custom_workload():
+    out = run_example("custom_workload.py")
+    assert "C[0][0]" in out
+    # The matmul result must validate against the host computation.
+    line = next(ln for ln in out.splitlines() if "C[0][0]" in ln)
+    assert line.split("=")[1].split("(")[0].strip() == \
+        line.split("expected")[1].strip(") \n")
+
+
+def test_heuristic_comparison():
+    out = run_example("heuristic_comparison.py", "applu")
+    assert "cycle breakdown" in out
+    assert "applu" in out
+
+
+def test_scaling_study():
+    out = run_example("scaling_study.py", "hydro2d")
+    assert "hydro2d" in out
+    assert "bb IPC" in out
+
+
+def test_assembly_and_export():
+    out = run_example("assembly_and_export.py")
+    assert "round-trip check: True" in out
+    assert "+absorbed-call" in out
+    assert "digraph partition" in out
+
+
+@pytest.mark.parametrize(
+    "name", ["quickstart.py", "custom_workload.py",
+             "heuristic_comparison.py", "scaling_study.py",
+             "assembly_and_export.py"]
+)
+def test_examples_exist_and_are_documented(name):
+    path = EXAMPLES / name
+    assert path.exists()
+    text = path.read_text()
+    assert text.startswith("#!/usr/bin/env python3")
+    assert '"""' in text

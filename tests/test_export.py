@@ -1,0 +1,73 @@
+"""Tests for partition JSON / DOT exports."""
+
+import json
+
+from repro.compiler import HeuristicLevel, SelectionConfig, select_tasks
+from repro.compiler.export import partition_to_dot, partition_to_json
+from repro.profiling import profile_program
+from tests.conftest import build_diamond_loop
+
+
+def make_partition(level=HeuristicLevel.CONTROL_FLOW):
+    return select_tasks(build_diamond_loop(), SelectionConfig(level=level))
+
+
+class TestJson:
+    def test_valid_json_with_all_tasks(self):
+        part = make_partition()
+        payload = json.loads(partition_to_json(part))
+        assert payload["task_count"] == len(part)
+        assert len(payload["tasks"]) == len(part)
+
+    def test_task_fields(self):
+        part = make_partition()
+        payload = json.loads(partition_to_json(part))
+        loop_task = next(
+            t for t in payload["tasks"] if t["root"] == ["main", "body_1"]
+        )
+        assert loop_task["static_size"] > 0
+        assert ["main", "join_4"] in loop_task["blocks"]
+        assert any("block:main:done_5" in t for t in loop_task["targets"])
+
+    def test_profile_counts_included(self):
+        part = make_partition()
+        profile = profile_program(part.program)
+        payload = json.loads(partition_to_json(part, profile))
+        loop_task = next(
+            t for t in payload["tasks"] if t["root"] == ["main", "body_1"]
+        )
+        assert loop_task["dynamic_block_counts"]["main:body_1"] == 50
+
+    def test_deterministic(self):
+        part = make_partition()
+        assert partition_to_json(part) == partition_to_json(part)
+
+
+class TestDot:
+    def test_structure(self):
+        part = make_partition()
+        dot = partition_to_dot(part)
+        assert dot.startswith("digraph partition {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("subgraph cluster_task") == len(part)
+        assert "style=dashed" in dot  # inter-task edges
+
+    def test_function_filter(self):
+        part = make_partition()
+        dot_all = partition_to_dot(part)
+        dot_main = partition_to_dot(part, function="main")
+        assert dot_main.count("subgraph") == dot_all.count("subgraph")
+        dot_none = partition_to_dot(part, function="ghost")
+        assert "subgraph" not in dot_none
+
+    def test_root_marked_bold(self):
+        part = make_partition()
+        dot = partition_to_dot(part)
+        assert "style=bold" in dot
+
+    def test_quoting_safe(self):
+        part = make_partition()
+        dot = partition_to_dot(part)
+        # Every label is quoted; no bare special characters leak.
+        for line in dot.splitlines():
+            assert "\t" not in line

@@ -1,0 +1,111 @@
+"""Unit tests for the instruction set layer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.instructions import (
+    FP_REGISTER_COUNT,
+    INT_REGISTER_COUNT,
+    Instruction,
+    OpClass,
+    Opcode,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    is_int_reg,
+)
+
+
+class TestRegisters:
+    def test_int_reg_names(self):
+        assert int_reg(0) == "r0"
+        assert int_reg(31) == "r31"
+
+    def test_fp_reg_names(self):
+        assert fp_reg(0) == "f0"
+        assert fp_reg(15) == "f15"
+
+    @pytest.mark.parametrize("index", [-1, INT_REGISTER_COUNT])
+    def test_int_reg_bounds(self, index):
+        with pytest.raises(ValueError):
+            int_reg(index)
+
+    @pytest.mark.parametrize("index", [-1, FP_REGISTER_COUNT])
+    def test_fp_reg_bounds(self, index):
+        with pytest.raises(ValueError):
+            fp_reg(index)
+
+    def test_classifiers(self):
+        assert is_int_reg("r5") and not is_fp_reg("r5")
+        assert is_fp_reg("f3") and not is_int_reg("f3")
+        assert not is_int_reg("x1")
+        assert not is_fp_reg("fx")
+
+
+class TestOpcodeProperties:
+    def test_branch_flags(self):
+        assert Opcode.BEQZ.is_branch and Opcode.BNEZ.is_branch
+        assert not Opcode.JUMP.is_branch
+        assert not Opcode.ADD.is_branch
+
+    def test_control_flags(self):
+        for op in (Opcode.BEQZ, Opcode.BNEZ, Opcode.JUMP, Opcode.CALL,
+                   Opcode.RET, Opcode.HALT):
+            assert op.is_control
+        assert not Opcode.LOAD.is_control
+
+    def test_memory_flags(self):
+        assert Opcode.LOAD.is_memory and Opcode.STORE.is_memory
+        assert not Opcode.ADD.is_memory
+
+    def test_op_classes(self):
+        assert Opcode.ADD.op_class is OpClass.INT
+        assert Opcode.FMUL.op_class is OpClass.FP
+        assert Opcode.LOAD.op_class is OpClass.MEM
+        assert Opcode.BEQZ.op_class is OpClass.BRANCH
+        assert Opcode.CALL.op_class is OpClass.BRANCH
+
+    def test_every_opcode_has_class_and_latency(self):
+        for op in Opcode:
+            assert isinstance(op.op_class, OpClass)
+            assert op.latency >= 1
+
+    def test_latencies_ordering(self):
+        assert Opcode.MUL.latency > Opcode.ADD.latency
+        assert Opcode.DIV.latency > Opcode.MUL.latency
+        assert Opcode.FMUL.latency > Opcode.FADD.latency
+
+
+class TestInstruction:
+    def test_reads_excludes_zero_register(self):
+        ins = Instruction(Opcode.ADD, dst="r1", srcs=("r0", "r2"))
+        assert ins.reads == ("r2",)
+
+    def test_writes_to_zero_discarded(self):
+        ins = Instruction(Opcode.ADD, dst="r0", srcs=("r1", "r2"))
+        assert ins.writes is None
+
+    def test_writes_normal(self):
+        ins = Instruction(Opcode.LI, dst="r4", imm=3)
+        assert ins.writes == "r4"
+
+    def test_srcs_coerced_to_tuple(self):
+        ins = Instruction(Opcode.ADD, dst="r1", srcs=["r2", "r3"])
+        assert ins.srcs == ("r2", "r3")
+
+    def test_str_contains_mnemonic_and_operands(self):
+        ins = Instruction(Opcode.BEQZ, srcs=("r5",), target="loop")
+        text = str(ins)
+        assert "beqz" in text and "r5" in text and "@loop" in text
+
+    def test_instructions_are_hashable_value_objects(self):
+        a = Instruction(Opcode.ADD, dst="r1", srcs=("r2", "r3"))
+        b = Instruction(Opcode.ADD, dst="r1", srcs=("r2", "r3"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    @given(st.sampled_from(list(Opcode)))
+    def test_repr_never_crashes(self, op):
+        ins = Instruction(op, dst="r1", srcs=("r2",), imm=1, target="x")
+        assert op.value in str(ins)

@@ -1,0 +1,109 @@
+"""End-to-end invariants across real benchmarks and all levels.
+
+These are the repository's acceptance tests: a representative subset
+of the SPEC95 stand-ins must flow through compilation, tracing, task
+streaming, and timing simulation at every heuristic level, preserve
+functional results, and reproduce the paper's headline orderings.
+"""
+
+import pytest
+
+from repro.compiler import HeuristicLevel, SelectionConfig, select_tasks
+from repro.experiments import clear_cache, run_benchmark
+from repro.ir.interp import Interpreter
+from repro.workloads import get_benchmark
+
+SUBSET = ["compress", "li", "m88ksim", "tomcatv", "hydro2d"]
+SMALL = 0.15
+LEVELS = list(HeuristicLevel)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.mark.parametrize("name", SUBSET)
+def test_all_levels_preserve_results(name):
+    reference = None
+    for level in LEVELS:
+        part = select_tasks(
+            get_benchmark(name).build(SMALL), SelectionConfig(level=level)
+        )
+        interp = Interpreter(part.program)
+        interp.run()
+        state = sorted(interp.memory.items())
+        if reference is None:
+            reference = state
+        else:
+            assert state == reference, f"{name} diverged at {level}"
+
+
+@pytest.mark.parametrize("name", SUBSET)
+def test_heuristics_beat_basic_blocks(name):
+    # li's effect needs its full-size recursion tree; micro-scale runs
+    # are cold-start dominated.
+    scale = 1.0 if name == "li" else SMALL
+    bb = run_benchmark(name, HeuristicLevel.BASIC_BLOCK, n_pus=4, scale=scale)
+    cf = run_benchmark(name, HeuristicLevel.CONTROL_FLOW, n_pus=4, scale=scale)
+    assert cf.ipc > bb.ipc, (
+        f"{name}: control flow tasks ({cf.ipc:.2f}) must beat basic "
+        f"blocks ({bb.ipc:.2f})"
+    )
+
+
+@pytest.mark.parametrize("name", SUBSET)
+def test_heuristic_tasks_are_larger(name):
+    bb = run_benchmark(name, HeuristicLevel.BASIC_BLOCK, n_pus=4, scale=SMALL)
+    dd = run_benchmark(
+        name, HeuristicLevel.DATA_DEPENDENCE, n_pus=4, scale=SMALL
+    )
+    assert dd.mean_task_size > bb.mean_task_size
+
+
+@pytest.mark.parametrize("name", ["compress", "tomcatv"])
+def test_eight_pus_not_slower_than_four(name):
+    four = run_benchmark(
+        name, HeuristicLevel.DATA_DEPENDENCE, n_pus=4, scale=SMALL
+    )
+    eight = run_benchmark(
+        name, HeuristicLevel.DATA_DEPENDENCE, n_pus=8, scale=SMALL
+    )
+    assert eight.cycles <= four.cycles * 1.02
+
+
+def test_window_span_ordering_matches_paper():
+    """DD window spans exceed BB spans (Table 1's key contrast)."""
+    for name in ("compress", "tomcatv"):
+        bb = run_benchmark(
+            name, HeuristicLevel.BASIC_BLOCK, n_pus=8, scale=SMALL
+        )
+        dd = run_benchmark(
+            name, HeuristicLevel.DATA_DEPENDENCE, n_pus=8, scale=SMALL
+        )
+        assert dd.window_span_formula > bb.window_span_formula
+
+
+def test_fp_benchmark_outscales_int_on_window_span():
+    """FP loop codes build much larger windows than irregular int code."""
+    fp = run_benchmark(
+        "tomcatv", HeuristicLevel.DATA_DEPENDENCE, n_pus=8, scale=SMALL
+    )
+    li = run_benchmark(
+        "li", HeuristicLevel.DATA_DEPENDENCE, n_pus=8, scale=SMALL
+    )
+    assert fp.window_span_formula > li.window_span_formula
+
+
+def test_in_order_gains_more_from_heuristics():
+    """Relative CF/BB gain is at least as large in-order (Section 4.3.1)."""
+    name = "hydro2d"
+    bb_o = run_benchmark(name, HeuristicLevel.BASIC_BLOCK, 4, True, SMALL)
+    cf_o = run_benchmark(name, HeuristicLevel.CONTROL_FLOW, 4, True, SMALL)
+    bb_i = run_benchmark(name, HeuristicLevel.BASIC_BLOCK, 4, False, SMALL)
+    cf_i = run_benchmark(name, HeuristicLevel.CONTROL_FLOW, 4, False, SMALL)
+    gain_ooo = cf_o.ipc / bb_o.ipc
+    gain_ino = cf_i.ipc / bb_i.ipc
+    assert gain_ino >= gain_ooo * 0.9

@@ -1,0 +1,202 @@
+"""Unit and property tests for the functional interpreter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import IRBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.interp import (
+    ExecutionLimitExceeded,
+    Interpreter,
+    run_program,
+    _int_div,
+    _int_rem,
+)
+
+
+def run_snippet(emit, max_instructions=10_000):
+    """Build main = emit(); HALT and return the finished interpreter."""
+    b = IRBuilder()
+    with b.function("main"):
+        emit(b)
+        b.halt()
+    interp = Interpreter(b.build(), max_instructions=max_instructions)
+    trace = interp.run()
+    return interp, trace
+
+
+class TestAluSemantics:
+    @pytest.mark.parametrize(
+        "op,a,c,expected",
+        [
+            ("add", 7, 5, 12),
+            ("sub", 7, 5, 2),
+            ("mul", 7, 5, 35),
+            ("and_", 12, 10, 8),
+            ("or_", 12, 10, 14),
+            ("xor", 12, 10, 6),
+        ],
+    )
+    def test_binary_ops(self, op, a, c, expected):
+        def emit(b):
+            b.li("r1", a)
+            b.li("r2", c)
+            getattr(b, op)("r3", "r1", "r2")
+            b.store("r3", "r0", 50)
+
+        interp, _ = run_snippet(emit)
+        assert interp.memory[50] == expected
+
+    @pytest.mark.parametrize(
+        "a,c,q,r",
+        [(7, 2, 3, 1), (-7, 2, -3, -1), (7, -2, -3, 1), (0, 5, 0, 0)],
+    )
+    def test_div_rem_truncate_toward_zero(self, a, c, q, r):
+        def emit(b):
+            b.li("r1", a)
+            b.li("r2", c)
+            b.div("r3", "r1", "r2")
+            b.rem("r4", "r1", "r2")
+            b.store("r3", "r0", 50)
+            b.store("r4", "r0", 51)
+
+        interp, _ = run_snippet(emit)
+        assert interp.memory[50] == q
+        assert interp.memory[51] == r
+
+    def test_division_by_zero_yields_zero(self):
+        def emit(b):
+            b.li("r1", 9)
+            b.div("r3", "r1", "r0")
+            b.rem("r4", "r1", "r0")
+            b.store("r3", "r0", 50)
+            b.store("r4", "r0", 51)
+
+        interp, _ = run_snippet(emit)
+        assert interp.memory[50] == 0
+        assert interp.memory[51] == 0
+
+    @given(st.integers(-10**6, 10**6), st.integers(-10**3, 10**3))
+    def test_div_rem_identity(self, a, b):
+        if b != 0:
+            assert _int_div(a, b) * b + _int_rem(a, b) == a
+
+    def test_compare_ops(self):
+        def emit(b):
+            b.li("r1", 3)
+            b.li("r2", 5)
+            b.slt("r3", "r1", "r2")
+            b.sle("r4", "r2", "r2")
+            b.seq("r5", "r1", "r2")
+            b.sne("r6", "r1", "r2")
+            for i, reg in enumerate(("r3", "r4", "r5", "r6")):
+                b.store(reg, "r0", 50 + i)
+
+        interp, _ = run_snippet(emit)
+        assert [interp.memory[50 + i] for i in range(4)] == [1, 1, 0, 1]
+
+    def test_shifts(self):
+        def emit(b):
+            b.li("r1", 5)
+            b.shl("r2", "r1", 3)
+            b.shr("r3", "r2", 2)
+            b.store("r2", "r0", 50)
+            b.store("r3", "r0", 51)
+
+        interp, _ = run_snippet(emit)
+        assert interp.memory[50] == 40
+        assert interp.memory[51] == 10
+
+    def test_fp_ops_and_conversions(self):
+        def emit(b):
+            b.fli("f1", 1.5)
+            b.fli("f2", 2.0)
+            b.fmul("f3", "f1", "f2")
+            b.fdiv("f4", "f3", "f2")
+            b.cvtfi("r1", "f3")
+            b.cvtif("f5", "r1")
+            b.store("f3", "r0", 50)
+            b.store("r1", "r0", 51)
+            b.store("f5", "r0", 52)
+
+        interp, _ = run_snippet(emit)
+        assert interp.memory[50] == 3.0
+        assert interp.memory[51] == 3
+        assert interp.memory[52] == 3.0
+
+    def test_zero_register_is_immutable(self):
+        def emit(b):
+            b.li("r0", 42)
+            b.store("r0", "r0", 50)
+
+        interp, _ = run_snippet(emit)
+        assert interp.memory[50] == 0
+
+
+class TestMemoryAndControl:
+    def test_uninitialised_memory_reads_zero(self):
+        def emit(b):
+            b.load("r1", "r0", 777)
+            b.store("r1", "r0", 50)
+
+        interp, _ = run_snippet(emit)
+        assert interp.memory[50] == 0
+
+    def test_memory_image_is_copied_not_shared(self, diamond_loop):
+        interp = Interpreter(diamond_loop)
+        interp.run()
+        assert 100 in interp.memory
+        assert 100 not in diamond_loop.memory_image
+
+    def test_call_and_return(self, call_program):
+        interp = Interpreter(call_program)
+        interp.run()
+        # helper returns r4 + 7 for r4 = 0..19.
+        assert interp.memory[100] == sum(i + 7 for i in range(20))
+
+    def test_trace_records_callee_and_blocks(self, call_program):
+        trace = run_program(call_program)
+        calls = [d for d in trace if d.op is Opcode.CALL]
+        assert len(calls) == 20
+        assert all(d.callee == "helper" for d in calls)
+        rets = [d for d in trace if d.op is Opcode.RET]
+        assert len(rets) == 20
+
+    def test_branch_outcomes_recorded(self, diamond_loop):
+        trace = run_program(diamond_loop)
+        branches = [d for d in trace if d.op.is_branch]
+        assert branches
+        assert all(d.taken in (True, False) for d in branches)
+
+    def test_block_entries_partition_the_trace(self, diamond_loop):
+        trace = run_program(diamond_loop)
+        starts = [idx for idx, _ in trace.block_entries]
+        assert starts[0] == 0
+        assert starts == sorted(starts)
+        # Every instruction between consecutive entries shares a block.
+        for k, (start, block) in enumerate(trace.block_entries):
+            end = (
+                trace.block_entries[k + 1][0]
+                if k + 1 < len(trace.block_entries)
+                else len(trace)
+            )
+            assert all(trace[i].block == block for i in range(start, end))
+
+    def test_execution_limit(self, diamond_loop):
+        with pytest.raises(ExecutionLimitExceeded):
+            Interpreter(diamond_loop, max_instructions=10).run()
+
+    def test_determinism(self, diamond_loop):
+        t1 = run_program(diamond_loop)
+        from tests.conftest import build_diamond_loop
+
+        t2 = run_program(build_diamond_loop())
+        assert len(t1) == len(t2)
+        assert [d.pc for d in t1] == [d.pc for d in t2]
+
+    def test_diamond_loop_result(self, diamond_loop):
+        interp = Interpreter(diamond_loop)
+        interp.run()
+        expected = sum(5 if i % 3 == 0 else 1 for i in range(50))
+        assert interp.memory[100] == expected

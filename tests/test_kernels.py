@@ -1,0 +1,158 @@
+"""Tests for the workload kernel-emission helpers."""
+
+import pytest
+
+from repro.ir import IRBuilder
+from repro.ir.interp import Interpreter
+from repro.workloads.kernels import (
+    counted_loop_imm,
+    fp_chain,
+    if_then_else,
+    lcg_next,
+    lcg_seed,
+    store_array_init,
+    switch_chain,
+)
+
+
+def run_main(emit):
+    b = IRBuilder()
+    with b.function("main"):
+        emit(b)
+        b.halt()
+    interp = Interpreter(b.build(), max_instructions=100_000)
+    interp.run()
+    return interp
+
+
+class TestCountedLoop:
+    @pytest.mark.parametrize("trips", [0, 1, 7])
+    def test_trip_count(self, trips):
+        def emit(b):
+            b.li("r16", 0)
+
+            def body(bb):
+                bb.addi("r16", "r16", 1)
+
+            counted_loop_imm(b, "r1", 0, trips, body)
+            b.store("r16", "r0", 100)
+
+        interp = run_main(emit)
+        assert interp.memory[100] == trips
+
+    def test_step(self):
+        def emit(b):
+            b.li("r16", 0)
+
+            def body(bb):
+                bb.addi("r16", "r16", 1)
+
+            counted_loop_imm(b, "r1", 0, 10, body, step=3)
+            b.store("r16", "r0", 100)
+
+        interp = run_main(emit)
+        assert interp.memory[100] == 4  # 0, 3, 6, 9
+
+
+class TestIfThenElse:
+    def test_both_arms(self):
+        def emit(b):
+            b.li("r9", 1)
+            if_then_else(
+                b,
+                "r9",
+                lambda bb: bb.li("r16", 10),
+                lambda bb: bb.li("r16", 20),
+            )
+            b.store("r16", "r0", 100)
+            b.li("r9", 0)
+            if_then_else(
+                b,
+                "r9",
+                lambda bb: bb.li("r17", 10),
+                lambda bb: bb.li("r17", 20),
+            )
+            b.store("r17", "r0", 101)
+
+        interp = run_main(emit)
+        assert interp.memory[100] == 10
+        assert interp.memory[101] == 20
+
+    def test_then_only(self):
+        def emit(b):
+            b.li("r16", 5)
+            b.li("r9", 0)
+            if_then_else(b, "r9", lambda bb: bb.li("r16", 99))
+            b.store("r16", "r0", 100)
+
+        interp = run_main(emit)
+        assert interp.memory[100] == 5
+
+
+class TestSwitchChain:
+    @pytest.mark.parametrize("selector", [0, 1, 2, 3])
+    def test_dispatch(self, selector):
+        def emit(b):
+            b.li("r10", selector)
+            cases = [
+                (lambda v: lambda bb: bb.li("r16", v))(100 + i)
+                for i in range(4)
+            ]
+            switch_chain(b, "r10", cases)
+            b.store("r16", "r0", 100)
+
+        interp = run_main(emit)
+        assert interp.memory[100] == 100 + selector
+
+    def test_last_case_is_default(self):
+        def emit(b):
+            b.li("r10", 77)  # out of range -> default
+            switch_chain(
+                b,
+                "r10",
+                [lambda bb: bb.li("r16", 1), lambda bb: bb.li("r16", 2)],
+            )
+            b.store("r16", "r0", 100)
+
+        interp = run_main(emit)
+        assert interp.memory[100] == 2
+
+
+class TestLcg:
+    def test_matches_host_stream(self):
+        from repro.workloads.kernels import host_lcg
+
+        def emit(b):
+            lcg_seed(b, "r26", 7)
+            for i in range(5):
+                lcg_next(b, "r8", "r26")
+                b.store("r8", "r0", 100 + i)
+
+        interp = run_main(emit)
+        rng = host_lcg(7)
+        assert [interp.memory[100 + i] for i in range(5)] == [
+            rng() for _ in range(5)
+        ]
+
+
+class TestFpChainAndInit:
+    def test_fp_chain_emits_requested_length(self):
+        b = IRBuilder()
+        with b.function("main"):
+            b.fli("f12", 1.0)
+            b.fli("f8", 0.5)
+            before = b.program.main.entry.size
+            fp_chain(b, 6)
+            after = b.program.main.entry.size
+            b.halt()
+        assert after - before == 6
+
+    def test_store_array_init(self):
+        def emit(b):
+            def value(bb, dst):
+                bb.muli(dst, "r3", 2)
+
+            store_array_init(b, base=500, count=4, value_fn=value)
+
+        interp = run_main(emit)
+        assert [interp.memory[500 + i] for i in range(4)] == [0, 2, 4, 6]

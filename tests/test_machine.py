@@ -1,0 +1,208 @@
+"""Integration tests of the cycle-level Multiscalar machine."""
+
+import pytest
+
+from repro.compiler import HeuristicLevel, SelectionConfig, select_tasks
+from repro.ir import IRBuilder
+from repro.ir.interp import run_program
+from repro.sim import SimConfig, StallReason, build_task_stream, simulate
+from repro.sim.config import ForwardPolicy
+from tests.conftest import build_diamond_loop, build_call_program
+
+
+def pipeline(program, level=HeuristicLevel.CONTROL_FLOW, **sim_kwargs):
+    part = select_tasks(program, SelectionConfig(level=level))
+    trace = run_program(part.program)
+    stream = build_task_stream(trace, part)
+    return simulate(stream, SimConfig(**sim_kwargs)), stream
+
+
+class TestBasics:
+    def test_commits_exactly_the_trace(self, diamond_loop):
+        result, stream = pipeline(diamond_loop)
+        assert result.committed_instructions == len(stream.trace)
+        assert result.cycles > 0
+        assert 0 < result.ipc <= 4 * 2  # can never exceed total issue width
+
+    def test_single_pu_runs_sequentially(self, diamond_loop):
+        result, _ = pipeline(diamond_loop, n_pus=1)
+        assert result.ipc <= 2  # one 2-wide PU
+
+    def test_more_pus_never_lose_big(self, diamond_loop):
+        r1, _ = pipeline(diamond_loop, n_pus=1)
+        r4, _ = pipeline(diamond_loop, n_pus=4)
+        assert r4.cycles <= r1.cycles * 1.05
+
+    def test_in_order_not_faster_than_out_of_order(self, diamond_loop):
+        ooo, _ = pipeline(diamond_loop, out_of_order=True)
+        ino, _ = pipeline(diamond_loop, out_of_order=False)
+        assert ino.cycles >= ooo.cycles
+
+    def test_determinism(self, diamond_loop):
+        r1, _ = pipeline(build_diamond_loop())
+        r2, _ = pipeline(build_diamond_loop())
+        assert r1.cycles == r2.cycles
+        assert r1.breakdown.as_dict() == r2.breakdown.as_dict()
+
+    def test_breakdown_covers_all_pu_cycles(self, diamond_loop):
+        config_pus = 4
+        result, _ = pipeline(diamond_loop, n_pus=config_pus)
+        total = result.breakdown.total_pu_cycles
+        # Every (PU, cycle) pair is attributed to exactly one category,
+        # up to the boundary cycles of squash re-attribution.
+        assert abs(total - result.cycles * config_pus) <= result.cycles * 0.05
+
+    def test_calls_execute_correctly(self, call_program):
+        result, stream = pipeline(call_program)
+        assert result.committed_instructions == len(stream.trace)
+
+    def test_window_span_positive(self, diamond_loop):
+        result, _ = pipeline(diamond_loop, n_pus=4)
+        assert result.mean_window_span > 0
+
+
+class TestMemorySpeculation:
+    def _store_load_conflict_program(self, iterations=40):
+        """Each iteration stores to a fixed address late and loads it
+        early in the next iteration: adjacent tasks conflict."""
+        b = IRBuilder()
+        with b.function("main"):
+            b.li("r1", 0)
+            b.li("r2", iterations)
+            body = b.new_label("body")
+            done = b.new_label("done")
+            b.store("r0", "r0", 600)
+            b.jump(body)
+            with b.block(body):
+                b.load("r3", "r0", 600)   # early load
+                b.addi("r3", "r3", 1)
+                b.muli("r8", "r3", 3)     # padding work
+                b.muli("r8", "r8", 5)
+                b.div("r9", "r8", "r3")
+                b.store("r3", "r0", 600)  # late store, same address
+                b.addi("r1", "r1", 1)
+                b.slt("r9", "r1", "r2")
+                b.bnez("r9", body, fallthrough=done)
+            with b.block(done):
+                b.load("r4", "r0", 600)
+                b.store("r4", "r0", 601)
+                b.halt()
+        return b.build()
+
+    def test_violations_detected_and_squashed(self):
+        result, _ = pipeline(
+            self._store_load_conflict_program(),
+            level=HeuristicLevel.CONTROL_FLOW,
+            n_pus=4,
+            sync_table_size=0,  # no synchronisation: squash every time
+        )
+        assert result.memory_squashes > 0
+        assert result.breakdown.memory_misspeculation > 0
+
+    def test_sync_table_suppresses_repeat_squashes(self):
+        no_sync, _ = pipeline(
+            self._store_load_conflict_program(),
+            level=HeuristicLevel.CONTROL_FLOW,
+            n_pus=4,
+            sync_table_size=0,
+        )
+        with_sync, _ = pipeline(
+            self._store_load_conflict_program(),
+            level=HeuristicLevel.CONTROL_FLOW,
+            n_pus=4,
+            sync_table_size=256,
+        )
+        assert with_sync.memory_squashes < no_sync.memory_squashes
+        assert with_sync.cycles <= no_sync.cycles
+
+    def test_single_pu_never_violates(self):
+        result, _ = pipeline(
+            self._store_load_conflict_program(), n_pus=1, sync_table_size=0
+        )
+        assert result.memory_squashes == 0
+
+
+class TestControlSpeculation:
+    def test_mispredictions_cost_cycles(self, diamond_loop):
+        result, _ = pipeline(diamond_loop, n_pus=4)
+        # diamond loop exit is mispredicted at least once (cold).
+        assert result.task_predictions > 0
+        assert 0.0 <= result.task_prediction_accuracy <= 1.0
+
+    def test_control_penalty_accounted(self):
+        # A hard-to-predict alternation of task successors.
+        b = IRBuilder()
+        with b.function("main"):
+            b.li("r1", 0)
+            b.li("r2", 120)
+            lcg = b.new_label("body")
+            a = b.new_label("a")
+            c = b.new_label("c")
+            join = b.new_label("join")
+            done = b.new_label("done")
+            b.li("r26", 12345)
+            b.jump(lcg)
+            with b.block(lcg):
+                b.muli("r27", "r26", 1103515245)
+                b.addi("r27", "r27", 12345)
+                b.andi("r26", "r27", 0x7FFFFFFF)
+                b.shr("r9", "r26", 7)
+                b.andi("r9", "r9", 1)
+                b.bnez("r9", a, fallthrough=c)
+            with b.block(a):
+                b.addi("r3", "r3", 2)
+                b.jump(join)
+            with b.block(c):
+                b.addi("r3", "r3", 7)
+            with b.block(join):
+                b.addi("r1", "r1", 1)
+                b.slt("r9", "r1", "r2")
+                b.bnez("r9", lcg, fallthrough=done)
+            with b.block(done):
+                b.halt()
+        result, _ = pipeline(
+            b.build(), level=HeuristicLevel.BASIC_BLOCK, n_pus=4
+        )
+        assert result.control_squashes > 0
+        assert result.breakdown.control_misspeculation > 0
+
+
+class TestForwardPolicies:
+    @pytest.mark.parametrize("policy", list(ForwardPolicy))
+    def test_all_policies_complete(self, diamond_loop, policy):
+        result, stream = pipeline(diamond_loop, forward_policy=policy)
+        assert result.committed_instructions == len(stream.trace)
+
+    def test_eager_not_slower_than_lazy(self, diamond_loop):
+        eager, _ = pipeline(
+            diamond_loop, forward_policy=ForwardPolicy.EAGER
+        )
+        lazy, _ = pipeline(diamond_loop, forward_policy=ForwardPolicy.LAZY)
+        assert eager.cycles <= lazy.cycles
+
+    def test_schedule_between_eager_and_lazy(self, diamond_loop):
+        eager, _ = pipeline(
+            diamond_loop, forward_policy=ForwardPolicy.EAGER
+        )
+        sched, _ = pipeline(
+            diamond_loop, forward_policy=ForwardPolicy.SCHEDULE
+        )
+        lazy, _ = pipeline(diamond_loop, forward_policy=ForwardPolicy.LAZY)
+        assert eager.cycles <= sched.cycles <= lazy.cycles
+
+
+class TestOverheadKnobs:
+    def test_task_overheads_add_cycles(self, diamond_loop):
+        cheap, _ = pipeline(
+            diamond_loop, task_start_overhead=0, task_end_overhead=0
+        )
+        costly, _ = pipeline(
+            diamond_loop, task_start_overhead=4, task_end_overhead=4
+        )
+        assert costly.cycles > cheap.cycles
+
+    def test_stall_reasons_present(self, diamond_loop):
+        result, _ = pipeline(diamond_loop, n_pus=4)
+        flat = result.breakdown.as_dict()
+        assert flat[StallReason.USEFUL.value] > 0
+        assert flat[StallReason.TASK_END.value] > 0

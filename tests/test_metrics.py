@@ -1,0 +1,90 @@
+"""Unit and property tests for the metrics helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    geometric_mean,
+    improvement_percent,
+    normalized_branch_misprediction,
+    window_span,
+)
+
+
+class TestWindowSpan:
+    def test_perfect_prediction_is_linear(self):
+        assert window_span(10.0, 1.0, 8) == pytest.approx(80.0)
+
+    def test_zero_prediction_is_one_task(self):
+        assert window_span(10.0, 0.0, 8) == pytest.approx(10.0)
+
+    def test_paper_like_value(self):
+        # A 15-instruction task at 96% accuracy on 8 PUs spans ~105.
+        span = window_span(15.0, 0.96, 8)
+        assert 100 < span < 120
+
+    @given(
+        size=st.floats(0.1, 100),
+        pred=st.floats(0.0, 1.0),
+        pus=st.integers(1, 16),
+    )
+    def test_bounds(self, size, pred, pus):
+        span = window_span(size, pred, pus)
+        assert size - 1e-9 <= span <= size * pus + 1e-9
+
+    @given(size=st.floats(0.1, 100), pus=st.integers(1, 16))
+    def test_monotone_in_prediction(self, size, pus):
+        low = window_span(size, 0.5, pus)
+        high = window_span(size, 0.9, pus)
+        assert high >= low
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            window_span(10, 1.5, 4)
+        with pytest.raises(ValueError):
+            window_span(-1, 0.5, 4)
+        with pytest.raises(ValueError):
+            window_span(10, 0.5, 0)
+
+
+class TestNormalizedMisprediction:
+    def test_single_branch_is_identity(self):
+        assert normalized_branch_misprediction(0.1, 1.0) == pytest.approx(0.1)
+
+    def test_many_branches_shrink_the_rate(self):
+        per_branch = normalized_branch_misprediction(0.2, 4.0)
+        assert per_branch < 0.2
+        # Inverse check: (1 - m)^B == 1 - m_task.
+        assert (1 - per_branch) ** 4 == pytest.approx(0.8)
+
+    def test_zero_misprediction(self):
+        assert normalized_branch_misprediction(0.0, 5.0) == 0.0
+
+    def test_degenerate_branch_count(self):
+        assert normalized_branch_misprediction(0.3, 0.0) == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalized_branch_misprediction(1.5, 2.0)
+
+
+class TestImprovementAndGeomean:
+    def test_improvement(self):
+        assert improvement_percent(1.3, 1.0) == pytest.approx(30.0)
+        assert improvement_percent(0.9, 1.0) == pytest.approx(-10.0)
+        with pytest.raises(ValueError):
+            improvement_percent(1.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    @given(st.lists(st.floats(0.1, 10), min_size=1, max_size=20))
+    def test_geomean_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9

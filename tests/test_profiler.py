@@ -1,0 +1,97 @@
+"""Unit tests for the trace-based profiler."""
+
+import pytest
+
+from repro.ir.cfg import build_cfg
+from repro.ir.dataflow import def_use_chains
+from repro.ir.interp import run_program
+from repro.profiling import profile_program, profile_trace
+
+
+class TestBlockAndEdgeCounts:
+    def test_block_counts(self, diamond_loop):
+        profile = profile_program(diamond_loop)
+        assert profile.block_count(("main", "entry")) == 1
+        assert profile.block_count(("main", "body_1")) == 50
+        # then runs on multiples of 3 in [0, 50): 17 times.
+        assert profile.block_count(("main", "then_2")) == 17
+        assert profile.block_count(("main", "other_3")) == 33
+        assert profile.block_count(("main", "done_5")) == 1
+
+    def test_edge_counts(self, diamond_loop):
+        profile = profile_program(diamond_loop)
+        assert profile.edge_count(("main", "body_1"), ("main", "then_2")) == 17
+        assert profile.edge_count(("main", "join_4"), ("main", "body_1")) == 49
+        assert profile.edge_count(("main", "join_4"), ("main", "done_5")) == 1
+        assert profile.edge_count(("main", "entry"), ("main", "done_5")) == 0
+
+    def test_call_continuation_edge_attributed_to_call_block(
+        self, call_program
+    ):
+        profile = profile_program(call_program)
+        # body calls helper; the return lands in cont: the
+        # intra-function edge body -> cont must be counted.
+        body = next(
+            blk.label for blk in call_program.main.blocks() if blk.ends_in_call
+        )
+        cont = call_program.main.block(body).fallthrough
+        assert profile.edge_count(("main", body), ("main", cont)) == 20
+
+    def test_total_instructions(self, diamond_loop):
+        trace = run_program(diamond_loop)
+        profile = profile_trace(trace)
+        assert profile.total_instructions == len(trace)
+
+
+class TestCallProfiles:
+    def test_invocation_counts(self, call_program):
+        profile = profile_program(call_program)
+        assert profile.call_counts["helper"] == 20
+        assert profile.call_counts["main"] == 1
+
+    def test_mean_dynamic_call_size(self, call_program):
+        profile = profile_program(call_program)
+        mean = profile.mean_dynamic_call_size("helper")
+        assert mean == pytest.approx(2.0)  # addi + ret
+
+    def test_inclusive_sizes(self, big_call_program):
+        profile = profile_program(big_call_program)
+        mean = profile.mean_dynamic_call_size("helper")
+        assert mean > 100  # 40-iteration loop
+
+    def test_never_called_returns_none(self, diamond_loop):
+        profile = profile_program(diamond_loop)
+        assert profile.mean_dynamic_call_size("ghost") is None
+
+
+class TestDefUseFrequencies:
+    def test_frequencies_match_execution(self, diamond_loop):
+        profile = profile_program(diamond_loop)
+        cfg = build_cfg(diamond_loop.main)
+        edges = def_use_chains(diamond_loop.main, cfg)
+        # r3 def in then_2 reaching done_5's store: happens only when
+        # the LAST iteration took the then arm; i=49 -> 49%3 != 0, so
+        # the last writer at done is other_3, never then_2.
+        then_done = next(
+            e for e in edges
+            if e.def_block == "then_2" and e.use_block == "done_5"
+        )
+        assert profile.defuse_count("main", then_done) == 0
+        other_done = next(
+            e for e in edges
+            if e.def_block == "other_3" and e.use_block == "done_5"
+        )
+        assert profile.defuse_count("main", other_done) == 1
+
+    def test_loop_carried_frequency(self, diamond_loop):
+        profile = profile_program(diamond_loop)
+        cfg = build_cfg(diamond_loop.main)
+        edges = def_use_chains(diamond_loop.main, cfg)
+        # join_4 increments r1; body_1's rem reads it on the next
+        # iteration: 49 traversals of the back edge.
+        carried = next(
+            e for e in edges
+            if e.def_block == "join_4" and e.use_block == "body_1"
+            and e.register == "r1"
+        )
+        assert profile.defuse_count("main", carried) == 49

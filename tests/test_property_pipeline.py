@@ -1,0 +1,184 @@
+"""Property-based whole-pipeline tests on randomly generated programs.
+
+Hypothesis builds random structured programs (nested sequences,
+if-diamonds, and counted loops over a small register machine) and the
+suite checks the end-to-end invariants that every layer must uphold:
+
+* all four heuristic levels produce valid partitions;
+* the dynamic task stream reconstructs the trace exactly (contiguous
+  spans, instances entered at roots);
+* IR transforms (unrolling with induction expansion, hoisting) never
+  change program results;
+* the timing simulator commits exactly the functional trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import HeuristicLevel, SelectionConfig, select_tasks
+from repro.ir import IRBuilder
+from repro.ir.interp import Interpreter
+from repro.sim import SimConfig, build_task_stream, simulate
+
+# --------------------------------------------------------------- generator
+
+_ops = st.sampled_from(["add", "sub", "xor", "mul"])
+_regs = st.sampled_from([f"r{i}" for i in range(1, 8)])
+
+
+@st.composite
+def statements(draw, depth=0):
+    """One structured statement: straight code, a diamond, or a loop."""
+    kind = draw(
+        st.sampled_from(
+            ["code", "code", "if", "loop"] if depth < 2 else ["code"]
+        )
+    )
+    if kind == "code":
+        n = draw(st.integers(1, 4))
+        body = []
+        for _ in range(n):
+            body.append(
+                (draw(_ops), draw(_regs), draw(_regs), draw(_regs))
+            )
+        mem = draw(st.booleans())
+        return ("code", body, mem)
+    if kind == "if":
+        cond = draw(_regs)
+        then = draw(statements(depth=depth + 1))
+        other = draw(st.none() | statements(depth=depth + 1))
+        return ("if", cond, then, other)
+    trips = draw(st.integers(0, 6))
+    inner = draw(statements(depth=depth + 1))
+    return ("loop", trips, inner)
+
+
+@st.composite
+def programs(draw):
+    stmts = draw(st.lists(statements(), min_size=1, max_size=4))
+    return stmts
+
+
+_loop_counters = iter(range(10_000))
+
+
+def _emit(b: IRBuilder, stmt, loop_depth=0) -> None:
+    kind = stmt[0]
+    if kind == "code":
+        _, body, mem = stmt
+        for op, dst, a, c in body:
+            getattr(b, op)(dst, a, c)
+        if mem:
+            b.andi("r7", "r7", 63)
+            b.addi("r7", "r7", 500)
+            b.store("r1", "r7", 0)
+            b.load("r2", "r7", 0)
+    elif kind == "if":
+        _, cond, then, other = stmt
+        then_lbl = b.new_label("p_then")
+        join_lbl = b.new_label("p_join")
+        if other is not None:
+            else_lbl = b.new_label("p_else")
+            b.bnez(cond, then_lbl, fallthrough=else_lbl)
+            with b.block(else_lbl):
+                _emit(b, other, loop_depth)
+                b.jump(join_lbl)
+        else:
+            b.bnez(cond, then_lbl, fallthrough=join_lbl)
+        with b.block(then_lbl):
+            _emit(b, then, loop_depth)
+            b.jump(join_lbl)
+        b.open_block(join_lbl)
+    else:
+        _, trips, inner = stmt
+        var = f"r{14 + loop_depth}"     # distinct per nesting level
+        bound = f"r{20 + loop_depth}"
+        head = b.new_label("p_head")
+        body_lbl = b.new_label("p_body")
+        exit_lbl = b.new_label("p_exit")
+        b.li(var, 0)
+        b.li(bound, trips)
+        b.jump(head)
+        with b.block(head):
+            b.slt("r13", var, bound)
+            b.beqz("r13", exit_lbl, fallthrough=body_lbl)
+        with b.block(body_lbl):
+            _emit(b, inner, loop_depth + 1)
+            b.addi(var, var, 1)
+            b.jump(head)
+        b.open_block(exit_lbl)
+
+
+def build_random_program(stmts):
+    b = IRBuilder()
+    with b.function("main"):
+        for i in range(1, 8):
+            b.li(f"r{i}", i * 3 + 1)
+        for stmt in stmts:
+            _emit(b, stmt)
+        for i in range(1, 8):
+            b.store(f"r{i}", "r0", 900 + i)
+        b.halt()
+    return b.build()
+
+
+def final_memory(program):
+    interp = Interpreter(program, max_instructions=200_000)
+    interp.run()
+    return interp.memory
+
+
+# -------------------------------------------------------------- properties
+
+LEVELS = list(HeuristicLevel)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(stmts=programs(), level=st.sampled_from(LEVELS))
+def test_pipeline_invariants_on_random_programs(stmts, level):
+    program = build_random_program(stmts)
+    reference = final_memory(program)
+
+    partition = select_tasks(program, SelectionConfig(level=level))
+    partition.validate()
+
+    # Transforms preserved semantics.
+    assert final_memory(partition.program) == reference
+
+    interp = Interpreter(partition.program, max_instructions=200_000)
+    trace = interp.run()
+    stream = build_task_stream(trace, partition)
+
+    # Spans tile the trace and every instance starts at its root.
+    assert stream.tasks[0].start == 0
+    assert stream.tasks[-1].end == len(trace)
+    for prev, cur in zip(stream.tasks, stream.tasks[1:]):
+        assert prev.end == cur.start
+    for dyn in stream:
+        first = trace[dyn.start]
+        if not stream.absorbed_flags[dyn.start]:
+            assert first.block == dyn.task.root
+
+    # Timing simulation commits exactly the functional work.
+    result = simulate(stream, SimConfig(n_pus=4))
+    assert result.committed_instructions == len(trace)
+    assert result.cycles > 0
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(stmts=programs())
+def test_all_levels_agree_on_results(stmts):
+    program = build_random_program(stmts)
+    memories = []
+    for level in LEVELS:
+        partition = select_tasks(program, SelectionConfig(level=level))
+        memories.append(final_memory(partition.program))
+    assert all(m == memories[0] for m in memories[1:])

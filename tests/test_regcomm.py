@@ -1,0 +1,112 @@
+"""Unit tests for register communication release analysis."""
+
+from repro.compiler import HeuristicLevel, SelectionConfig, select_tasks
+from repro.compiler.regcomm import ReleaseAnalysis, function_write_sets
+from repro.ir import IRBuilder
+from tests.conftest import build_call_program, build_diamond_loop
+
+
+class TestFunctionWriteSets:
+    def test_direct_writes(self, diamond_loop):
+        writes = function_write_sets(diamond_loop)
+        assert {"r1", "r2", "r3", "r9"} <= writes["main"]
+
+    def test_transitive_through_calls(self, call_program):
+        writes = function_write_sets(call_program)
+        assert "r2" in writes["helper"]
+        assert "r2" in writes["main"]  # inherited from helper
+
+    def test_recursive_fixpoint_terminates(self):
+        b = IRBuilder()
+        with b.function("a"):
+            b.li("r5", 1)
+            cont = b.new_label("ca")
+            b.call("b", fallthrough=cont)
+            with b.block(cont):
+                b.ret()
+        with b.function("b"):
+            b.li("r6", 1)
+            cont = b.new_label("cb")
+            b.call("a", fallthrough=cont)
+            with b.block(cont):
+                b.ret()
+        with b.function("main"):
+            cont = b.new_label("cm")
+            b.call("a", fallthrough=cont)
+            with b.block(cont):
+                b.halt()
+        writes = function_write_sets(b.build())
+        assert writes["a"] == writes["b"] == frozenset({"r5", "r6"})
+
+
+class TestReleasePoints:
+    def _analysis(self, level=HeuristicLevel.CONTROL_FLOW):
+        # Hoisting would move the increment out of join_4; keep the
+        # original shape so block positions are predictable.
+        part = select_tasks(
+            build_diamond_loop(),
+            SelectionConfig(level=level, hoist_induction=False),
+        )
+        return part, ReleaseAnalysis(part)
+
+    def test_last_def_in_task_is_release(self):
+        part, analysis = self._analysis()
+        task = part.task_at(("main", "body_1"))
+        # join's increment of r1 is the last def of r1 in the task.
+        join = part.program.block(("main", "join_4"))
+        idx = next(
+            i for i, ins in enumerate(join.instructions) if ins.writes == "r1"
+        )
+        assert analysis.is_release(task, ("main", "join_4"), idx, "r1")
+
+    def test_def_with_later_def_in_block_not_release(self):
+        part, analysis = self._analysis()
+        task = part.task_at(("main", "body_1"))
+        join = part.program.block(("main", "join_4"))
+        # r9 is written by slt and then consumed by the branch; any
+        # earlier write of r9 in body_1 is superseded along the path.
+        body = part.program.block(("main", "body_1"))
+        body_r9 = next(
+            i for i, ins in enumerate(body.instructions) if ins.writes == "r9"
+        )
+        assert not analysis.is_release(task, ("main", "body_1"), body_r9, "r9")
+        join_r9 = next(
+            i for i, ins in enumerate(join.instructions) if ins.writes == "r9"
+        )
+        assert analysis.is_release(task, ("main", "join_4"), join_r9, "r9")
+
+    def test_def_redefined_in_successor_arm_not_release(self):
+        part, analysis = self._analysis()
+        task = part.task_at(("main", "body_1"))
+        # r3 is defined in then_2 AND other_3; neither is reached from
+        # the other, so each arm's def *is* the last on its path.
+        for arm in ("then_2", "other_3"):
+            blk = part.program.block(("main", arm))
+            idx = next(
+                i for i, ins in enumerate(blk.instructions)
+                if ins.writes == "r3"
+            )
+            assert analysis.is_release(task, ("main", arm), idx, "r3")
+
+    def test_absorbed_callee_blocks_release(self):
+        part = select_tasks(
+            build_call_program("small"),
+            SelectionConfig(
+                level=HeuristicLevel.TASK_SIZE,
+                loop_thresh=0,  # no unrolling: keep a single call block
+                hoist_induction=False,
+            ),
+        )
+        analysis = ReleaseAnalysis(part)
+        task = next(t for t in part.tasks() if t.absorbed_calls)
+        call_block = next(iter(t for t in task.absorbed_calls))
+        blk = part.program.block(call_block)
+        # r4 is set right before the call; helper writes r2 (not r4),
+        # so the r4 def in the call block is still a release point...
+        idx = next(
+            i for i, ins in enumerate(blk.instructions) if ins.writes == "r4"
+        )
+        assert analysis.is_release(task, call_block, idx, "r4")
+        # ...but a hypothetical r2 def before the call would not be:
+        # the absorbed helper redefines r2.
+        assert not analysis.is_release(task, call_block, idx, "r2")

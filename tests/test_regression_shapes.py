@@ -1,0 +1,78 @@
+"""Regression guards: headline shapes pinned with loose bounds.
+
+These are intentionally tolerant (wide brackets) — they exist to catch
+refactors that silently break a paper-level result, not to freeze
+exact cycle counts.
+"""
+
+import pytest
+
+from repro.compiler import HeuristicLevel
+from repro.experiments import clear_cache, run_benchmark
+
+SCALE = 0.3
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_compress_heuristic_gain_bracket():
+    bb = run_benchmark("compress", HeuristicLevel.BASIC_BLOCK, 4, True, SCALE)
+    dd = run_benchmark(
+        "compress", HeuristicLevel.DATA_DEPENDENCE, 4, True, SCALE
+    )
+    gain = dd.ipc / bb.ipc
+    assert 1.05 < gain < 2.5, f"compress gain drifted to {gain:.2f}x"
+
+
+def test_hydro2d_large_gain_bracket():
+    bb = run_benchmark("hydro2d", HeuristicLevel.BASIC_BLOCK, 4, True, SCALE)
+    dd = run_benchmark(
+        "hydro2d", HeuristicLevel.DATA_DEPENDENCE, 4, True, SCALE
+    )
+    gain = dd.ipc / bb.ipc
+    assert 1.5 < gain < 5.0, f"hydro2d gain drifted to {gain:.2f}x"
+
+
+def test_fpppp_responds_to_task_size():
+    dd = run_benchmark("fpppp", HeuristicLevel.DATA_DEPENDENCE, 8, True, SCALE)
+    ts = run_benchmark("fpppp", HeuristicLevel.TASK_SIZE, 8, True, SCALE)
+    assert ts.ipc > dd.ipc * 1.1, (
+        f"fpppp stopped responding to the task size heuristic "
+        f"({dd.ipc:.2f} -> {ts.ipc:.2f})"
+    )
+
+
+def test_m88ksim_task_prediction_excellent():
+    cf = run_benchmark("m88ksim", HeuristicLevel.CONTROL_FLOW, 8, True, SCALE)
+    assert cf.task_prediction_accuracy > 0.97
+
+
+def test_go_task_prediction_harder_than_loops():
+    go = run_benchmark("go", HeuristicLevel.CONTROL_FLOW, 8, True, SCALE)
+    wave = run_benchmark("wave5", HeuristicLevel.CONTROL_FLOW, 8, True, SCALE)
+    assert go.task_prediction_accuracy < wave.task_prediction_accuracy
+
+
+def test_task_sizes_in_expected_regimes():
+    li = run_benchmark("li", HeuristicLevel.BASIC_BLOCK, 4, True, 1.0)
+    assert li.mean_task_size < 6, "li basic blocks should be tiny"
+    swim = run_benchmark("swim", HeuristicLevel.CONTROL_FLOW, 4, True, SCALE)
+    assert swim.mean_task_size > 20, "swim loop tasks should be large"
+
+
+def test_window_span_regime():
+    dd = run_benchmark("tomcatv", HeuristicLevel.DATA_DEPENDENCE, 8, True,
+                       SCALE)
+    assert 80 < dd.window_span_formula < 400
+
+
+def test_ipc_sane_everywhere():
+    for name in ("compress", "li", "tomcatv"):
+        for level in HeuristicLevel:
+            rec = run_benchmark(name, level, 4, True, SCALE)
+            assert 0.05 < rec.ipc < 8.0

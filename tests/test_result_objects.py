@@ -1,0 +1,62 @@
+"""Edge coverage for the result/record value objects."""
+
+from repro.compiler import HeuristicLevel
+from repro.experiments import clear_cache, run_benchmark
+from repro.sim.breakdown import CycleBreakdown
+from repro.sim.machine import SimResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        cycles=100,
+        committed_instructions=250,
+        dynamic_tasks=10,
+        task_predictions=9,
+        task_mispredictions=3,
+        control_squashes=2,
+        memory_squashes=1,
+        gshare_accuracy=0.9,
+        branch_count=40,
+        mean_window_span=33.0,
+        breakdown=CycleBreakdown(),
+    )
+    defaults.update(overrides)
+    return SimResult(**defaults)
+
+
+class TestSimResult:
+    def test_ipc(self):
+        assert make_result().ipc == 2.5
+
+    def test_zero_cycles_ipc_is_zero(self):
+        assert make_result(cycles=0).ipc == 0.0
+
+    def test_prediction_accuracy(self):
+        result = make_result()
+        assert result.task_prediction_accuracy == 1 - 3 / 9
+
+    def test_no_predictions_is_perfect(self):
+        result = make_result(task_predictions=0, task_mispredictions=0)
+        assert result.task_prediction_accuracy == 1.0
+
+
+class TestRunRecordDerived:
+    def test_derived_metrics_consistent(self):
+        clear_cache()
+        rec = run_benchmark(
+            "compress", HeuristicLevel.CONTROL_FLOW, n_pus=8, scale=0.15
+        )
+        # The window span equation at perfect prediction upper-bounds
+        # the reported value.
+        assert rec.window_span_formula <= rec.mean_task_size * rec.n_pus
+        assert rec.window_span_formula >= rec.mean_task_size
+        # Percentages round-trip through the accuracy.
+        assert rec.task_misprediction_percent == (
+            (1 - rec.task_prediction_accuracy) * 100
+        )
+        clear_cache()
+
+    def test_breakdown_default_is_all_zero(self):
+        bd = CycleBreakdown()
+        assert bd.total_pu_cycles == 0
+        assert all(v == 0 for v in bd.as_dict().values())

@@ -1,0 +1,100 @@
+"""Unit tests for the simulator's preprocessed run state."""
+
+import pytest
+
+from repro.compiler import HeuristicLevel, SelectionConfig, select_tasks
+from repro.ir.interp import run_program
+from repro.sim.config import ForwardPolicy, SimConfig
+from repro.sim.runstate import RunState
+from repro.sim.taskstream import build_task_stream
+from tests.conftest import build_diamond_loop
+
+
+@pytest.fixture
+def stream():
+    part = select_tasks(
+        build_diamond_loop(),
+        SelectionConfig(level=HeuristicLevel.CONTROL_FLOW),
+    )
+    trace = run_program(part.program)
+    return build_task_stream(trace, part)
+
+
+class TestProducers:
+    def test_register_producers_point_to_last_writer(self, stream):
+        state = RunState(stream, SimConfig())
+        trace = stream.trace
+        last = {}
+        for i, dyn in enumerate(trace):
+            expected = tuple(sorted({last[r] for r in dyn.reads if r in last}))
+            assert state.producers[i] == expected
+            if dyn.write:
+                last[dyn.write] = i
+
+    def test_memory_producers(self, stream):
+        state = RunState(stream, SimConfig())
+        trace = stream.trace
+        last_store = {}
+        for i, dyn in enumerate(trace):
+            if state.is_load[i]:
+                assert state.mem_producer[i] == last_store.get(dyn.addr, -1)
+            if state.is_store[i]:
+                last_store[dyn.addr] = i
+
+    def test_task_seq_matches_spans(self, stream):
+        state = RunState(stream, SimConfig())
+        for dyn_task in stream:
+            for i in range(dyn_task.start, dyn_task.end):
+                assert state.task_seq[i] == dyn_task.seq
+
+    def test_remote_consumer_flags(self, stream):
+        state = RunState(stream, SimConfig())
+        for i, prods in enumerate(state.producers):
+            for p in prods:
+                if state.task_seq[p] != state.task_seq[i]:
+                    assert state.has_remote_consumer[p]
+
+
+class TestReleaseFlags:
+    def test_eager_releases_every_write(self, stream):
+        state = RunState(
+            stream, SimConfig(forward_policy=ForwardPolicy.EAGER)
+        )
+        for i in range(len(stream.trace)):
+            if state.has_write[i]:
+                assert state.release_now[i]
+
+    def test_lazy_releases_nothing(self, stream):
+        state = RunState(stream, SimConfig(forward_policy=ForwardPolicy.LAZY))
+        assert not any(state.release_now)
+
+    def test_schedule_is_between(self, stream):
+        state = RunState(
+            stream, SimConfig(forward_policy=ForwardPolicy.SCHEDULE)
+        )
+        released = sum(state.release_now)
+        writes = sum(state.has_write)
+        assert 0 < released <= writes
+
+
+class TestMutableState:
+    def test_clear_span_resets_and_bumps_generation(self, stream):
+        state = RunState(stream, SimConfig())
+        dyn_task = stream.tasks[1]
+        for i in range(dyn_task.start, dyn_task.end):
+            state.complete[i] = 5
+            state.forward[i] = 6
+        gen = state.generation[1]
+        state.clear_span(1)
+        assert state.generation[1] == gen + 1
+        assert all(
+            state.complete[i] == -1 and state.forward[i] == -1
+            for i in range(dyn_task.start, dyn_task.end)
+        )
+
+    def test_gshare_stats_exposed(self, stream):
+        state = RunState(stream, SimConfig())
+        assert state.branch_count == sum(
+            1 for d in stream.trace if d.op.is_branch
+        )
+        assert 0.0 <= state.gshare_accuracy <= 1.0

@@ -1,0 +1,139 @@
+"""Unit tests for register communication scheduling."""
+
+from repro.compiler.sched import (
+    carried_registers,
+    schedule_register_communication,
+)
+from repro.compiler.transforms import clone_program
+from repro.ir import IRBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.interp import Interpreter
+from tests.conftest import build_diamond_loop
+
+
+def build_chain_loop():
+    """A loop whose carried chain (r16) sits *behind* independent work."""
+    b = IRBuilder()
+    with b.function("main"):
+        b.li("r1", 0)
+        b.li("r2", 30)
+        b.li("r16", 1)  # the carried chain value
+        b.li("r20", 0)  # independent accumulator
+        body = b.new_label("body")
+        done = b.new_label("done")
+        b.jump(body)
+        with b.block(body):
+            # Independent work first (would delay the chain in-order).
+            b.muli("r21", "r1", 7)
+            b.xori("r21", "r21", 3)
+            b.add("r20", "r20", "r21")
+            # The carried chain, originally late in the block.
+            b.muli("r16", "r16", 3)
+            b.remi("r16", "r16", 1009)
+            b.addi("r1", "r1", 1)
+            b.slt("r9", "r1", "r2")
+            b.bnez("r9", body, fallthrough=done)
+        with b.block(done):
+            b.store("r16", "r0", 100)
+            b.store("r20", "r0", 101)
+            b.halt()
+    return b.build()
+
+
+def run_memory(program):
+    interp = Interpreter(program)
+    interp.run()
+    return interp.memory
+
+
+class TestCarriedRegisters:
+    def test_loop_carried_detected(self):
+        prog = build_chain_loop()
+        carried = carried_registers(prog.main)
+        assert "r16" in carried["body_1"]
+        assert "r1" in carried["body_1"]
+        # r21 is recomputed each iteration, never carried.
+        assert "r21" not in carried["body_1"]
+
+    def test_non_loop_blocks_have_none(self):
+        prog = build_chain_loop()
+        carried = carried_registers(prog.main)
+        assert carried["entry"] == set()
+        assert carried["done_2"] == set()
+
+
+class TestScheduling:
+    def test_chain_hoisted_to_front(self):
+        prog = clone_program(build_chain_loop())
+        changed = schedule_register_communication(prog)
+        assert changed >= 1
+        body = prog.main.block("body_1")
+        # The first instructions now belong to the carried chains
+        # (r16 muli/remi, r1 addi), independent work follows.
+        first_dsts = [ins.dst for ins in body.instructions[:4]]
+        assert "r16" in first_dsts
+        mul_pos = next(
+            i for i, ins in enumerate(body.instructions)
+            if ins.dst == "r16" and ins.opcode is Opcode.MUL
+        )
+        # The accumulator update (independent of the chain) sinks
+        # behind the hoisted r16 chain.
+        indep_pos = next(
+            i for i, ins in enumerate(body.instructions) if ins.dst == "r20"
+        )
+        assert mul_pos < indep_pos
+
+    def test_semantics_preserved(self):
+        base = run_memory(build_chain_loop())
+        prog = clone_program(build_chain_loop())
+        schedule_register_communication(prog)
+        assert run_memory(prog) == base
+
+    def test_diamond_loop_semantics_preserved(self, diamond_loop):
+        base = run_memory(diamond_loop)
+        prog = clone_program(diamond_loop)
+        schedule_register_communication(prog)
+        assert run_memory(prog) == base
+
+    def test_memory_order_not_violated(self):
+        # A store/load pair to the same address around the chain: the
+        # hazard closure must keep their relative order.
+        b = IRBuilder()
+        with b.function("main"):
+            b.li("r1", 0)
+            b.li("r2", 10)
+            b.li("r16", 1)
+            body = b.new_label("body")
+            done = b.new_label("done")
+            b.jump(body)
+            with b.block(body):
+                b.store("r1", "r0", 500)
+                b.load("r21", "r0", 500)
+                b.muli("r16", "r16", 3)
+                b.remi("r16", "r16", 97)
+                b.add("r16", "r16", "r21")
+                b.addi("r1", "r1", 1)
+                b.slt("r9", "r1", "r2")
+                b.bnez("r9", body, fallthrough=done)
+            with b.block(done):
+                b.store("r16", "r0", 100)
+                b.halt()
+        base_prog = b.build()
+        base = run_memory(base_prog)
+        prog = clone_program(base_prog)
+        schedule_register_communication(prog)
+        assert run_memory(prog) == base
+
+    def test_terminator_stays_last(self):
+        prog = clone_program(build_chain_loop())
+        schedule_register_communication(prog)
+        body = prog.main.block("body_1")
+        assert body.terminator is not None
+        assert body.terminator.opcode is Opcode.BNEZ
+
+    def test_idempotent_on_scheduled_code(self):
+        prog = clone_program(build_chain_loop())
+        schedule_register_communication(prog)
+        snapshot = str(prog)
+        schedule_register_communication(prog)
+        assert str(prog) == snapshot

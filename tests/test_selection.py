@@ -1,0 +1,161 @@
+"""Integration tests of the full task-selection driver."""
+
+import pytest
+
+from repro.compiler import HeuristicLevel, SelectionConfig, select_tasks
+from repro.compiler.task import TargetKind
+from repro.compiler.task_size import absorbed_functions, recursive_functions
+from repro.ir import IRBuilder
+from repro.profiling import profile_program
+from tests.conftest import (
+    build_call_program,
+    build_diamond_loop,
+    build_straightline,
+)
+
+ALL_LEVELS = list(HeuristicLevel)
+
+
+class TestLevels:
+    @pytest.mark.parametrize("level", ALL_LEVELS)
+    def test_partition_validates(self, level):
+        part = select_tasks(build_diamond_loop(), SelectionConfig(level=level))
+        part.validate()
+
+    def test_basic_block_roots_every_block(self):
+        prog = build_diamond_loop()
+        part = select_tasks(
+            prog, SelectionConfig(level=HeuristicLevel.BASIC_BLOCK)
+        )
+        # Hoisting is disabled at the basic block level, so labels match.
+        assert len(part) == len(list(prog.main.blocks()))
+        assert all(t.block_count == 1 for t in part.tasks())
+
+    def test_control_flow_groups_the_diamond(self):
+        part = select_tasks(
+            build_diamond_loop(),
+            SelectionConfig(level=HeuristicLevel.CONTROL_FLOW),
+        )
+        loop_task = part.task_at(("main", "body_1"))
+        assert loop_task.block_count == 4
+        names = {t.block[1] for t in loop_task.targets if t.block}
+        assert names == {"body_1", "done_5"}
+
+    def test_levels_monotone_task_size(self):
+        """Multi-block tasks are never smaller than basic blocks."""
+        sizes = {}
+        for level in ALL_LEVELS:
+            part = select_tasks(
+                build_diamond_loop(), SelectionConfig(level=level)
+            )
+            prog = part.program
+            total = sum(t.static_size(prog) for t in part.tasks())
+            sizes[level] = total / len(part)
+        assert sizes[HeuristicLevel.CONTROL_FLOW] >= sizes[
+            HeuristicLevel.BASIC_BLOCK
+        ]
+
+    def test_determinism(self):
+        for level in ALL_LEVELS:
+            p1 = select_tasks(build_diamond_loop(), SelectionConfig(level=level))
+            p2 = select_tasks(build_diamond_loop(), SelectionConfig(level=level))
+            t1 = [(t.root, t.blocks, t.targets) for t in p1.tasks()]
+            t2 = [(t.root, t.blocks, t.targets) for t in p2.tasks()]
+            assert t1 == t2
+
+    def test_original_program_is_untouched(self):
+        prog = build_diamond_loop()
+        before = str(prog)
+        select_tasks(prog, SelectionConfig(level=HeuristicLevel.TASK_SIZE))
+        assert str(prog) == before
+
+    def test_straightline_single_task(self):
+        part = select_tasks(
+            build_straightline(),
+            SelectionConfig(level=HeuristicLevel.CONTROL_FLOW),
+        )
+        assert len(part) == 1
+        (task,) = part.tasks()
+        assert task.targets[0].kind is TargetKind.HALT
+
+
+class TestCalls:
+    def test_large_callee_not_absorbed(self):
+        part = select_tasks(
+            build_call_program("large"),
+            SelectionConfig(level=HeuristicLevel.TASK_SIZE),
+        )
+        assert all(not t.absorbed_calls for t in part.tasks())
+        # The callee entry must be rooted (CALL target closure).
+        assert part.has_root(("helper", "entry"))
+
+    def test_small_callee_absorbed_at_task_size_level(self):
+        part = select_tasks(
+            build_call_program("small"),
+            SelectionConfig(level=HeuristicLevel.TASK_SIZE),
+        )
+        absorbed = {b for t in part.tasks() for b in t.absorbed_calls}
+        assert absorbed, "the 2-instruction helper should be absorbed"
+
+    def test_small_callee_not_absorbed_below_task_size(self):
+        part = select_tasks(
+            build_call_program("small"),
+            SelectionConfig(level=HeuristicLevel.CONTROL_FLOW),
+        )
+        assert all(not t.absorbed_calls for t in part.tasks())
+        assert part.has_root(("helper", "entry"))
+
+    def test_call_thresh_zero_absorbs_nothing(self):
+        part = select_tasks(
+            build_call_program("small"),
+            SelectionConfig(level=HeuristicLevel.TASK_SIZE, call_thresh=0),
+        )
+        assert all(not t.absorbed_calls for t in part.tasks())
+
+
+class TestTaskSizeHelpers:
+    def _recursive_program(self):
+        b = IRBuilder()
+        with b.function("rec"):
+            b.subi("r4", "r4", 1)
+            base = b.new_label("base")
+            again = b.new_label("again")
+            b.beqz("r4", base, fallthrough=again)
+            with b.block(again):
+                cont = b.new_label("cont")
+                b.call("rec", fallthrough=cont)
+                with b.block(cont):
+                    b.ret()
+            with b.block(base):
+                b.ret()
+        with b.function("main"):
+            b.li("r4", 3)
+            cont = b.new_label("mcont")
+            b.call("rec", fallthrough=cont)
+            with b.block(cont):
+                b.halt()
+        return b.build()
+
+    def test_recursive_functions_detected(self):
+        prog = self._recursive_program()
+        assert recursive_functions(prog) == {"rec"}
+
+    def test_recursive_functions_never_absorbed(self):
+        prog = self._recursive_program()
+        profile = profile_program(prog)
+        config = SelectionConfig(
+            level=HeuristicLevel.TASK_SIZE, call_thresh=10_000
+        )
+        assert "rec" not in absorbed_functions(prog, profile, config)
+
+    def test_main_never_absorbed(self, call_program):
+        profile = profile_program(call_program)
+        config = SelectionConfig(
+            level=HeuristicLevel.TASK_SIZE, call_thresh=10_000
+        )
+        assert "main" not in absorbed_functions(call_program, profile, config)
+
+    def test_absorption_requires_task_size_level(self, call_program):
+        profile = profile_program(call_program)
+        config = SelectionConfig(level=HeuristicLevel.CONTROL_FLOW)
+        assert absorbed_functions(call_program, profile, config) == set()

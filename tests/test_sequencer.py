@@ -1,0 +1,99 @@
+"""Tests of sequencer behaviours: ring order, RAS, wrong-path work."""
+
+from repro.compiler import HeuristicLevel, SelectionConfig, select_tasks
+from repro.ir import IRBuilder
+from repro.ir.interp import run_program
+from repro.sim import SimConfig, build_task_stream
+from repro.sim.machine import MultiscalarMachine
+from tests.conftest import build_call_program, build_diamond_loop
+
+
+def machine_for(program, level=HeuristicLevel.CONTROL_FLOW, **sim_kwargs):
+    part = select_tasks(program, SelectionConfig(level=level))
+    trace = run_program(part.program)
+    stream = build_task_stream(trace, part)
+    return MultiscalarMachine(stream, SimConfig(**sim_kwargs))
+
+
+class TestRingAssignment:
+    def test_tasks_assigned_around_the_ring(self):
+        machine = machine_for(build_diamond_loop(), n_pus=4)
+        machine.run()
+        pus = machine.state.pu_of_seq
+        # With no squashes, consecutive tasks occupy consecutive ring
+        # slots (modulo the PU count).
+        if machine.memory_squashes == 0 and machine.control_squashes == 0:
+            for seq in range(1, len(pus)):
+                assert pus[seq] == (pus[seq - 1] + 1) % 4
+        else:
+            # With squashes the order restarts, but slots stay valid.
+            assert all(0 <= p < 4 for p in pus)
+
+    def test_single_pu_ring(self):
+        machine = machine_for(build_diamond_loop(), n_pus=1)
+        machine.run()
+        assert all(p == 0 for p in machine.state.pu_of_seq)
+
+
+class TestReturnPrediction:
+    def test_ras_predicts_call_returns(self):
+        # Non-absorbed calls create CALL/RETURN transitions; the RAS
+        # should make RETURN targets nearly perfectly predictable.
+        machine = machine_for(
+            build_call_program("small"),
+            level=HeuristicLevel.CONTROL_FLOW,
+            n_pus=4,
+        )
+        result = machine.run()
+        assert result.task_prediction_accuracy > 0.85
+
+    def test_nested_calls(self):
+        b = IRBuilder()
+        with b.function("inner"):
+            b.addi("r2", "r4", 1)
+            b.ret()
+        with b.function("outer"):
+            cont = b.new_label("oc")
+            b.call("inner", fallthrough=cont)
+            with b.block(cont):
+                b.addi("r2", "r2", 10)
+                b.ret()
+        with b.function("main"):
+            b.li("r16", 0)
+            body = b.new_label("body")
+            cont = b.new_label("mc")
+            done = b.new_label("done")
+            b.li("r1", 0)
+            b.jump(body)
+            with b.block(body):
+                b.mov("r4", "r1")
+                b.call("outer", fallthrough=cont)
+            with b.block(cont):
+                b.add("r16", "r16", "r2")
+                b.addi("r1", "r1", 1)
+                b.slti("r9", "r1", 15)
+                b.bnez("r9", body, fallthrough=done)
+            with b.block(done):
+                b.store("r16", "r0", 100)
+                b.halt()
+        machine = machine_for(b.build(), n_pus=4)
+        result = machine.run()
+        assert result.committed_instructions == len(machine.stream.trace)
+        # Two nested return levels per iteration, still predictable.
+        assert result.task_prediction_accuracy > 0.8
+
+
+class TestWrongPathOccupancy:
+    def test_wrong_path_cycles_accounted_as_control_penalty(self):
+        # diamond loop's exit mispredicts at least once.
+        machine = machine_for(build_diamond_loop(), n_pus=4)
+        result = machine.run()
+        if result.task_mispredictions:
+            assert result.breakdown.control_misspeculation > 0
+
+    def test_no_wrong_path_leaks_after_completion(self):
+        machine = machine_for(build_diamond_loop(), n_pus=4)
+        machine.run()
+        assert machine.pending_mispredict is None
+        assert all(pu.idle for pu in machine.pus)
+        assert machine.retire_seq == len(machine.stream.tasks)

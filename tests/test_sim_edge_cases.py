@@ -1,0 +1,164 @@
+"""Edge-case and failure-injection tests for the timing simulator."""
+
+import pytest
+
+from repro.compiler import HeuristicLevel, SelectionConfig, select_tasks
+from repro.ir import IRBuilder
+from repro.ir.interp import run_program
+from repro.sim import SimConfig, build_task_stream, simulate
+from repro.sim.machine import MultiscalarMachine, SimulationStuck
+from tests.conftest import build_diamond_loop, build_straightline
+
+
+def stream_for(program, level=HeuristicLevel.CONTROL_FLOW):
+    part = select_tasks(program, SelectionConfig(level=level))
+    trace = run_program(part.program)
+    return build_task_stream(trace, part)
+
+
+class TestDegenerateMachines:
+    def test_single_instruction_program(self):
+        b = IRBuilder()
+        with b.function("main"):
+            b.halt()
+        stream = stream_for(b.build())
+        result = simulate(stream, SimConfig(n_pus=4))
+        assert result.committed_instructions == 1
+        assert result.dynamic_tasks == 1
+
+    def test_single_task_program(self, straightline):
+        stream = stream_for(straightline)
+        assert len(stream) == 1
+        result = simulate(stream, SimConfig(n_pus=8))
+        assert result.committed_instructions == len(stream.trace)
+
+    def test_rob_of_one(self, diamond_loop):
+        stream = stream_for(diamond_loop)
+        result = simulate(stream, SimConfig(n_pus=2, rob_size=1,
+                                            issue_list_size=1))
+        assert result.committed_instructions == len(stream.trace)
+
+    def test_issue_width_one(self, diamond_loop):
+        stream = stream_for(diamond_loop)
+        narrow = simulate(stream, SimConfig(n_pus=4, issue_width=1))
+        wide = simulate(stream, SimConfig(n_pus=4, issue_width=4))
+        assert narrow.cycles >= wide.cycles
+
+    def test_many_pus_few_tasks(self, straightline):
+        stream = stream_for(straightline)
+        result = simulate(stream, SimConfig(n_pus=16))
+        assert result.committed_instructions == len(stream.trace)
+        # 15 PUs sit idle the whole run.
+        assert result.breakdown.per_reason is not None
+
+    def test_zero_overheads(self, diamond_loop):
+        stream = stream_for(diamond_loop)
+        result = simulate(
+            stream,
+            SimConfig(n_pus=4, task_start_overhead=0, task_end_overhead=0),
+        )
+        assert result.committed_instructions == len(stream.trace)
+
+    def test_max_cycles_guard(self, diamond_loop):
+        stream = stream_for(diamond_loop)
+        machine = MultiscalarMachine(stream, SimConfig(n_pus=4, max_cycles=3))
+        with pytest.raises(SimulationStuck):
+            machine.run()
+
+
+class TestRingParameters:
+    def test_tiny_ring_bandwidth_slows_communication(self, diamond_loop):
+        stream = stream_for(diamond_loop)
+        slow = simulate(stream, SimConfig(n_pus=4, ring_bandwidth=1))
+        fast = simulate(stream, SimConfig(n_pus=4, ring_bandwidth=8))
+        assert slow.cycles >= fast.cycles
+
+    def test_expensive_hops_slow_communication(self, diamond_loop):
+        stream = stream_for(diamond_loop)
+        near = simulate(stream, SimConfig(n_pus=4, ring_hop_latency=0))
+        far = simulate(stream, SimConfig(n_pus=4, ring_hop_latency=6))
+        assert far.cycles >= near.cycles
+
+
+class TestMemoryParameters:
+    def test_slow_memory_costs_cycles(self, diamond_loop):
+        # diamond_loop touches little memory; use a loads-heavy one.
+        b = IRBuilder()
+        with b.function("main"):
+            b.li("r1", 0)
+            body = b.new_label("body")
+            done = b.new_label("done")
+            b.jump(body)
+            with b.block(body):
+                b.muli("r8", "r1", 64)  # new cache line every iteration
+                b.addi("r8", "r8", 5000)
+                b.load("r9", "r8", 0)
+                b.add("r16", "r16", "r9")
+                b.addi("r1", "r1", 1)
+                b.slti("r9", "r1", 60)
+                b.bnez("r9", body, fallthrough=done)
+            with b.block(done):
+                b.halt()
+        stream = stream_for(b.build())
+        fast = simulate(stream, SimConfig(n_pus=2, memory_latency=5))
+        slow = simulate(stream, SimConfig(n_pus=2, memory_latency=300))
+        assert slow.cycles > fast.cycles
+
+    def test_branch_penalty_scales(self):
+        # An unpredictable branch stream amplifies the bubble cost.
+        b = IRBuilder()
+        with b.function("main"):
+            b.li("r1", 0)
+            b.li("r26", 99)
+            body = b.new_label("body")
+            a = b.new_label("a")
+            j = b.new_label("j")
+            done = b.new_label("done")
+            b.jump(body)
+            with b.block(body):
+                b.muli("r27", "r26", 1103515245)
+                b.addi("r27", "r27", 12345)
+                b.andi("r26", "r27", 0x7FFFFFFF)
+                b.shr("r9", "r26", 9)
+                b.andi("r9", "r9", 1)
+                b.bnez("r9", a, fallthrough=j)
+            with b.block(a):
+                b.addi("r16", "r16", 1)
+            with b.block(j):
+                b.addi("r1", "r1", 1)
+                b.slti("r9", "r1", 80)
+                b.bnez("r9", body, fallthrough=done)
+            with b.block(done):
+                b.halt()
+        stream = stream_for(b.build())
+        cheap = simulate(stream, SimConfig(n_pus=2,
+                                           branch_mispredict_penalty=1))
+        costly = simulate(stream, SimConfig(n_pus=2,
+                                            branch_mispredict_penalty=12))
+        assert costly.cycles > cheap.cycles
+
+
+class TestResultInvariants:
+    @pytest.mark.parametrize("n_pus", [1, 2, 4, 8])
+    def test_committed_instructions_invariant(self, diamond_loop, n_pus):
+        stream = stream_for(diamond_loop)
+        result = simulate(stream, SimConfig(n_pus=n_pus))
+        assert result.committed_instructions == len(stream.trace)
+
+    def test_cache_stats_reported(self):
+        b = IRBuilder()
+        with b.function("main"):
+            b.load("r1", "r0", 123)
+            b.load("r2", "r0", 456)
+            b.halt()
+        stream = stream_for(b.build())
+        result = simulate(stream, SimConfig(n_pus=4))
+        # Loads touch the D-side; instruction fetch touches the I-side.
+        assert result.cache_stats["l1d_accesses"] > 0
+        assert result.cache_stats["l1i_accesses"] > 0
+
+    def test_task_accuracy_in_unit_range(self, diamond_loop):
+        stream = stream_for(diamond_loop)
+        result = simulate(stream, SimConfig(n_pus=4))
+        assert 0.0 <= result.task_prediction_accuracy <= 1.0
+        assert 0.0 <= result.gshare_accuracy <= 1.0

@@ -1,0 +1,114 @@
+"""Unit tests for the cache hierarchy and cycle accounting."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.breakdown import CycleBreakdown, StallReason
+from repro.sim.config import CacheConfig, SimConfig
+from repro.sim.memory import Cache, MemoryHierarchy
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = Cache(CacheConfig(1024, 2, 32, 1))
+        assert not cache.access(5)
+        assert cache.access(5)
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_lru_eviction(self):
+        # One set (sets=1): capacity = associativity = 2 lines.
+        cache = Cache(CacheConfig(64, 2, 32, 1))
+        assert cache.config.sets == 1
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # 1 becomes MRU
+        cache.access(3)  # evicts 2
+        assert cache.access(1)
+        assert not cache.access(2)
+
+    def test_set_indexing_avoids_conflicts(self):
+        cache = Cache(CacheConfig(1024, 1, 32, 1))
+        sets = cache.config.sets
+        cache.access(0)
+        cache.access(1)  # different set: no conflict
+        assert cache.access(0)
+        cache.access(sets)  # same set as 0 with assoc 1: evicts
+        assert not cache.access(0)
+
+    @given(st.lists(st.integers(0, 500), max_size=300))
+    def test_stats_consistency(self, addresses):
+        cache = Cache(CacheConfig(512, 2, 32, 1))
+        for addr in addresses:
+            cache.access(addr)
+        assert cache.hits + cache.misses == len(addresses)
+        assert 0.0 <= cache.miss_rate <= 1.0
+
+
+class TestHierarchy:
+    def test_latency_levels(self):
+        config = SimConfig()
+        hier = MemoryHierarchy(config)
+        first = hier.data_access(0)
+        # Cold: L1 miss + L2 miss -> memory.
+        assert first == (
+            config.l1d.hit_latency + config.l2.hit_latency +
+            config.memory_latency
+        )
+        again = hier.data_access(0)
+        assert again == config.l1d.hit_latency
+
+    def test_l2_hit_after_l1_eviction(self):
+        config = SimConfig()
+        hier = MemoryHierarchy(config)
+        hier.data_access(0)
+        # Walk far past L1 capacity within L2 capacity.
+        words_per_line = config.l1d.line_bytes // config.word_bytes
+        for i in range(1, 4 * config.l1d.size_bytes // config.word_bytes,
+                       words_per_line):
+            hier.data_access(i)
+        latency = hier.data_access(0)
+        assert latency == config.l1d.hit_latency + config.l2.hit_latency
+
+    def test_same_line_words_share_one_line(self):
+        config = SimConfig()
+        hier = MemoryHierarchy(config)
+        hier.data_access(0)
+        assert hier.data_access(1) == config.l1d.hit_latency
+
+    def test_icache_separate_from_dcache(self):
+        hier = MemoryHierarchy(SimConfig())
+        hier.data_access(0)
+        assert hier.inst_access(0) > hier.config.l1i.hit_latency  # cold I side
+
+    def test_stats_keys(self):
+        hier = MemoryHierarchy(SimConfig())
+        hier.data_access(0)
+        hier.inst_access(0)
+        stats = hier.stats()
+        assert stats["l1d_accesses"] == 1
+        assert stats["l1i_accesses"] == 1
+        assert stats["l2_accesses"] == 2
+
+
+class TestBreakdown:
+    def test_charge_and_total(self):
+        bd = CycleBreakdown()
+        bd.charge(StallReason.USEFUL, 10)
+        bd.charge(StallReason.IDLE)
+        bd.charge_control_squash(5)
+        bd.charge_memory_squash(3)
+        assert bd.total_pu_cycles == 19
+        flat = bd.as_dict()
+        assert flat["useful"] == 10
+        assert flat["control_misspeculation"] == 5
+
+    def test_merged(self):
+        a, b = CycleBreakdown(), CycleBreakdown()
+        a.charge(StallReason.USEFUL, 1)
+        b.charge(StallReason.USEFUL, 2)
+        b.charge_memory_squash(4)
+        merged = a.merged(b)
+        assert merged.per_reason[StallReason.USEFUL] == 3
+        assert merged.memory_misspeculation == 4
+        # Originals untouched.
+        assert a.per_reason[StallReason.USEFUL] == 1

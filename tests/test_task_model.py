@@ -1,0 +1,152 @@
+"""Unit tests for the Task / TaskPartition model."""
+
+import pytest
+
+from repro.compiler.task import Target, TargetKind, TaskPartition
+
+
+def _partition(diamond_loop):
+    return TaskPartition(diamond_loop)
+
+
+class TestTarget:
+    def test_ordering_is_deterministic(self):
+        targets = [
+            Target(TargetKind.RETURN),
+            Target(TargetKind.BLOCK, ("main", "a")),
+            Target(TargetKind.CALL, ("f", "entry")),
+            Target(TargetKind.HALT),
+        ]
+        ordered = sorted(targets)
+        assert ordered == sorted(reversed(targets))
+        assert ordered[0].kind is TargetKind.BLOCK
+
+    def test_str_forms(self):
+        assert str(Target(TargetKind.RETURN)) == "return"
+        assert "main:a" in str(Target(TargetKind.BLOCK, ("main", "a")))
+
+
+class TestTaskValidation:
+    def test_valid_single_block_task(self, diamond_loop):
+        part = _partition(diamond_loop)
+        task = part.new_task(
+            function="main",
+            root=("main", "entry"),
+            blocks={("main", "entry")},
+            internal_edges=set(),
+            targets=[Target(TargetKind.BLOCK, ("main", "body_1"))],
+        )
+        task.validate(diamond_loop)
+
+    def test_root_must_be_member(self, diamond_loop):
+        part = _partition(diamond_loop)
+        task = part.new_task(
+            function="main",
+            root=("main", "entry"),
+            blocks={("main", "body_1")},
+            internal_edges=set(),
+            targets=[],
+        )
+        with pytest.raises(ValueError, match="root not a member"):
+            task.validate(diamond_loop)
+
+    def test_unreachable_member_rejected(self, diamond_loop):
+        part = _partition(diamond_loop)
+        task = part.new_task(
+            function="main",
+            root=("main", "entry"),
+            blocks={("main", "entry"), ("main", "done_5")},
+            internal_edges=set(),
+            targets=[],
+        )
+        with pytest.raises(ValueError, match="unreachable"):
+            task.validate(diamond_loop)
+
+    def test_internal_cycle_rejected(self, diamond_loop):
+        part = _partition(diamond_loop)
+        task = part.new_task(
+            function="main",
+            root=("main", "body_1"),
+            blocks={("main", "body_1"), ("main", "then_2")},
+            internal_edges={
+                (("main", "body_1"), ("main", "then_2")),
+                (("main", "then_2"), ("main", "body_1")),
+            },
+            targets=[],
+        )
+        with pytest.raises(ValueError, match="cycle"):
+            task.validate(diamond_loop)
+
+    def test_edge_outside_members_rejected(self, diamond_loop):
+        part = _partition(diamond_loop)
+        task = part.new_task(
+            function="main",
+            root=("main", "entry"),
+            blocks={("main", "entry")},
+            internal_edges={(("main", "entry"), ("main", "body_1"))},
+            targets=[],
+        )
+        with pytest.raises(ValueError, match="leaves the member set"):
+            task.validate(diamond_loop)
+
+
+class TestPartition:
+    def test_duplicate_root_rejected(self, diamond_loop):
+        part = _partition(diamond_loop)
+        part.new_task("main", ("main", "entry"), {("main", "entry")}, set(), [])
+        with pytest.raises(ValueError, match="already rooted"):
+            part.new_task(
+                "main", ("main", "entry"), {("main", "entry")}, set(), []
+            )
+
+    def test_validate_requires_rooted_targets(self, diamond_loop):
+        part = _partition(diamond_loop)
+        part.new_task(
+            "main",
+            ("main", "entry"),
+            {("main", "entry")},
+            set(),
+            [Target(TargetKind.BLOCK, ("main", "body_1"))],
+        )
+        with pytest.raises(ValueError, match="no rooted task"):
+            part.validate()
+
+    def test_validate_requires_entry_root(self, diamond_loop):
+        part = _partition(diamond_loop)
+        part.new_task(
+            "main", ("main", "body_1"), {("main", "body_1")}, set(), []
+        )
+        with pytest.raises(ValueError, match="program entry"):
+            part.validate()
+
+    def test_tasks_containing(self, diamond_loop):
+        part = _partition(diamond_loop)
+        t1 = part.new_task(
+            "main", ("main", "entry"), {("main", "entry")}, set(), []
+        )
+        t2 = part.new_task(
+            "main",
+            ("main", "body_1"),
+            {("main", "body_1"), ("main", "then_2")},
+            {(("main", "body_1"), ("main", "then_2"))},
+            [],
+        )
+        assert part.tasks_containing(("main", "then_2")) == [t2]
+        assert part.tasks_containing(("main", "entry")) == [t1]
+
+    def test_replace_task(self, diamond_loop):
+        part = _partition(diamond_loop)
+        task = part.new_task(
+            "main", ("main", "entry"), {("main", "entry")}, set(), []
+        )
+        import dataclasses
+
+        updated = dataclasses.replace(task, targets=(Target(TargetKind.HALT),))
+        part.replace_task(updated)
+        assert part.task_at(("main", "entry")).targets == (
+            Target(TargetKind.HALT),
+        )
+        with pytest.raises(ValueError, match="no task rooted"):
+            part.replace_task(
+                dataclasses.replace(updated, root=("main", "body_1"))
+            )

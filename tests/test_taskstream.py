@@ -1,0 +1,106 @@
+"""Unit tests for dynamic task stream construction."""
+
+import pytest
+
+from repro.compiler import HeuristicLevel, SelectionConfig, select_tasks
+from repro.compiler.task import TargetKind, TaskPartition, Target
+from repro.ir.interp import run_program
+from repro.sim.taskstream import TaskStreamError, build_task_stream
+from tests.conftest import build_call_program, build_diamond_loop
+
+ALL_LEVELS = list(HeuristicLevel)
+
+
+def compile_and_stream(program, level):
+    part = select_tasks(program, SelectionConfig(level=level))
+    trace = run_program(part.program)
+    return trace, part, build_task_stream(trace, part)
+
+
+class TestSpans:
+    @pytest.mark.parametrize("level", ALL_LEVELS)
+    def test_spans_cover_trace_exactly(self, level):
+        trace, _part, stream = compile_and_stream(build_diamond_loop(), level)
+        assert stream.tasks[0].start == 0
+        assert stream.tasks[-1].end == len(trace)
+        for prev, cur in zip(stream.tasks, stream.tasks[1:]):
+            assert prev.end == cur.start
+            assert cur.seq == prev.seq + 1
+
+    @pytest.mark.parametrize("level", ALL_LEVELS)
+    def test_every_instance_starts_at_its_root(self, level):
+        trace, _part, stream = compile_and_stream(build_diamond_loop(), level)
+        for dyn in stream:
+            first = trace[dyn.start]
+            assert first.block == dyn.task.root
+            assert first.iidx == 0
+
+    @pytest.mark.parametrize("level", ALL_LEVELS)
+    def test_targets_resolved(self, level):
+        _trace, _part, stream = compile_and_stream(build_diamond_loop(), level)
+        for dyn in stream.tasks[:-1]:
+            assert dyn.target is not None
+            assert dyn.target_index >= 0
+            assert dyn.task.targets[dyn.target_index] == dyn.target
+        final = stream.tasks[-1]
+        assert final.target == Target(TargetKind.HALT)
+        assert final.next_root is None
+
+    def test_next_root_matches_following_task(self):
+        _trace, _part, stream = compile_and_stream(
+            build_diamond_loop(), HeuristicLevel.CONTROL_FLOW
+        )
+        for prev, cur in zip(stream.tasks, stream.tasks[1:]):
+            assert prev.next_root == cur.task.root
+
+    def test_mean_sizes(self):
+        trace, _part, stream = compile_and_stream(
+            build_diamond_loop(), HeuristicLevel.CONTROL_FLOW
+        )
+        assert stream.mean_task_size == pytest.approx(
+            len(trace) / len(stream)
+        )
+        assert stream.mean_control_transfers() > 0
+        assert stream.mean_conditional_branches() > 0
+
+
+class TestCalls:
+    def test_call_and_return_boundaries(self):
+        trace, _part, stream = compile_and_stream(
+            build_call_program("small"), HeuristicLevel.CONTROL_FLOW
+        )
+        kinds = [d.target.kind for d in stream.tasks[:-1]]
+        assert TargetKind.CALL in kinds
+        assert TargetKind.RETURN in kinds
+        assert not any(stream.absorbed_flags)
+
+    def test_absorbed_call_stays_in_one_task(self):
+        trace, part, stream = compile_and_stream(
+            build_call_program("small"), HeuristicLevel.TASK_SIZE
+        )
+        # No CALL/RETURN boundaries remain: the helper is absorbed.
+        kinds = {d.target.kind for d in stream.tasks[:-1]}
+        assert TargetKind.CALL not in kinds
+        assert TargetKind.RETURN not in kinds
+        # Helper instructions are flagged as absorbed.
+        assert any(stream.absorbed_flags)
+        flagged = [trace[i] for i, f in enumerate(stream.absorbed_flags) if f]
+        assert all(d.block[0] == "helper" for d in flagged)
+
+    def test_fewer_tasks_with_absorption(self):
+        _t1, _p1, cf = compile_and_stream(
+            build_call_program("small"), HeuristicLevel.CONTROL_FLOW
+        )
+        _t2, _p2, ts = compile_and_stream(
+            build_call_program("small"), HeuristicLevel.TASK_SIZE
+        )
+        assert len(ts) < len(cf)
+
+
+class TestErrors:
+    def test_missing_root_raises(self):
+        prog = build_diamond_loop()
+        trace = run_program(prog)
+        empty = TaskPartition(prog)
+        with pytest.raises(TaskStreamError, match="no task rooted"):
+            build_task_stream(trace, empty)

@@ -1,0 +1,116 @@
+"""Tests of the synthetic SPEC95 workload suite."""
+
+import pytest
+
+from repro.ir.interp import run_program
+from repro.workloads import (
+    all_benchmarks,
+    fp_benchmarks,
+    get_benchmark,
+    integer_benchmarks,
+)
+from repro.workloads.kernels import host_lcg
+
+SMALL = 0.1  # scale used to keep per-test runtime low
+
+ALL_NAMES = [bm.name for bm in all_benchmarks()]
+
+
+class TestRegistry:
+    def test_eighteen_benchmarks(self):
+        assert len(all_benchmarks()) == 18
+        assert len(integer_benchmarks()) == 8
+        assert len(fp_benchmarks()) == 10
+
+    def test_suites_disjoint_and_labelled(self):
+        ints = {bm.name for bm in integer_benchmarks()}
+        fps = {bm.name for bm in fp_benchmarks()}
+        assert not (ints & fps)
+        assert all(bm.suite == "int" for bm in integer_benchmarks())
+        assert all(bm.suite == "fp" for bm in fp_benchmarks())
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_benchmark("gcc")  # registered as "cc"
+
+    def test_descriptions_non_empty(self):
+        assert all(bm.description for bm in all_benchmarks())
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_builds_validates_and_runs(self, name):
+        program = get_benchmark(name).build(SMALL)
+        program.validate()
+        trace = run_program(program, max_instructions=500_000)
+        assert len(trace) > 100
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_deterministic(self, name):
+        t1 = run_program(get_benchmark(name).build(SMALL))
+        t2 = run_program(get_benchmark(name).build(SMALL))
+        assert len(t1) == len(t2)
+        assert [d.pc for d in t1[:500]] == [d.pc for d in t2[:500]]
+
+    @pytest.mark.parametrize("name", ["compress", "tomcatv", "go"])
+    def test_scale_grows_work(self, name):
+        small = run_program(get_benchmark(name).build(0.2))
+        large = run_program(get_benchmark(name).build(1.0))
+        assert len(large) > len(small)
+
+    def test_fp_suite_actually_uses_fp(self):
+        for bm in fp_benchmarks():
+            trace = run_program(bm.build(SMALL))
+            assert any(d.op.op_class.value == "fp" for d in trace), bm.name
+
+    def test_int_suite_mostly_integer(self):
+        for bm in integer_benchmarks():
+            trace = run_program(bm.build(SMALL))
+            fp = sum(1 for d in trace if d.op.op_class.value == "fp")
+            assert fp / len(trace) < 0.05, bm.name
+
+
+class TestShapes:
+    """The suite-level task-shape contrasts Table 1 relies on."""
+
+    def test_li_has_frequent_calls(self):
+        trace = run_program(get_benchmark("li").build(SMALL))
+        calls = sum(1 for d in trace if d.op.value == "call")
+        assert calls / len(trace) > 0.01
+
+    def test_fpppp_has_giant_blocks(self):
+        program = get_benchmark("fpppp").build(SMALL)
+        biggest = max(
+            blk.size for fn in program.functions() for blk in fn.blocks()
+        )
+        assert biggest > 150
+
+    def test_go_branches_are_hard(self):
+        from repro.predict import GsharePredictor
+
+        trace = run_program(get_benchmark("go").build(0.3))
+        g = GsharePredictor()
+        for d in trace:
+            if d.op.is_branch:
+                g.update(d.pc, d.taken)
+        assert g.accuracy < 0.93  # irregular control flow
+
+    def test_tomcatv_branches_are_easy(self):
+        from repro.predict import GsharePredictor
+
+        trace = run_program(get_benchmark("tomcatv").build(0.3))
+        g = GsharePredictor()
+        for d in trace:
+            if d.op.is_branch:
+                g.update(d.pc, d.taken)
+        assert g.accuracy > 0.93  # loop-dominated control flow
+
+
+class TestHostLcg:
+    def test_reproducible(self):
+        a, b = host_lcg(42), host_lcg(42)
+        assert [a() for _ in range(10)] == [b() for _ in range(10)]
+
+    def test_stays_in_31_bits(self):
+        rng = host_lcg(7)
+        assert all(0 <= rng() < 2**31 for _ in range(100))
