@@ -6,7 +6,15 @@ Commands:
 * ``figure5`` — regenerate the Figure 5 grid.
 * ``table1`` — regenerate Table 1.
 * ``breakdown`` — Figure 2 cycle accounting.
+* ``centralized`` — distributed vs centralized motivation study.
+* ``cache`` — inspect or clear the persistent artifact cache.
 * ``list`` — list the available benchmarks.
+
+Grid commands execute through :mod:`repro.harness`: ``--jobs N``
+fans the grid out over N worker processes (0 = one per CPU), the
+artifact cache under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``)
+makes repeat sweeps near-instant (disable with ``--no-cache``), and
+``--json PATH`` writes the machine-readable record grid.
 """
 
 from __future__ import annotations
@@ -24,6 +32,13 @@ from repro.experiments.centralized import (
 from repro.experiments.figure5 import format_figure5, run_figure5
 from repro.experiments.runner import run_benchmark
 from repro.experiments.table1 import format_table1, run_table1
+from repro.harness import (
+    ArtifactCache,
+    RunLedger,
+    grid_records,
+    write_records_json,
+)
+from repro.harness.ledger import default_progress
 from repro.workloads import all_benchmarks
 
 _LEVELS = {level.value: level for level in HeuristicLevel}
@@ -38,10 +53,34 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--benchmarks", default="",
         help="comma-separated benchmark names (default: all)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes for the grid (default 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent artifact cache",
+    )
 
 
 def _names(args: argparse.Namespace) -> List[str]:
     return [n for n in args.benchmarks.split(",") if n]
+
+
+def _harness_kwargs(args: argparse.Namespace) -> dict:
+    """jobs / cache / ledger wiring shared by every grid command."""
+    if args.no_cache:
+        return {"jobs": args.jobs, "cache": None, "ledger": None}
+    cache = ArtifactCache()
+    ledger = RunLedger(cache.ledger_path, progress=default_progress())
+    return {"jobs": args.jobs, "cache": cache, "ledger": ledger}
+
+
+def _maybe_json(args: argparse.Namespace, command: str, records_dict) -> None:
+    if getattr(args, "json", None):
+        write_records_json(
+            args.json, command, grid_records(records_dict), args.scale
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,14 +108,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="restrict to one PU count (default: 4 and 8)")
     fig_p.add_argument("--in-order", action="store_true",
                        help="in-order PUs only (default: both)")
+    fig_p.add_argument("--json", default="",
+                       help="also write the record grid as JSON to this path")
 
     tab_p = sub.add_parser("table1", help="regenerate Table 1")
     _add_common(tab_p)
     tab_p.add_argument("--pus", type=int, default=8)
+    tab_p.add_argument("--json", default="",
+                       help="also write the record grid as JSON to this path")
 
     brk_p = sub.add_parser("breakdown", help="Figure 2 cycle accounting")
     _add_common(brk_p)
     brk_p.add_argument("--pus", type=int, default=4)
+    brk_p.add_argument("--json", default="",
+                       help="also write the record grid as JSON to this path")
 
     cen_p = sub.add_parser(
         "centralized",
@@ -84,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(cen_p)
     cen_p.add_argument("--pus", type=int, default=8)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the persistent artifact cache"
+    )
+    cache_p.add_argument("action", choices=["stats", "clear"])
 
     sub.add_parser("list", help="list the available benchmarks")
     return parser
@@ -123,29 +173,51 @@ def _cmd_figure5(args: argparse.Namespace) -> str:
     modes = [False] if args.in_order else [True, False]
     configs = [(n, ooo) for ooo in modes for n in pus]
     result = run_figure5(
-        benchmarks=_names(args), configs=configs, scale=args.scale
+        benchmarks=_names(args), configs=configs, scale=args.scale,
+        **_harness_kwargs(args),
     )
+    _maybe_json(args, "figure5", result.records)
     return format_figure5(result, configs=configs)
 
 
 def _cmd_table1(args: argparse.Namespace) -> str:
     result = run_table1(
-        benchmarks=_names(args), n_pus=args.pus, scale=args.scale
+        benchmarks=_names(args), n_pus=args.pus, scale=args.scale,
+        **_harness_kwargs(args),
     )
+    _maybe_json(args, "table1", result.records)
     return format_table1(result)
 
 
 def _cmd_breakdown(args: argparse.Namespace) -> str:
     names = _names(args) or ["compress", "m88ksim", "tomcatv", "hydro2d"]
-    result = run_breakdown(names, n_pus=args.pus, scale=args.scale)
+    result = run_breakdown(names, n_pus=args.pus, scale=args.scale,
+                           **_harness_kwargs(args))
+    _maybe_json(args, "breakdown", result.records)
     return format_breakdown(result)
 
 
 def _cmd_centralized(args: argparse.Namespace) -> str:
     names = _names(args) or ["compress", "m88ksim", "tomcatv", "wave5"]
     result = run_centralized_comparison(names, n_pus=args.pus,
-                                        scale=args.scale)
+                                        scale=args.scale,
+                                        **_harness_kwargs(args))
     return format_centralized(result)
+
+
+def _cmd_cache(args: argparse.Namespace) -> str:
+    cache = ArtifactCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        return f"cleared {removed} artifact(s) from {cache.root}"
+    stats = cache.stats()
+    return "\n".join([
+        f"cache root : {cache.root}",
+        f"records    : {stats['records']}",
+        f"compiled   : {stats['compiled']}",
+        f"size       : {stats['bytes'] / 1024.0:.1f} KiB",
+        f"code salt  : {cache.salt[:16]}",
+    ])
 
 
 def _cmd_list(_args: argparse.Namespace) -> str:
@@ -161,6 +233,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "breakdown": _cmd_breakdown,
     "centralized": _cmd_centralized,
+    "cache": _cmd_cache,
     "list": _cmd_list,
 }
 

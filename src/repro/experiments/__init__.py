@@ -10,8 +10,28 @@
 * :mod:`~repro.experiments.breakdown` — Figure 2 cycle accounting.
 * :mod:`~repro.experiments.ablations` — N-target / threshold /
   sync-table / forwarding-policy sweeps (DESIGN.md §4).
+
+All grid drivers accept ``jobs`` / ``cache`` / ``ledger`` and submit
+their cells through :mod:`repro.harness` — a process-pool scheduler
+with a persistent artifact cache — instead of looping over
+:func:`run_benchmark` themselves.  ``jobs=1`` (the default) is the
+exact historical serial path.
 """
 
-from repro.experiments.runner import RunRecord, clear_cache, run_benchmark
+from repro.experiments.runner import (
+    Compiled,
+    RunRecord,
+    clear_cache,
+    compile_benchmark,
+    compile_cache_key,
+    run_benchmark,
+)
 
-__all__ = ["RunRecord", "clear_cache", "run_benchmark"]
+__all__ = [
+    "Compiled",
+    "RunRecord",
+    "clear_cache",
+    "compile_benchmark",
+    "compile_cache_key",
+    "run_benchmark",
+]

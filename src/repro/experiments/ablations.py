@@ -14,12 +14,28 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler import HeuristicLevel, SelectionConfig
-from repro.experiments.runner import RunRecord, run_benchmark
+from repro.experiments.runner import RunRecord
+from repro.harness.cache import ArtifactCache
+from repro.harness.ledger import RunLedger
+from repro.harness.scheduler import run_specs
+from repro.harness.spec import RunSpec
 from repro.sim import SimConfig
 from repro.sim.config import ForwardPolicy
+
+
+def _sweep(
+    keys: List,
+    specs: List[RunSpec],
+    jobs: int,
+    cache: Optional[ArtifactCache],
+    ledger: Optional[RunLedger],
+) -> Dict:
+    """Submit a sweep grid through the harness and key its records."""
+    return dict(zip(keys, run_specs(specs, jobs=jobs, cache=cache,
+                                    ledger=ledger)))
 
 
 def sweep_max_targets(
@@ -27,22 +43,25 @@ def sweep_max_targets(
     values: Sequence[int] = (1, 2, 4, 8),
     n_pus: int = 4,
     scale: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> Dict[Tuple[str, int], RunRecord]:
     """IPC as a function of the successor limit N."""
-    out: Dict[Tuple[str, int], RunRecord] = {}
+    keys, specs = [], []
     for name in benchmarks:
         for n in values:
-            selection = SelectionConfig(
-                level=HeuristicLevel.DATA_DEPENDENCE, max_targets=n
-            )
-            out[(name, n)] = run_benchmark(
-                name,
-                HeuristicLevel.DATA_DEPENDENCE,
+            keys.append((name, n))
+            specs.append(RunSpec(
+                benchmark=name,
+                level=HeuristicLevel.DATA_DEPENDENCE,
                 n_pus=n_pus,
                 scale=scale,
-                selection=selection,
-            )
-    return out
+                selection=SelectionConfig(
+                    level=HeuristicLevel.DATA_DEPENDENCE, max_targets=n
+                ),
+            ))
+    return _sweep(keys, specs, jobs, cache, ledger)
 
 
 def sweep_thresholds(
@@ -50,44 +69,50 @@ def sweep_thresholds(
     values: Sequence[int] = (10, 30, 100),
     n_pus: int = 4,
     scale: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> Dict[Tuple[str, int], RunRecord]:
     """IPC as CALL_THRESH = LOOP_THRESH varies (task size heuristic)."""
-    out: Dict[Tuple[str, int], RunRecord] = {}
+    keys, specs = [], []
     for name in benchmarks:
         for thresh in values:
-            selection = SelectionConfig(
+            keys.append((name, thresh))
+            specs.append(RunSpec(
+                benchmark=name,
                 level=HeuristicLevel.TASK_SIZE,
-                call_thresh=thresh,
-                loop_thresh=thresh,
-            )
-            out[(name, thresh)] = run_benchmark(
-                name,
-                HeuristicLevel.TASK_SIZE,
                 n_pus=n_pus,
                 scale=scale,
-                selection=selection,
-            )
-    return out
+                selection=SelectionConfig(
+                    level=HeuristicLevel.TASK_SIZE,
+                    call_thresh=thresh,
+                    loop_thresh=thresh,
+                ),
+            ))
+    return _sweep(keys, specs, jobs, cache, ledger)
 
 
 def sweep_sync_table(
     benchmarks: Sequence[str],
     n_pus: int = 4,
     scale: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> Dict[Tuple[str, bool], RunRecord]:
     """Memory squashes and IPC with and without the sync table."""
-    out: Dict[Tuple[str, bool], RunRecord] = {}
+    keys, specs = [], []
     for name in benchmarks:
         for enabled in (True, False):
-            sim = SimConfig(sync_table_size=256 if enabled else 0)
-            out[(name, enabled)] = run_benchmark(
-                name,
-                HeuristicLevel.DATA_DEPENDENCE,
+            keys.append((name, enabled))
+            specs.append(RunSpec(
+                benchmark=name,
+                level=HeuristicLevel.DATA_DEPENDENCE,
                 n_pus=n_pus,
                 scale=scale,
-                sim=sim,
-            )
-    return out
+                sim=SimConfig(sync_table_size=256 if enabled else 0),
+            ))
+    return _sweep(keys, specs, jobs, cache, ledger)
 
 
 def sweep_arb_size(
@@ -95,6 +120,9 @@ def sweep_arb_size(
     values: Sequence[int] = (4, 32, 0),
     n_pus: int = 4,
     scale: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> Dict[Tuple[str, int], RunRecord]:
     """IPC as ARB capacity varies (0 = unbounded).
 
@@ -102,44 +130,50 @@ def sweep_arb_size(
     speculation resolves; this is one of the paper's arguments for
     bounding task size.
     """
-    out: Dict[Tuple[str, int], RunRecord] = {}
+    keys, specs = [], []
     for name in benchmarks:
         for entries in values:
-            sim = SimConfig(arb_entries_per_pu=entries)
-            out[(name, entries)] = run_benchmark(
-                name,
-                HeuristicLevel.TASK_SIZE,
+            keys.append((name, entries))
+            specs.append(RunSpec(
+                benchmark=name,
+                level=HeuristicLevel.TASK_SIZE,
                 n_pus=n_pus,
                 scale=scale,
-                sim=sim,
-            )
-    return out
+                sim=SimConfig(arb_entries_per_pu=entries),
+            ))
+    return _sweep(keys, specs, jobs, cache, ledger)
 
 
 def sweep_forward_policy(
     benchmarks: Sequence[str],
     n_pus: int = 4,
     scale: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> Dict[Tuple[str, ForwardPolicy], RunRecord]:
     """IPC under schedule / eager / lazy register forwarding."""
-    out: Dict[Tuple[str, ForwardPolicy], RunRecord] = {}
+    keys, specs = [], []
     for name in benchmarks:
         for policy in ForwardPolicy:
-            sim = SimConfig(forward_policy=policy)
-            out[(name, policy)] = run_benchmark(
-                name,
-                HeuristicLevel.DATA_DEPENDENCE,
+            keys.append((name, policy))
+            specs.append(RunSpec(
+                benchmark=name,
+                level=HeuristicLevel.DATA_DEPENDENCE,
                 n_pus=n_pus,
                 scale=scale,
-                sim=sim,
-            )
-    return out
+                sim=SimConfig(forward_policy=policy),
+            ))
+    return _sweep(keys, specs, jobs, cache, ledger)
 
 
 def sweep_profile_input(
     benchmarks: Sequence[str],
     n_pus: int = 4,
     scale: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> Dict[Tuple[str, str], RunRecord]:
     """Profile-input sensitivity: select tasks on "train" data, run
     "ref" data, vs the paper's same-input profiling.
@@ -148,19 +182,24 @@ def sweep_profile_input(
     dependence ranks), so a representative train input should produce
     nearly the same partition and IPC.
     """
-    out: Dict[Tuple[str, str], RunRecord] = {}
+    keys, specs = [], []
     for name in benchmarks:
-        out[(name, "same-input")] = run_benchmark(
-            name, HeuristicLevel.DATA_DEPENDENCE, n_pus=n_pus, scale=scale
-        )
-        out[(name, "train-profiled")] = run_benchmark(
-            name,
-            HeuristicLevel.DATA_DEPENDENCE,
+        keys.append((name, "same-input"))
+        specs.append(RunSpec(
+            benchmark=name,
+            level=HeuristicLevel.DATA_DEPENDENCE,
+            n_pus=n_pus,
+            scale=scale,
+        ))
+        keys.append((name, "train-profiled"))
+        specs.append(RunSpec(
+            benchmark=name,
+            level=HeuristicLevel.DATA_DEPENDENCE,
             n_pus=n_pus,
             scale=scale,
             profile_input="train",
-        )
-    return out
+        ))
+    return _sweep(keys, specs, jobs, cache, ledger)
 
 
 def format_sweep(records: Dict, label: str) -> str:

@@ -15,10 +15,14 @@ penalties grow with task size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler import HeuristicLevel
-from repro.experiments.runner import RunRecord, run_benchmark
+from repro.experiments.runner import RunRecord
+from repro.harness.cache import ArtifactCache
+from repro.harness.ledger import RunLedger
+from repro.harness.scheduler import run_specs
+from repro.harness.spec import RunSpec
 from repro.sim import StallReason
 
 BREAKDOWN_LEVELS: Tuple[HeuristicLevel, ...] = (
@@ -54,14 +58,22 @@ def run_breakdown(
     n_pus: int = 4,
     levels: Sequence[HeuristicLevel] = BREAKDOWN_LEVELS,
     scale: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> BreakdownResult:
     """Measure the cycle breakdown for the selected benchmarks."""
-    result = BreakdownResult()
+    keys: List[Tuple[str, HeuristicLevel]] = []
+    specs: List[RunSpec] = []
     for name in benchmarks:
         for level in levels:
-            result.records[(name, level)] = run_benchmark(
-                name, level, n_pus=n_pus, scale=scale
-            )
+            keys.append((name, level))
+            specs.append(RunSpec(
+                benchmark=name, level=level, n_pus=n_pus, scale=scale,
+            ))
+    records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger)
+    result = BreakdownResult()
+    result.records = dict(zip(keys, records))
     return result
 
 

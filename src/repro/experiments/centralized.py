@@ -21,10 +21,14 @@ distributed machine already wins at equal clock.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler import HeuristicLevel
-from repro.experiments.runner import RunRecord, run_benchmark
+from repro.experiments.runner import RunRecord
+from repro.harness.cache import ArtifactCache
+from repro.harness.ledger import RunLedger
+from repro.harness.scheduler import run_specs
+from repro.harness.spec import RunSpec
 from repro.sim import SimConfig
 
 
@@ -71,23 +75,30 @@ def run_centralized_comparison(
     benchmarks: Sequence[str],
     n_pus: int = 8,
     scale: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> CentralizedResult:
     """Run the distributed vs. centralized grid."""
-    result = CentralizedResult(n_pus=n_pus)
+    keys: List[Tuple[str, str]] = []
+    specs: List[RunSpec] = []
     for name in benchmarks:
-        result.records[(name, "distributed")] = run_benchmark(
-            name,
-            HeuristicLevel.DATA_DEPENDENCE,
-            n_pus=n_pus,
-            scale=scale,
-        )
-        result.records[(name, "centralized")] = run_benchmark(
-            name,
-            HeuristicLevel.BASIC_BLOCK,  # sequential stream, no selection
+        keys.append((name, "distributed"))
+        specs.append(RunSpec(
+            benchmark=name, level=HeuristicLevel.DATA_DEPENDENCE,
+            n_pus=n_pus, scale=scale,
+        ))
+        keys.append((name, "centralized"))
+        specs.append(RunSpec(
+            benchmark=name,
+            level=HeuristicLevel.BASIC_BLOCK,  # sequential, no selection
             n_pus=1,
             scale=scale,
             sim=centralized_config(n_pus),
-        )
+        ))
+    records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger)
+    result = CentralizedResult(n_pus=n_pus)
+    result.records = dict(zip(keys, records))
     return result
 
 

@@ -17,10 +17,14 @@ over control flow.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler import HeuristicLevel
-from repro.experiments.runner import RunRecord, run_benchmark
+from repro.experiments.runner import RunRecord
+from repro.harness.cache import ArtifactCache
+from repro.harness.ledger import RunLedger
+from repro.harness.scheduler import run_specs
+from repro.harness.spec import RunSpec
 from repro.metrics import geometric_mean, improvement_percent
 from repro.workloads import all_benchmarks
 
@@ -96,17 +100,30 @@ def run_figure5(
     configs: Sequence[ConfigKey] = DEFAULT_CONFIGS,
     levels: Sequence[HeuristicLevel] = LEVELS,
     scale: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> Figure5Result:
-    """Run the Figure 5 grid (all benchmarks by default)."""
+    """Run the Figure 5 grid (all benchmarks by default).
+
+    The grid is submitted through the harness: ``jobs`` workers
+    (``0``/``None`` = one per CPU), with compilation shared per
+    (benchmark, level) and optional persistent caching.
+    """
     names = list(benchmarks) or [bm.name for bm in all_benchmarks()]
-    result = Figure5Result()
+    keys: List[Tuple[str, HeuristicLevel, ConfigKey]] = []
+    specs: List[RunSpec] = []
     for name in names:
         for level in levels:
             for n_pus, ooo in configs:
-                record = run_benchmark(
-                    name, level, n_pus=n_pus, out_of_order=ooo, scale=scale
-                )
-                result.records[(name, level, (n_pus, ooo))] = record
+                keys.append((name, level, (n_pus, ooo)))
+                specs.append(RunSpec(
+                    benchmark=name, level=level, n_pus=n_pus,
+                    out_of_order=ooo, scale=scale,
+                ))
+    records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger)
+    result = Figure5Result()
+    result.records = dict(zip(keys, records))
     return result
 
 

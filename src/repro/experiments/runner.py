@@ -10,7 +10,7 @@ in-order vs out-of-order) reuse them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import astuple, dataclass, replace
 from typing import Dict, Optional, Tuple
 
 from repro.compiler import HeuristicLevel, SelectionConfig, TaskPartition, select_tasks
@@ -26,7 +26,12 @@ from repro.sim import (
 )
 from repro.workloads import get_benchmark
 
-_CompileKey = Tuple[str, HeuristicLevel, float, int, int, int, str, str]
+#: (benchmark, scale, input_set, profile_input, *all SelectionConfig
+#: fields).  Deriving the tail from ``dataclasses.astuple`` keeps the
+#: key complete as the config grows — hand-picking fields once caused
+#: configs differing only in unlisted fields to alias a cached
+#: partition.
+_CompileKey = Tuple
 
 
 @dataclass
@@ -90,6 +95,40 @@ def clear_cache() -> None:
     _compile_cache.clear()
 
 
+def resolve_selection(
+    level: HeuristicLevel, selection: Optional[SelectionConfig]
+) -> SelectionConfig:
+    """The selection config a run will actually use."""
+    selection = selection or SelectionConfig(level=level)
+    if selection.level is not level:
+        selection = replace(selection, level=level)
+    return selection
+
+
+def compile_cache_key(
+    name: str,
+    level: HeuristicLevel,
+    scale: float = 1.0,
+    selection: Optional[SelectionConfig] = None,
+    input_set: str = "ref",
+    profile_input: Optional[str] = None,
+) -> _CompileKey:
+    """In-memory cache key covering *every* selection field."""
+    selection = resolve_selection(level, selection)
+    profile_input = profile_input or input_set
+    return (name, scale, input_set, profile_input) + astuple(selection)
+
+
+def seed_compiled(key: _CompileKey, compiled: Compiled) -> None:
+    """Pre-populate the in-memory cache (harness warm-start path)."""
+    _compile_cache.setdefault(key, compiled)
+
+
+def peek_compiled(key: _CompileKey) -> Optional[Compiled]:
+    """Look up a compilation without building it."""
+    return _compile_cache.get(key)
+
+
 def compile_benchmark(
     name: str,
     level: HeuristicLevel,
@@ -105,19 +144,10 @@ def compile_benchmark(
     default profiles and measures the same data, as in the paper; pass
     ``profile_input="train"`` to study profile-input sensitivity.
     """
-    selection = selection or SelectionConfig(level=level)
-    if selection.level is not level:
-        selection = replace(selection, level=level)
+    selection = resolve_selection(level, selection)
     profile_input = profile_input or input_set
-    key = (
-        name,
-        level,
-        scale,
-        selection.max_targets,
-        selection.call_thresh,
-        selection.loop_thresh,
-        input_set,
-        profile_input,
+    key = compile_cache_key(
+        name, level, scale, selection, input_set, profile_input
     )
     cached = _compile_cache.get(key)
     if cached is not None:

@@ -20,10 +20,14 @@ basic block spans, with fp spans well above integer spans.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler import HeuristicLevel
-from repro.experiments.runner import RunRecord, run_benchmark
+from repro.experiments.runner import RunRecord
+from repro.harness.cache import ArtifactCache
+from repro.harness.ledger import RunLedger
+from repro.harness.scheduler import run_specs
+from repro.harness.spec import RunSpec
 from repro.workloads import all_benchmarks
 
 TABLE1_LEVELS: Tuple[HeuristicLevel, ...] = (
@@ -50,15 +54,24 @@ def run_table1(
     benchmarks: Sequence[str] = (),
     n_pus: int = 8,
     scale: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> Table1Result:
     """Measure every Table 1 column for the selected benchmarks."""
     names = list(benchmarks) or [bm.name for bm in all_benchmarks()]
-    result = Table1Result()
+    keys: List[Tuple[str, HeuristicLevel]] = []
+    specs: List[RunSpec] = []
     for name in names:
         for level in TABLE1_LEVELS:
-            result.records[(name, level)] = run_benchmark(
-                name, level, n_pus=n_pus, out_of_order=True, scale=scale
-            )
+            keys.append((name, level))
+            specs.append(RunSpec(
+                benchmark=name, level=level, n_pus=n_pus,
+                out_of_order=True, scale=scale,
+            ))
+    records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger)
+    result = Table1Result()
+    result.records = dict(zip(keys, records))
     return result
 
 

@@ -1,0 +1,157 @@
+"""Persistent content-addressed artifact cache.
+
+Layout under the cache root (``$REPRO_CACHE_DIR`` or
+``~/.cache/repro``)::
+
+    records/<spec_hash>.pkl      finished RunRecords
+    compiled/<compile_hash>.pkl  Compiled products (partition/trace/stream)
+    ledger.jsonl                 append-only run ledger (see ledger.py)
+
+Every key is salted with a **code version** — a digest of the
+``repro`` package sources — so editing the simulator or compiler
+invalidates stale artifacts without any manual versioning.  Writes
+are atomic (temp file in the same directory + ``os.replace``) so
+concurrent workers and interrupted runs never leave torn pickles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import uuid
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.harness.spec import RunSpec
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (the default cache salt)."""
+    global _code_version_cache
+    if _code_version_cache is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        sha = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            sha.update(str(path.relative_to(root)).encode("utf-8"))
+            sha.update(b"\x00")
+            sha.update(path.read_bytes())
+        _code_version_cache = sha.hexdigest()
+    return _code_version_cache
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+class ArtifactCache:
+    """Pickle store keyed by content hash + code-version salt.
+
+    The object is cheap and picklable (a path and a salt string), so
+    the scheduler can hand it to worker processes, which write
+    compiled artifacts directly from the worker side.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 salt: Optional[str] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.salt = code_version() if salt is None else salt
+
+    # -- paths ---------------------------------------------------------
+
+    @property
+    def records_dir(self) -> Path:
+        return self.root / "records"
+
+    @property
+    def compiled_dir(self) -> Path:
+        return self.root / "compiled"
+
+    @property
+    def ledger_path(self) -> Path:
+        return self.root / "ledger.jsonl"
+
+    # -- pickle I/O ----------------------------------------------------
+
+    @staticmethod
+    def _load(path: Path):
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError, TypeError, KeyError):
+            # A torn or stale artifact is a miss, never an error.
+            return None
+
+    @staticmethod
+    def _store(path: Path, obj) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+    # -- records -------------------------------------------------------
+
+    def get_record(self, spec: RunSpec):
+        return self._load(self.records_dir / f"{spec.spec_hash(self.salt)}.pkl")
+
+    def put_record(self, spec: RunSpec, record) -> None:
+        self._store(
+            self.records_dir / f"{spec.spec_hash(self.salt)}.pkl", record
+        )
+
+    # -- compiled products ---------------------------------------------
+
+    def get_compiled(self, spec: RunSpec):
+        return self._load(
+            self.compiled_dir / f"{spec.compile_hash(self.salt)}.pkl"
+        )
+
+    def put_compiled(self, spec: RunSpec, compiled) -> None:
+        self._store(
+            self.compiled_dir / f"{spec.compile_hash(self.salt)}.pkl", compiled
+        )
+
+    # -- maintenance ---------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Entry counts and total size (for ``repro cache stats``)."""
+        out = {"records": 0, "compiled": 0, "bytes": 0}
+        for kind, directory in (
+            ("records", self.records_dir),
+            ("compiled", self.compiled_dir),
+        ):
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.pkl"):
+                out[kind] += 1
+                out["bytes"] += path.stat().st_size
+        return out
+
+    def clear(self) -> int:
+        """Delete all cached artifacts and the ledger; return count."""
+        removed = 0
+        for directory in (self.records_dir, self.compiled_dir):
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.pkl"):
+                path.unlink()
+                removed += 1
+        if self.ledger_path.exists():
+            self.ledger_path.unlink()
+        return removed

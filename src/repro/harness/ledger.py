@@ -1,0 +1,136 @@
+"""Append-only run ledger plus a live progress line.
+
+Every job the scheduler finishes — cache hit or fresh execution,
+success or failure — appends one JSON object to a ``ledger.jsonl``
+file::
+
+    {"ts": 1699.2, "spec_hash": "ab12..", "job": "compress/...",
+     "benchmark": "compress", "level": "control_flow", "n_pus": 4,
+     "out_of_order": true, "cache": "hit"|"miss", "retries": 0,
+     "outcome": "ok"|"error"|"timeout", "wall_seconds": 0.42,
+     "error": null}
+
+The ledger is the audit trail for sweeps: it answers "what actually
+ran, how long did it take, and what came from the cache" without
+re-running anything, and the tests use it to prove warm-cache runs
+never re-enter the interpreter.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import IO, List, Optional
+
+from repro.harness.spec import RunSpec
+
+
+@dataclass
+class LedgerEntry:
+    """One finished job (see module docstring for the JSONL schema)."""
+
+    spec_hash: str
+    job: str
+    benchmark: str
+    level: str
+    n_pus: int
+    out_of_order: bool
+    cache: str  # "hit" | "miss"
+    retries: int
+    outcome: str  # "ok" | "error" | "timeout"
+    wall_seconds: float
+    error: Optional[str] = None
+
+    @classmethod
+    def for_spec(cls, spec: RunSpec, spec_hash: str, *, cache: str,
+                 retries: int, outcome: str, wall_seconds: float,
+                 error: Optional[str] = None) -> "LedgerEntry":
+        return cls(
+            spec_hash=spec_hash,
+            job=spec.describe(),
+            benchmark=spec.benchmark,
+            level=spec.level.value,
+            n_pus=spec.n_pus,
+            out_of_order=spec.out_of_order,
+            cache=cache,
+            retries=retries,
+            outcome=outcome,
+            wall_seconds=round(wall_seconds, 6),
+            error=error,
+        )
+
+
+class RunLedger:
+    """Appends entries to a JSONL file and narrates progress.
+
+    ``progress`` is any writable text stream (the CLI passes
+    ``sys.stderr``); ``None`` keeps the ledger silent, which is what
+    tests and library callers want.
+    """
+
+    def __init__(self, path, progress: Optional[IO[str]] = None) -> None:
+        self.path = Path(path)
+        self.progress = progress
+        self._total = 0
+        self._done = 0
+
+    def open_run(self, total: int) -> None:
+        """Reset the progress counter for a new submission of ``total`` jobs."""
+        self._total = total
+        self._done = 0
+
+    def record(self, entry: LedgerEntry) -> None:
+        """Append one entry (flushed immediately) and update progress."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"ts": round(time.time(), 3)}
+        payload.update(asdict(entry))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload) + "\n")
+        self._done += 1
+        self._narrate(entry)
+
+    def _narrate(self, entry: LedgerEntry) -> None:
+        if self.progress is None:
+            return
+        line = (
+            f"\r[{self._done}/{self._total}] {entry.job} "
+            f"{entry.cache} {entry.outcome} {entry.wall_seconds:.2f}s"
+        )
+        end = "\n" if self._done >= self._total else ""
+        try:
+            self.progress.write(line.ljust(72) + end)
+            self.progress.flush()
+        except (OSError, ValueError):  # closed stream: progress is best-effort
+            self.progress = None
+
+
+def read_ledger(path) -> List[dict]:
+    """Parse a ledger file back into dicts (skipping torn lines)."""
+    entries: List[dict] = []
+    path = Path(path)
+    if not path.exists():
+        return entries
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return entries
+
+
+def default_progress() -> Optional[IO[str]]:
+    """stderr when it is a live console, else silent."""
+    stream = sys.stderr
+    try:
+        if stream.isatty():
+            return stream
+    except (AttributeError, ValueError):
+        pass
+    return None

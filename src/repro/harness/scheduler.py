@@ -1,0 +1,269 @@
+"""Job-graph scheduler: group by compile key, fan out, retry, cache.
+
+The dependence structure of every paper artefact is known statically:
+cells sharing a ``(benchmark, scale, selection, input)`` tuple share
+one compilation (partition / trace / task stream), and everything
+else is independent.  :func:`run_specs` exploits exactly that shape:
+
+1. resolve **record cache hits** up front (no work scheduled);
+2. group the misses by compile signature;
+3. run each group as one job — compile once (warm-started from the
+   persistent compiled-artifact cache when possible), then simulate
+   every machine configuration in the group;
+4. fan groups out over a ``ProcessPoolExecutor`` (``jobs`` workers,
+   default ``os.cpu_count()``), with a per-job timeout and a bounded
+   retry on failure; ``jobs=1`` degrades to a plain in-process loop
+   with no pool, byte-identical to the historical serial path.
+
+Results come back aligned with the input specs, so callers rebuild
+their keyed grids with ``zip``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeout,
+)
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import (
+    RunRecord,
+    compile_cache_key,
+    peek_compiled,
+    run_benchmark,
+    seed_compiled,
+)
+from repro.harness.cache import ArtifactCache
+from repro.harness.ledger import LedgerEntry, RunLedger
+from repro.harness.spec import RunSpec
+
+#: a worker maps one spec to one record (injectable for tests)
+Worker = Callable[[RunSpec], RunRecord]
+
+#: re-raised per group after retries are exhausted
+class HarnessError(RuntimeError):
+    """One or more jobs failed after all retries."""
+
+    def __init__(self, failures: Sequence[Tuple[RunSpec, str]]) -> None:
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} job(s) failed:"]
+        lines += [f"  {spec.describe()}: {reason}"
+                  for spec, reason in self.failures]
+        super().__init__("\n".join(lines))
+
+
+def execute_spec(spec: RunSpec) -> RunRecord:
+    """The default worker: the canonical pipeline for one cell."""
+    return run_benchmark(
+        spec.benchmark,
+        spec.level,
+        n_pus=spec.n_pus,
+        out_of_order=spec.out_of_order,
+        scale=spec.scale,
+        selection=spec.selection,
+        sim=spec.sim,
+        input_set=spec.input_set,
+        profile_input=spec.profile_input,
+    )
+
+
+def _run_group(
+    specs: Sequence[RunSpec],
+    worker: Worker,
+    cache: Optional[ArtifactCache],
+) -> List[Tuple[RunRecord, float]]:
+    """Execute one compile group; runs inside a worker process.
+
+    With the default worker, the group's compilation is warm-started
+    from the persistent cache and, when freshly built, written back —
+    so sibling groups in later sweeps (and crashed runs) reuse it.
+    """
+    use_artifacts = cache is not None and worker is execute_spec
+    key = None
+    seeded = False
+    if use_artifacts:
+        first = specs[0]
+        key = compile_cache_key(
+            first.benchmark,
+            first.level,
+            first.scale,
+            first.selection,
+            first.input_set,
+            first.profile_input,
+        )
+        compiled = cache.get_compiled(first)
+        if compiled is not None:
+            seed_compiled(key, compiled)
+            seeded = True
+    out: List[Tuple[RunRecord, float]] = []
+    for spec in specs:
+        start = time.perf_counter()
+        record = worker(spec)
+        out.append((record, time.perf_counter() - start))
+    if use_artifacts and not seeded:
+        compiled = peek_compiled(key)
+        if compiled is not None:
+            cache.put_compiled(specs[0], compiled)
+    return out
+
+
+def _group_by_compile(
+    indexed: Sequence[Tuple[int, RunSpec]],
+) -> List[List[Tuple[int, RunSpec]]]:
+    """Partition (index, spec) pairs by compile signature, stably."""
+    groups: Dict[Tuple, List[Tuple[int, RunSpec]]] = {}
+    order: List[Tuple] = []
+    for index, spec in indexed:
+        signature = spec.compile_signature()
+        if signature not in groups:
+            groups[signature] = []
+            order.append(signature)
+        groups[signature].append((index, spec))
+    return [groups[signature] for signature in order]
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+    cache: Optional[ArtifactCache] = None,
+    ledger: Optional[RunLedger] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    worker: Optional[Worker] = None,
+    use_threads: bool = False,
+) -> List[RunRecord]:
+    """Run every spec, returning records aligned with ``specs``.
+
+    ``jobs`` defaults to ``os.cpu_count()``; ``jobs=1`` runs serially
+    in-process (no pool, no pickling — the graceful fallback).
+    ``timeout`` bounds each group job's wall time (pool mode only; a
+    timed-out job counts as a transient failure).  ``retries`` is the
+    number of *re*-submissions allowed per job.  ``use_threads``
+    swaps the process pool for threads — meant for tests injecting
+    unpicklable fake workers, not for throughput.
+
+    Raises :class:`HarnessError` after the whole grid has been
+    attempted if any job still failed.
+    """
+    specs = list(specs)
+    worker = worker or execute_spec
+    jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+    results: List[Optional[RunRecord]] = [None] * len(specs)
+    hashes = [
+        spec.spec_hash(cache.salt if cache is not None else "")
+        for spec in specs
+    ]
+    if ledger is not None:
+        ledger.open_run(len(specs))
+
+    pending: List[Tuple[int, RunSpec]] = []
+    for i, spec in enumerate(specs):
+        record = cache.get_record(spec) if cache is not None else None
+        if record is not None:
+            results[i] = record
+            if ledger is not None:
+                ledger.record(LedgerEntry.for_spec(
+                    spec, hashes[i], cache="hit", retries=0,
+                    outcome="ok", wall_seconds=0.0,
+                ))
+        else:
+            pending.append((i, spec))
+
+    groups = _group_by_compile(pending)
+    failures: List[Tuple[RunSpec, str]] = []
+
+    def _commit(group: List[Tuple[int, RunSpec]],
+                pairs: List[Tuple[RunRecord, float]], attempts: int) -> None:
+        for (i, spec), (record, wall) in zip(group, pairs):
+            results[i] = record
+            if cache is not None:
+                cache.put_record(spec, record)
+            if ledger is not None:
+                ledger.record(LedgerEntry.for_spec(
+                    spec, hashes[i], cache="miss", retries=attempts,
+                    outcome="ok", wall_seconds=wall,
+                ))
+
+    def _fail(group: List[Tuple[int, RunSpec]], attempts: int,
+              outcome: str, reason: str) -> None:
+        for i, spec in group:
+            failures.append((spec, reason))
+            if ledger is not None:
+                ledger.record(LedgerEntry.for_spec(
+                    spec, hashes[i], cache="miss", retries=attempts,
+                    outcome=outcome, wall_seconds=0.0, error=reason,
+                ))
+
+    if jobs == 1:
+        for group in groups:
+            group_specs = [spec for _, spec in group]
+            attempts = 0
+            while True:
+                try:
+                    pairs = _run_group(group_specs, worker, cache)
+                except Exception as exc:  # noqa: BLE001 — retried below
+                    if attempts < retries:
+                        attempts += 1
+                        continue
+                    _fail(group, attempts, "error", repr(exc))
+                    break
+                _commit(group, pairs, attempts)
+                break
+    elif groups:
+        pool_cls = ThreadPoolExecutor if use_threads else ProcessPoolExecutor
+        pool: Executor = pool_cls(max_workers=jobs)
+        try:
+            futures: Dict[int, Future] = {
+                g: pool.submit(_run_group, [s for _, s in group], worker, cache)
+                for g, group in enumerate(groups)
+            }
+            attempts_left = {g: retries for g in futures}
+            attempts_used = {g: 0 for g in futures}
+            while futures:
+                done_keys = []
+                for g, future in list(futures.items()):
+                    group = groups[g]
+                    try:
+                        pairs = future.result(timeout=timeout)
+                    except FutureTimeout:
+                        future.cancel()
+                        if attempts_left[g] > 0:
+                            attempts_left[g] -= 1
+                            attempts_used[g] += 1
+                            futures[g] = pool.submit(
+                                _run_group, [s for _, s in group],
+                                worker, cache,
+                            )
+                            continue
+                        _fail(group, attempts_used[g], "timeout",
+                              f"timed out after {timeout}s")
+                        done_keys.append(g)
+                        continue
+                    except Exception as exc:  # noqa: BLE001 — retried below
+                        if attempts_left[g] > 0:
+                            attempts_left[g] -= 1
+                            attempts_used[g] += 1
+                            futures[g] = pool.submit(
+                                _run_group, [s for _, s in group],
+                                worker, cache,
+                            )
+                            continue
+                        _fail(group, attempts_used[g], "error", repr(exc))
+                        done_keys.append(g)
+                        continue
+                    _commit(group, pairs, attempts_used[g])
+                    done_keys.append(g)
+                for g in done_keys:
+                    futures.pop(g, None)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    if failures:
+        raise HarnessError(failures)
+    return results  # type: ignore[return-value]  # all slots filled above

@@ -1,0 +1,66 @@
+"""JSON views of run records (the ``--json`` CLI output).
+
+A :class:`~repro.experiments.runner.RunRecord` is a plain dataclass
+except for the heuristic-level enum and the nested cycle breakdown;
+:func:`record_to_dict` flattens both and adds the derived Table 1
+metrics so downstream tooling never needs to re-implement them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.experiments.runner import RunRecord
+
+
+def record_to_dict(record: RunRecord) -> Dict:
+    """One record as JSON-ready primitives."""
+    return {
+        "benchmark": record.benchmark,
+        "suite": record.suite,
+        "level": record.level.value,
+        "n_pus": record.n_pus,
+        "out_of_order": record.out_of_order,
+        "cycles": record.cycles,
+        "instructions": record.instructions,
+        "ipc": record.ipc,
+        "dynamic_tasks": record.dynamic_tasks,
+        "mean_task_size": record.mean_task_size,
+        "mean_control_transfers": record.mean_control_transfers,
+        "mean_branches": record.mean_branches,
+        "task_prediction_accuracy": record.task_prediction_accuracy,
+        "branch_prediction_accuracy": record.branch_prediction_accuracy,
+        "control_squashes": record.control_squashes,
+        "memory_squashes": record.memory_squashes,
+        "mean_window_span_measured": record.mean_window_span_measured,
+        "task_misprediction_percent": record.task_misprediction_percent,
+        "branch_normalized_misprediction_percent": (
+            record.branch_normalized_misprediction_percent
+        ),
+        "window_span_formula": record.window_span_formula,
+        "breakdown": record.breakdown.as_dict(),
+    }
+
+
+def records_to_json(command: str, records: Iterable[RunRecord],
+                    scale: float = 1.0) -> str:
+    """A whole grid as a stable, pretty-printed JSON document."""
+    payload = {
+        "command": command,
+        "scale": scale,
+        "records": [record_to_dict(record) for record in records],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+def write_records_json(path, command: str, records: Iterable[RunRecord],
+                       scale: float = 1.0) -> None:
+    """Serialize a grid to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(records_to_json(command, records, scale))
+
+
+def grid_records(records_dict: Dict) -> List[RunRecord]:
+    """A result object's keyed grid in deterministic key order."""
+    return [records_dict[key] for key in sorted(records_dict, key=str)]

@@ -1,0 +1,124 @@
+"""Declarative job model for the execution harness.
+
+A :class:`RunSpec` names one experiment cell — everything
+:func:`repro.experiments.runner.run_benchmark` needs to produce a
+:class:`~repro.experiments.runner.RunRecord` — as plain data, so the
+scheduler can hash it, group it with cells that share compilation
+work, ship it to a worker process, and cache its products.
+
+Two hashes matter:
+
+* the **compile signature** covers only the fields that determine the
+  compilation products (benchmark, scale, selection config, input
+  sets) — cells sharing it reuse one ``Compiled``;
+* the **spec hash** additionally covers the machine configuration —
+  it keys finished ``RunRecord``s in the artifact cache.
+
+Both are content hashes over a canonical encoding of the dataclass
+tree (no ``hash()``, no ``pickle``), so they are stable across
+processes and interpreter invocations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.compiler import HeuristicLevel, SelectionConfig
+from repro.sim import SimConfig
+
+
+def canonical(value):
+    """Deterministic, hash-stable encoding of a config value tree.
+
+    Dataclasses become ``(classname, (field, value)...)`` tuples,
+    enums ``(classname, value)``; floats go through ``repr`` so the
+    encoding is exact.  Anything outside the closed set of config
+    types is a hard error — silent fallbacks would alias cache keys.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,) + tuple(
+            (f.name, canonical(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, value.value)
+    if isinstance(value, dict):
+        return ("dict",) + tuple(
+            sorted((canonical(k), canonical(v)) for k, v in value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return ("seq",) + tuple(canonical(v) for v in value)
+    if isinstance(value, float):
+        return ("float", repr(value))
+    if value is None or isinstance(value, (str, int, bool, bytes)):
+        return value
+    raise TypeError(f"cannot canonicalise {type(value).__name__!r} for hashing")
+
+
+def digest(value, salt: str = "") -> str:
+    """SHA-256 hex digest of ``canonical(value)`` plus a salt."""
+    payload = repr(canonical(value)) + "\x00" + salt
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One experiment cell, fully determined by its fields."""
+
+    benchmark: str
+    level: HeuristicLevel
+    n_pus: int = 4
+    out_of_order: bool = True
+    scale: float = 1.0
+    selection: Optional[SelectionConfig] = None
+    sim: Optional[SimConfig] = None
+    input_set: str = "ref"
+    profile_input: Optional[str] = None
+
+    def resolved_selection(self) -> SelectionConfig:
+        """The selection config the runner will actually use."""
+        selection = self.selection or SelectionConfig(level=self.level)
+        if selection.level is not self.level:
+            selection = replace(selection, level=self.level)
+        return selection
+
+    def resolved_profile_input(self) -> str:
+        return self.profile_input or self.input_set
+
+    def compile_signature(self) -> Tuple:
+        """Canonical identity of the compilation products."""
+        return canonical(
+            (
+                "compile",
+                self.benchmark,
+                ("float", repr(self.scale)),
+                self.input_set,
+                self.resolved_profile_input(),
+                self.resolved_selection(),
+            )
+        )
+
+    def compile_hash(self, salt: str = "") -> str:
+        return digest(self.compile_signature(), salt)
+
+    def spec_hash(self, salt: str = "") -> str:
+        """Content hash of the whole cell (compile + machine)."""
+        return digest(
+            (
+                "run",
+                self.compile_signature(),
+                self.n_pus,
+                self.out_of_order,
+                self.sim or SimConfig(),
+            ),
+            salt,
+        )
+
+    def describe(self) -> str:
+        """Short human label for progress lines and errors."""
+        mode = "ooo" if self.out_of_order else "ino"
+        return f"{self.benchmark}/{self.level.value}@{self.n_pus}pu-{mode}"

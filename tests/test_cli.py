@@ -1,8 +1,16 @@
 """Tests for the command line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Point the persistent artifact cache at a per-test directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
 
 
 class TestParser:
@@ -25,6 +33,23 @@ class TestParser:
         assert args.benchmarks == "compress,go"
         assert args.pus == 8
         assert args.scale == 0.2
+        assert args.jobs == 0  # auto: one worker per CPU
+        assert not args.no_cache
+        assert args.json == ""
+
+    def test_harness_flags(self):
+        args = build_parser().parse_args(
+            ["table1", "--jobs", "3", "--no-cache", "--json", "out.json"]
+        )
+        assert args.jobs == 3
+        assert args.no_cache
+        assert args.json == "out.json"
+
+    def test_cache_subcommand(self):
+        assert build_parser().parse_args(["cache", "stats"]).action == "stats"
+        assert build_parser().parse_args(["cache", "clear"]).action == "clear"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "bogus"])
 
 
 class TestCommands:
@@ -77,6 +102,55 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "break-even" in out
+
+    def test_figure5_json_output(self, capsys, tmp_path):
+        path = tmp_path / "fig5.json"
+        assert main(
+            ["figure5", "--benchmarks", "compress", "--pus", "4",
+             "--scale", "0.1", "--json", str(path)]
+        ) == 0
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "figure5"
+        assert payload["scale"] == 0.1
+        # one benchmark x 4 levels x (4 PUs, ooo + in-order)
+        assert len(payload["records"]) == 8
+        assert {r["level"] for r in payload["records"]} == {
+            "basic_block", "control_flow", "data_dependence", "task_size"
+        }
+
+    def test_warm_cache_second_run_is_all_hits(self, capsys, tmp_path):
+        from repro.experiments import clear_cache
+        from repro.harness import read_ledger
+
+        argv = ["table1", "--benchmarks", "compress", "--scale", "0.1"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        clear_cache()  # in-memory compilations gone: disk cache only
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        entries = read_ledger(tmp_path / "cache" / "ledger.jsonl")
+        assert [e["cache"] for e in entries[-3:]] == ["hit"] * 3
+
+    def test_no_cache_bypasses_artifacts(self, capsys, tmp_path):
+        assert main(
+            ["table1", "--benchmarks", "compress", "--scale", "0.1",
+             "--no-cache"]
+        ) == 0
+        assert not (tmp_path / "cache" / "records").exists()
+
+    def test_cache_stats_and_clear(self, capsys):
+        assert main(
+            ["table1", "--benchmarks", "compress", "--scale", "0.1"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cache root" in out and "records    : 3" in out
+        assert main(["cache", "clear"]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "records    : 0" in capsys.readouterr().out
 
     def test_unknown_benchmark_raises(self):
         with pytest.raises(KeyError):

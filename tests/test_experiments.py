@@ -41,6 +41,32 @@ class TestRunner:
             rec.task_misprediction_percent + 1e-9
         )
 
+    def test_selection_fields_never_alias_cache_entries(self):
+        # Regression: the key once hand-picked three SelectionConfig
+        # fields, so configs differing only in the others (max_unroll,
+        # hoist_induction, ...) silently shared a cached partition.
+        from dataclasses import replace
+
+        from repro.compiler import SelectionConfig
+
+        base = SelectionConfig(level=HeuristicLevel.TASK_SIZE)
+        c_base = compile_benchmark(
+            "compress", HeuristicLevel.TASK_SIZE, SMALL, selection=base
+        )
+        for change in (
+            {"max_unroll": 1},
+            {"hoist_induction": False},
+            {"schedule_communication": False},
+            {"max_dependences": 3},
+        ):
+            variant = compile_benchmark(
+                "compress",
+                HeuristicLevel.TASK_SIZE,
+                SMALL,
+                selection=replace(base, **change),
+            )
+            assert variant is not c_base, change
+
     def test_compilation_cache_reused(self):
         c1 = compile_benchmark("compress", HeuristicLevel.CONTROL_FLOW, SMALL)
         c2 = compile_benchmark("compress", HeuristicLevel.CONTROL_FLOW, SMALL)

@@ -1,0 +1,231 @@
+"""Tests of the execution harness: hashing, cache, ledger, scheduler."""
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.compiler import HeuristicLevel, SelectionConfig
+from repro.experiments import clear_cache
+from repro.harness import (
+    ArtifactCache,
+    HarnessError,
+    RunLedger,
+    RunSpec,
+    read_ledger,
+    record_to_dict,
+    run_specs,
+)
+from repro.sim import SimConfig
+
+SMALL = 0.1
+
+
+@pytest.fixture(autouse=True)
+def _fresh_compile_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def small_specs(n_pus=(2, 4), levels=(HeuristicLevel.CONTROL_FLOW,)):
+    return [
+        RunSpec("compress", level, n_pus=n, scale=SMALL)
+        for level in levels
+        for n in n_pus
+    ]
+
+
+class TestSpecHashing:
+    def test_hash_is_deterministic(self):
+        a = RunSpec("compress", HeuristicLevel.CONTROL_FLOW, scale=SMALL)
+        b = RunSpec("compress", HeuristicLevel.CONTROL_FLOW, scale=SMALL)
+        assert a.spec_hash("salt") == b.spec_hash("salt")
+        assert a.compile_hash("salt") == b.compile_hash("salt")
+
+    def test_salt_changes_hash(self):
+        spec = RunSpec("compress", HeuristicLevel.CONTROL_FLOW)
+        assert spec.spec_hash("a") != spec.spec_hash("b")
+
+    def test_machine_fields_do_not_change_compile_hash(self):
+        a = RunSpec("compress", HeuristicLevel.CONTROL_FLOW, n_pus=4)
+        b = RunSpec("compress", HeuristicLevel.CONTROL_FLOW, n_pus=8)
+        assert a.compile_hash() == b.compile_hash()
+        assert a.spec_hash() != b.spec_hash()
+
+    def test_every_selection_field_feeds_compile_hash(self):
+        base = RunSpec(
+            "compress",
+            HeuristicLevel.TASK_SIZE,
+            selection=SelectionConfig(level=HeuristicLevel.TASK_SIZE),
+        )
+        for change in (
+            {"max_targets": 2},
+            {"call_thresh": 10},
+            {"loop_thresh": 10},
+            {"max_unroll": 1},
+            {"hoist_induction": False},
+            {"schedule_communication": False},
+            {"max_dependences": 7},
+        ):
+            variant = replace(base, selection=replace(base.selection, **change))
+            assert variant.compile_hash() != base.compile_hash(), change
+
+    def test_sim_config_feeds_spec_hash_only(self):
+        a = RunSpec("compress", HeuristicLevel.CONTROL_FLOW)
+        b = replace(a, sim=SimConfig(sync_table_size=0))
+        assert a.compile_hash() == b.compile_hash()
+        assert a.spec_hash() != b.spec_hash()
+
+    def test_default_sim_hashes_like_explicit_default(self):
+        a = RunSpec("compress", HeuristicLevel.CONTROL_FLOW)
+        b = replace(a, sim=SimConfig())
+        assert a.spec_hash() == b.spec_hash()
+
+
+class TestArtifactCache:
+    def test_round_trip_is_a_hit_with_equal_records(self, tmp_path):
+        specs = small_specs()
+        cache = ArtifactCache(tmp_path, salt="s")
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        first = run_specs(specs, jobs=1, cache=cache, ledger=ledger)
+        clear_cache()  # drop in-memory compilations: only the disk cache left
+        second = run_specs(specs, jobs=1, cache=cache, ledger=ledger)
+        assert first == second
+        entries = read_ledger(tmp_path / "ledger.jsonl")
+        assert [e["cache"] for e in entries] == ["miss", "miss", "hit", "hit"]
+        assert all(e["outcome"] == "ok" for e in entries)
+
+    def test_machine_sweep_shares_one_compiled_artifact(self, tmp_path):
+        cache = ArtifactCache(tmp_path, salt="s")
+        run_specs(small_specs(n_pus=(2, 4)), jobs=1, cache=cache)
+        stats = cache.stats()
+        assert stats["records"] == 2
+        assert stats["compiled"] == 1
+
+    def test_salt_change_invalidates(self, tmp_path):
+        specs = small_specs(n_pus=(2,))
+        run_specs(specs, jobs=1, cache=ArtifactCache(tmp_path, salt="v1"))
+        clear_cache()
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        run_specs(specs, jobs=1,
+                  cache=ArtifactCache(tmp_path, salt="v2"), ledger=ledger)
+        entries = read_ledger(tmp_path / "ledger.jsonl")
+        assert [e["cache"] for e in entries] == ["miss"]
+
+    def test_torn_pickle_is_a_miss(self, tmp_path):
+        specs = small_specs(n_pus=(2,))
+        cache = ArtifactCache(tmp_path, salt="s")
+        run_specs(specs, jobs=1, cache=cache)
+        for path in cache.records_dir.glob("*.pkl"):
+            path.write_bytes(b"\x80garbage")
+        assert cache.get_record(specs[0]) is None
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ArtifactCache(tmp_path, salt="s")
+        ledger = RunLedger(cache.ledger_path)
+        run_specs(small_specs(n_pus=(2,)), jobs=1, cache=cache, ledger=ledger)
+        assert cache.clear() > 0
+        stats = cache.stats()
+        assert stats["records"] == 0 and stats["compiled"] == 0
+        assert not cache.ledger_path.exists()
+
+
+# -- injectable fake workers (module-level so they are picklable) ------
+
+_FLAKY_CALLS = {"n": 0}
+
+
+def _flaky_worker(spec):
+    _FLAKY_CALLS["n"] += 1
+    if _FLAKY_CALLS["n"] == 1:
+        raise RuntimeError("transient failure")
+    return ("ok", spec.benchmark, spec.n_pus)
+
+
+def _always_failing_worker(spec):
+    raise RuntimeError("permanent failure")
+
+
+def _slow_worker(spec):
+    time.sleep(0.5)
+    return "too late"
+
+
+class TestSchedulerFaults:
+    def test_retry_then_succeed_serial(self, tmp_path):
+        _FLAKY_CALLS["n"] = 0
+        spec = RunSpec("compress", HeuristicLevel.CONTROL_FLOW, scale=SMALL)
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        out = run_specs([spec], jobs=1, worker=_flaky_worker, retries=1,
+                        ledger=ledger)
+        assert out == [("ok", "compress", 4)]
+        entries = read_ledger(tmp_path / "ledger.jsonl")
+        assert entries[0]["retries"] == 1
+        assert entries[0]["outcome"] == "ok"
+
+    def test_retry_then_succeed_pool(self, tmp_path):
+        _FLAKY_CALLS["n"] = 0
+        spec = RunSpec("compress", HeuristicLevel.CONTROL_FLOW, scale=SMALL)
+        out = run_specs([spec], jobs=2, use_threads=True,
+                        worker=_flaky_worker, retries=1)
+        assert out == [("ok", "compress", 4)]
+
+    def test_retries_exhausted_raises(self, tmp_path):
+        spec = RunSpec("compress", HeuristicLevel.CONTROL_FLOW, scale=SMALL)
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        with pytest.raises(HarnessError, match="permanent failure"):
+            run_specs([spec], jobs=1, worker=_always_failing_worker,
+                      retries=2, ledger=ledger)
+        entries = read_ledger(tmp_path / "ledger.jsonl")
+        assert entries[0]["outcome"] == "error"
+        assert entries[0]["retries"] == 2
+
+    def test_timeout_then_fail(self, tmp_path):
+        spec = RunSpec("compress", HeuristicLevel.CONTROL_FLOW, scale=SMALL)
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        with pytest.raises(HarnessError, match="timed out"):
+            run_specs([spec], jobs=2, use_threads=True, worker=_slow_worker,
+                      timeout=0.05, retries=1, ledger=ledger)
+        entries = read_ledger(tmp_path / "ledger.jsonl")
+        assert entries[0]["outcome"] == "timeout"
+        assert entries[0]["retries"] == 1
+
+    def test_failure_does_not_poison_other_groups(self, tmp_path):
+        _FLAKY_CALLS["n"] = 0
+        specs = [
+            RunSpec("compress", HeuristicLevel.CONTROL_FLOW, scale=SMALL),
+            RunSpec("compress", HeuristicLevel.BASIC_BLOCK, scale=SMALL),
+        ]
+        with pytest.raises(HarnessError) as excinfo:
+            run_specs(specs, jobs=1, worker=_always_failing_worker, retries=0)
+        assert len(excinfo.value.failures) == 2
+
+
+class TestSchedulerEquivalence:
+    def test_jobs2_processes_match_jobs1(self):
+        specs = small_specs(
+            n_pus=(2, 4),
+            levels=(HeuristicLevel.BASIC_BLOCK, HeuristicLevel.CONTROL_FLOW),
+        )
+        serial = run_specs(specs, jobs=1)
+        clear_cache()
+        parallel = run_specs(specs, jobs=2)
+        assert serial == parallel
+
+    def test_records_align_with_specs(self):
+        specs = small_specs(n_pus=(4, 2))
+        records = run_specs(specs, jobs=1)
+        assert [r.n_pus for r in records] == [4, 2]
+        assert all(r.benchmark == "compress" for r in records)
+
+
+class TestSerialization:
+    def test_record_to_dict_round_trips_key_fields(self):
+        records = run_specs(small_specs(n_pus=(2,)), jobs=1)
+        as_dict = record_to_dict(records[0])
+        assert as_dict["benchmark"] == "compress"
+        assert as_dict["level"] == "control_flow"
+        assert as_dict["n_pus"] == 2
+        assert as_dict["ipc"] == pytest.approx(records[0].ipc)
+        assert set(as_dict["breakdown"]) >= {"useful", "idle"}
