@@ -7,14 +7,18 @@ Commands:
 * ``table1`` — regenerate Table 1.
 * ``breakdown`` — Figure 2 cycle accounting.
 * ``centralized`` — distributed vs centralized motivation study.
-* ``cache`` — inspect or clear the persistent artifact cache.
+* ``verify`` — differential oracle + invariant checks (optionally
+  under seeded fault injection) for any set of workloads.
+* ``cache`` — inspect, audit (``doctor``), or clear the cache.
 * ``list`` — list the available benchmarks.
 
 Grid commands execute through :mod:`repro.harness`: ``--jobs N``
 fans the grid out over N worker processes (0 = one per CPU), the
 artifact cache under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``)
-makes repeat sweeps near-instant (disable with ``--no-cache``), and
-``--json PATH`` writes the machine-readable record grid.
+makes repeat sweeps near-instant (disable with ``--no-cache``),
+``--resume`` replays the run ledger to skip cells a previous
+(interrupted) invocation already finished, and ``--json PATH``
+writes the machine-readable record grid.
 """
 
 from __future__ import annotations
@@ -61,6 +65,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="bypass the persistent artifact cache",
     )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip cells the run ledger records as already finished",
+    )
 
 
 def _names(args: argparse.Namespace) -> List[str]:
@@ -73,7 +81,8 @@ def _harness_kwargs(args: argparse.Namespace) -> dict:
         return {"jobs": args.jobs, "cache": None, "ledger": None}
     cache = ArtifactCache()
     ledger = RunLedger(cache.ledger_path, progress=default_progress())
-    return {"jobs": args.jobs, "cache": cache, "ledger": ledger}
+    return {"jobs": args.jobs, "cache": cache, "ledger": ledger,
+            "resume": getattr(args, "resume", False)}
 
 
 def _maybe_json(args: argparse.Namespace, command: str, records_dict) -> None:
@@ -130,10 +139,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(cen_p)
     cen_p.add_argument("--pus", type=int, default=8)
 
-    cache_p = sub.add_parser(
-        "cache", help="inspect or clear the persistent artifact cache"
+    ver_p = sub.add_parser(
+        "verify",
+        help="differential oracle + invariant checks (optionally "
+             "under seeded fault injection)",
     )
-    cache_p.add_argument("action", choices=["stats", "clear"])
+    ver_p.add_argument(
+        "benchmarks", nargs="*",
+        help="benchmarks to verify (default with --all: every one)",
+    )
+    ver_p.add_argument("--all", action="store_true",
+                       help="verify every registered benchmark")
+    ver_p.add_argument(
+        "--levels", default="",
+        help="comma-separated heuristic levels (default: all four)",
+    )
+    ver_p.add_argument("--pus", type=int, default=4)
+    ver_p.add_argument("--in-order", action="store_true")
+    ver_p.add_argument("--scale", type=float, default=1.0)
+    ver_p.add_argument(
+        "--faults", type=int, default=0,
+        help="inject N seeded faults per cell to exercise recovery",
+    )
+    ver_p.add_argument("--seed", type=int, default=0,
+                       help="base seed for the fault plans")
+
+    cache_p = sub.add_parser(
+        "cache",
+        help="inspect, audit (doctor), or clear the artifact cache",
+    )
+    cache_p.add_argument("action", choices=["stats", "clear", "doctor"])
 
     sub.add_parser("list", help="list the available benchmarks")
     return parser
@@ -205,16 +240,56 @@ def _cmd_centralized(args: argparse.Namespace) -> str:
     return format_centralized(result)
 
 
+def _cmd_verify(args: argparse.Namespace) -> str:
+    from repro.reliability import verify_grid
+
+    names = list(args.benchmarks)
+    if not names and not args.all:
+        raise SystemExit(
+            "repro verify: name at least one benchmark or pass --all"
+        )
+    levels = [_LEVELS[v] for v in args.levels.split(",") if v] or None
+    reports = verify_grid(
+        benchmarks=names,
+        levels=levels or tuple(HeuristicLevel),
+        n_pus=args.pus,
+        out_of_order=not args.in_order,
+        scale=args.scale,
+        faults=args.faults,
+        seed=args.seed,
+    )
+    lines = [report.summary() for report in reports]
+    bad = sum(1 for report in reports if not report.ok)
+    lines.append(
+        f"verified {len(reports)} cell(s): "
+        f"{len(reports) - bad} ok, {bad} diverged"
+    )
+    if bad:
+        raise SystemExit("\n".join(lines))
+    return "\n".join(lines)
+
+
 def _cmd_cache(args: argparse.Namespace) -> str:
     cache = ArtifactCache()
     if args.action == "clear":
         removed = cache.clear()
         return f"cleared {removed} artifact(s) from {cache.root}"
+    if args.action == "doctor":
+        report = cache.doctor()
+        return "\n".join([
+            f"cache root : {cache.root}",
+            f"checked    : {report['checked']}",
+            f"ok         : {report['ok']}",
+            f"upgraded   : {report['upgraded']}",
+            f"stale      : {report['stale']}",
+            f"quarantined: {report['quarantined']}",
+        ])
     stats = cache.stats()
     return "\n".join([
         f"cache root : {cache.root}",
         f"records    : {stats['records']}",
         f"compiled   : {stats['compiled']}",
+        f"quarantined: {stats['quarantined']}",
         f"size       : {stats['bytes'] / 1024.0:.1f} KiB",
         f"code salt  : {cache.salt[:16]}",
     ])
@@ -233,6 +308,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "breakdown": _cmd_breakdown,
     "centralized": _cmd_centralized,
+    "verify": _cmd_verify,
     "cache": _cmd_cache,
     "list": _cmd_list,
 }

@@ -32,10 +32,11 @@ def _sweep(
     jobs: int,
     cache: Optional[ArtifactCache],
     ledger: Optional[RunLedger],
+    resume: bool = False,
 ) -> Dict:
     """Submit a sweep grid through the harness and key its records."""
     return dict(zip(keys, run_specs(specs, jobs=jobs, cache=cache,
-                                    ledger=ledger)))
+                                    ledger=ledger, resume=resume)))
 
 
 def sweep_max_targets(
@@ -46,6 +47,7 @@ def sweep_max_targets(
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
     ledger: Optional[RunLedger] = None,
+    resume: bool = False,
 ) -> Dict[Tuple[str, int], RunRecord]:
     """IPC as a function of the successor limit N."""
     keys, specs = [], []
@@ -61,7 +63,7 @@ def sweep_max_targets(
                     level=HeuristicLevel.DATA_DEPENDENCE, max_targets=n
                 ),
             ))
-    return _sweep(keys, specs, jobs, cache, ledger)
+    return _sweep(keys, specs, jobs, cache, ledger, resume)
 
 
 def sweep_thresholds(
@@ -72,6 +74,7 @@ def sweep_thresholds(
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
     ledger: Optional[RunLedger] = None,
+    resume: bool = False,
 ) -> Dict[Tuple[str, int], RunRecord]:
     """IPC as CALL_THRESH = LOOP_THRESH varies (task size heuristic)."""
     keys, specs = [], []
@@ -89,7 +92,7 @@ def sweep_thresholds(
                     loop_thresh=thresh,
                 ),
             ))
-    return _sweep(keys, specs, jobs, cache, ledger)
+    return _sweep(keys, specs, jobs, cache, ledger, resume)
 
 
 def sweep_sync_table(
@@ -99,6 +102,7 @@ def sweep_sync_table(
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
     ledger: Optional[RunLedger] = None,
+    resume: bool = False,
 ) -> Dict[Tuple[str, bool], RunRecord]:
     """Memory squashes and IPC with and without the sync table."""
     keys, specs = [], []
@@ -112,7 +116,7 @@ def sweep_sync_table(
                 scale=scale,
                 sim=SimConfig(sync_table_size=256 if enabled else 0),
             ))
-    return _sweep(keys, specs, jobs, cache, ledger)
+    return _sweep(keys, specs, jobs, cache, ledger, resume)
 
 
 def sweep_arb_size(
@@ -123,6 +127,7 @@ def sweep_arb_size(
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
     ledger: Optional[RunLedger] = None,
+    resume: bool = False,
 ) -> Dict[Tuple[str, int], RunRecord]:
     """IPC as ARB capacity varies (0 = unbounded).
 
@@ -141,7 +146,7 @@ def sweep_arb_size(
                 scale=scale,
                 sim=SimConfig(arb_entries_per_pu=entries),
             ))
-    return _sweep(keys, specs, jobs, cache, ledger)
+    return _sweep(keys, specs, jobs, cache, ledger, resume)
 
 
 def sweep_forward_policy(
@@ -151,6 +156,7 @@ def sweep_forward_policy(
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
     ledger: Optional[RunLedger] = None,
+    resume: bool = False,
 ) -> Dict[Tuple[str, ForwardPolicy], RunRecord]:
     """IPC under schedule / eager / lazy register forwarding."""
     keys, specs = [], []
@@ -164,7 +170,7 @@ def sweep_forward_policy(
                 scale=scale,
                 sim=SimConfig(forward_policy=policy),
             ))
-    return _sweep(keys, specs, jobs, cache, ledger)
+    return _sweep(keys, specs, jobs, cache, ledger, resume)
 
 
 def sweep_profile_input(
@@ -174,6 +180,7 @@ def sweep_profile_input(
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
     ledger: Optional[RunLedger] = None,
+    resume: bool = False,
 ) -> Dict[Tuple[str, str], RunRecord]:
     """Profile-input sensitivity: select tasks on "train" data, run
     "ref" data, vs the paper's same-input profiling.
@@ -199,7 +206,7 @@ def sweep_profile_input(
             scale=scale,
             profile_input="train",
         ))
-    return _sweep(keys, specs, jobs, cache, ledger)
+    return _sweep(keys, specs, jobs, cache, ledger, resume)
 
 
 def format_sweep(records: Dict, label: str) -> str:

@@ -61,6 +61,7 @@ def run_breakdown(
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
     ledger: Optional[RunLedger] = None,
+    resume: bool = False,
 ) -> BreakdownResult:
     """Measure the cycle breakdown for the selected benchmarks."""
     keys: List[Tuple[str, HeuristicLevel]] = []
@@ -71,7 +72,8 @@ def run_breakdown(
             specs.append(RunSpec(
                 benchmark=name, level=level, n_pus=n_pus, scale=scale,
             ))
-    records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger)
+    records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger,
+                        resume=resume)
     result = BreakdownResult()
     result.records = dict(zip(keys, records))
     return result

@@ -78,6 +78,7 @@ def run_centralized_comparison(
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
     ledger: Optional[RunLedger] = None,
+    resume: bool = False,
 ) -> CentralizedResult:
     """Run the distributed vs. centralized grid."""
     keys: List[Tuple[str, str]] = []
@@ -96,7 +97,8 @@ def run_centralized_comparison(
             scale=scale,
             sim=centralized_config(n_pus),
         ))
-    records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger)
+    records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger,
+                        resume=resume)
     result = CentralizedResult(n_pus=n_pus)
     result.records = dict(zip(keys, records))
     return result

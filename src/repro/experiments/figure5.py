@@ -103,6 +103,7 @@ def run_figure5(
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
     ledger: Optional[RunLedger] = None,
+    resume: bool = False,
 ) -> Figure5Result:
     """Run the Figure 5 grid (all benchmarks by default).
 
@@ -121,7 +122,8 @@ def run_figure5(
                     benchmark=name, level=level, n_pus=n_pus,
                     out_of_order=ooo, scale=scale,
                 ))
-    records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger)
+    records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger,
+                        resume=resume)
     result = Figure5Result()
     result.records = dict(zip(keys, records))
     return result

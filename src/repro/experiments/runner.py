@@ -178,15 +178,25 @@ def run_benchmark(
     sim: Optional[SimConfig] = None,
     input_set: str = "ref",
     profile_input: Optional[str] = None,
+    monitor=None,
+    fault_plan=None,
 ) -> RunRecord:
-    """Run the full pipeline and return the measured record."""
+    """Run the full pipeline and return the measured record.
+
+    ``monitor`` / ``fault_plan`` attach the reliability hooks (see
+    :mod:`repro.reliability`) to the timing run: the monitor asserts
+    the machine's architectural invariants, the fault plan injects
+    seeded mispredictions and spurious violations.
+    """
     benchmark = get_benchmark(name)
     compiled = compile_benchmark(
         name, level, scale, selection, input_set, profile_input
     )
     config = (sim or SimConfig()).scaled_for_pus(n_pus)
     config = replace(config, out_of_order=out_of_order)
-    machine = MultiscalarMachine(compiled.stream, config, compiled.release)
+    machine = MultiscalarMachine(
+        compiled.stream, config, compiled.release, monitor, fault_plan
+    )
     result = machine.run()
     stream = compiled.stream
     return RunRecord(

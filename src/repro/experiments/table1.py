@@ -57,6 +57,7 @@ def run_table1(
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
     ledger: Optional[RunLedger] = None,
+    resume: bool = False,
 ) -> Table1Result:
     """Measure every Table 1 column for the selected benchmarks."""
     names = list(benchmarks) or [bm.name for bm in all_benchmarks()]
@@ -69,7 +70,8 @@ def run_table1(
                 benchmark=name, level=level, n_pus=n_pus,
                 out_of_order=True, scale=scale,
             ))
-    records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger)
+    records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger,
+                        resume=resume)
     result = Table1Result()
     result.records = dict(zip(keys, records))
     return result

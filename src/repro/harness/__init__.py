@@ -17,8 +17,19 @@ benchmark × heuristic × machine cells); this package decides *how*:
 """
 
 from repro.harness.cache import ArtifactCache, code_version, default_cache_root
-from repro.harness.ledger import LedgerEntry, RunLedger, read_ledger
-from repro.harness.scheduler import HarnessError, execute_spec, run_specs
+from repro.harness.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerEntry,
+    RunLedger,
+    completed_spec_hashes,
+    read_ledger,
+)
+from repro.harness.scheduler import (
+    HarnessError,
+    backoff_delay,
+    execute_spec,
+    run_specs,
+)
 from repro.harness.serialize import (
     grid_records,
     record_to_dict,
@@ -30,11 +41,14 @@ from repro.harness.spec import RunSpec, canonical, digest
 __all__ = [
     "ArtifactCache",
     "HarnessError",
+    "LEDGER_SCHEMA_VERSION",
     "LedgerEntry",
     "RunLedger",
     "RunSpec",
+    "backoff_delay",
     "canonical",
     "code_version",
+    "completed_spec_hashes",
     "default_cache_root",
     "digest",
     "execute_spec",

@@ -1,10 +1,11 @@
-"""Persistent content-addressed artifact cache.
+"""Persistent content-addressed artifact cache with integrity checks.
 
 Layout under the cache root (``$REPRO_CACHE_DIR`` or
 ``~/.cache/repro``)::
 
     records/<spec_hash>.pkl      finished RunRecords
     compiled/<compile_hash>.pkl  Compiled products (partition/trace/stream)
+    quarantine/                  corrupted entries, moved aside for autopsy
     ledger.jsonl                 append-only run ledger (see ledger.py)
 
 Every key is salted with a **code version** — a digest of the
@@ -12,6 +13,14 @@ Every key is salted with a **code version** — a digest of the
 invalidates stale artifacts without any manual versioning.  Writes
 are atomic (temp file in the same directory + ``os.replace``) so
 concurrent workers and interrupted runs never leave torn pickles.
+
+Entries are framed with a SHA-256 payload checksum (``RPC1`` magic +
+32-byte digest + pickle payload).  A checksum mismatch or an
+unreadable legacy entry is **never** silently swallowed: the file is
+moved to ``quarantine/`` (one warning per cache instance), counted in
+``repro cache stats``, and ``repro cache doctor`` audits the whole
+store — verifying every entry, upgrading readable legacy entries to
+the framed format, and quarantining the rest.
 """
 
 from __future__ import annotations
@@ -20,12 +29,24 @@ import hashlib
 import os
 import pickle
 import uuid
+import warnings
 from pathlib import Path
 from typing import Dict, Optional
 
 from repro.harness.spec import RunSpec
 
 _code_version_cache: Optional[str] = None
+
+#: framed-entry magic; bump the suffix if the framing itself changes
+_MAGIC = b"RPC1"
+_DIGEST_BYTES = 32
+
+#: exception set meaning "this payload does not unpickle in this
+#: process" — stale class shapes as well as outright corruption
+_UNPICKLE_ERRORS = (
+    OSError, pickle.UnpicklingError, EOFError, AttributeError,
+    ImportError, IndexError, ValueError, TypeError, KeyError,
+)
 
 
 def code_version() -> str:
@@ -64,6 +85,7 @@ class ArtifactCache:
                  salt: Optional[str] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
         self.salt = code_version() if salt is None else salt
+        self._corruption_warned = False
 
     # -- paths ---------------------------------------------------------
 
@@ -76,30 +98,75 @@ class ArtifactCache:
         return self.root / "compiled"
 
     @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    @property
     def ledger_path(self) -> Path:
         return self.root / "ledger.jsonl"
 
+    # -- framing -------------------------------------------------------
+
+    @staticmethod
+    def _frame(obj) -> bytes:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        return _MAGIC + hashlib.sha256(payload).digest() + payload
+
+    @staticmethod
+    def _checksum_ok(raw: bytes) -> bool:
+        """True when ``raw`` is a framed entry with a valid digest."""
+        head = len(_MAGIC) + _DIGEST_BYTES
+        digest = raw[len(_MAGIC):head]
+        return hashlib.sha256(raw[head:]).digest() == digest
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupted entry aside instead of deleting evidence."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_dir / f"{path.name}.{uuid.uuid4().hex[:8]}"
+        try:
+            os.replace(path, target)
+        except OSError:
+            return  # a concurrent worker already moved or removed it
+        if not self._corruption_warned:
+            self._corruption_warned = True
+            warnings.warn(
+                f"quarantined corrupted cache entry {path.name} ({reason}); "
+                f"inspect {self.quarantine_dir} or run 'repro cache doctor'",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
     # -- pickle I/O ----------------------------------------------------
 
-    @staticmethod
-    def _load(path: Path):
+    def _load(self, path: Path):
         try:
-            with open(path, "rb") as handle:
-                return pickle.load(handle)
-        except FileNotFoundError:
+            raw = path.read_bytes()
+        except (FileNotFoundError, OSError):
             return None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, ValueError, TypeError, KeyError):
-            # A torn or stale artifact is a miss, never an error.
+        if raw.startswith(_MAGIC):
+            if not self._checksum_ok(raw):
+                self._quarantine(path, "checksum mismatch")
+                return None
+            payload = raw[len(_MAGIC) + _DIGEST_BYTES:]
+            try:
+                return pickle.loads(payload)
+            except _UNPICKLE_ERRORS:
+                # Checksum fine but classes moved on: stale, not torn.
+                return None
+        # Legacy (pre-checksum) entry: readable -> miss-free load;
+        # unreadable -> corruption, quarantined.
+        try:
+            return pickle.loads(raw)
+        except _UNPICKLE_ERRORS:
+            self._quarantine(path, "unreadable legacy entry")
             return None
 
-    @staticmethod
-    def _store(path: Path, obj) -> None:
+    def _store(self, path: Path, obj) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.parent / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
         try:
             with open(tmp, "wb") as handle:
-                pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(self._frame(obj))
             os.replace(tmp, path)
         finally:
             if tmp.exists():
@@ -131,7 +198,7 @@ class ArtifactCache:
 
     def stats(self) -> Dict[str, int]:
         """Entry counts and total size (for ``repro cache stats``)."""
-        out = {"records": 0, "compiled": 0, "bytes": 0}
+        out = {"records": 0, "compiled": 0, "quarantined": 0, "bytes": 0}
         for kind, directory in (
             ("records", self.records_dir),
             ("compiled", self.compiled_dir),
@@ -141,6 +208,53 @@ class ArtifactCache:
             for path in directory.glob("*.pkl"):
                 out[kind] += 1
                 out["bytes"] += path.stat().st_size
+        if self.quarantine_dir.is_dir():
+            out["quarantined"] = sum(
+                1 for p in self.quarantine_dir.iterdir() if p.is_file()
+            )
+        return out
+
+    def doctor(self) -> Dict[str, int]:
+        """Audit every entry: verify, upgrade legacy, quarantine bad.
+
+        Returns counts: ``checked`` entries scanned, ``ok`` verified
+        framed entries, ``upgraded`` legacy entries rewritten with
+        checksums, ``quarantined`` corrupted entries moved aside,
+        ``stale`` checksum-valid entries that no longer unpickle
+        (left in place; the code-version salt already keys them away).
+        """
+        out = {"checked": 0, "ok": 0, "upgraded": 0, "quarantined": 0,
+               "stale": 0}
+        for directory in (self.records_dir, self.compiled_dir):
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.pkl")):
+                out["checked"] += 1
+                try:
+                    raw = path.read_bytes()
+                except OSError:
+                    continue
+                if raw.startswith(_MAGIC):
+                    if not self._checksum_ok(raw):
+                        self._quarantine(path, "checksum mismatch")
+                        out["quarantined"] += 1
+                        continue
+                    payload = raw[len(_MAGIC) + _DIGEST_BYTES:]
+                    try:
+                        pickle.loads(payload)
+                    except _UNPICKLE_ERRORS:
+                        out["stale"] += 1
+                        continue
+                    out["ok"] += 1
+                    continue
+                try:
+                    obj = pickle.loads(raw)
+                except _UNPICKLE_ERRORS:
+                    self._quarantine(path, "unreadable legacy entry")
+                    out["quarantined"] += 1
+                    continue
+                self._store(path, obj)
+                out["upgraded"] += 1
         return out
 
     def clear(self) -> int:
@@ -152,6 +266,11 @@ class ArtifactCache:
             for path in directory.glob("*.pkl"):
                 path.unlink()
                 removed += 1
+        if self.quarantine_dir.is_dir():
+            for path in self.quarantine_dir.iterdir():
+                if path.is_file():
+                    path.unlink()
+                    removed += 1
         if self.ledger_path.exists():
             self.ledger_path.unlink()
         return removed

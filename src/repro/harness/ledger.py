@@ -4,16 +4,25 @@ Every job the scheduler finishes — cache hit or fresh execution,
 success or failure — appends one JSON object to a ``ledger.jsonl``
 file::
 
-    {"ts": 1699.2, "spec_hash": "ab12..", "job": "compress/...",
-     "benchmark": "compress", "level": "control_flow", "n_pus": 4,
-     "out_of_order": true, "cache": "hit"|"miss", "retries": 0,
+    {"ts": 1699.2, "schema_version": 2, "spec_hash": "ab12..",
+     "job": "compress/...", "benchmark": "compress",
+     "level": "control_flow", "n_pus": 4, "out_of_order": true,
+     "cache": "hit"|"miss"|"resume", "retries": 0,
      "outcome": "ok"|"error"|"timeout", "wall_seconds": 0.42,
      "error": null}
 
+Harness lifecycle *events* (e.g. a worker pool dying) are interleaved
+as ``{"ts": ..., "schema_version": 2, "event": "pool_broken", ...}``
+lines.  Readers are tolerant by contract: unknown fields and unknown
+line shapes are preserved (``read_ledger``) or ignored
+(``LedgerEntry.from_dict``), so ``--resume`` survives future ledger
+format growth in either direction.
+
 The ledger is the audit trail for sweeps: it answers "what actually
 ran, how long did it take, and what came from the cache" without
-re-running anything, and the tests use it to prove warm-cache runs
-never re-enter the interpreter.
+re-running anything; the tests use it to prove warm-cache runs never
+re-enter the interpreter, and ``--resume`` replays it to skip
+completed cells after an interrupted grid.
 """
 
 from __future__ import annotations
@@ -21,11 +30,14 @@ from __future__ import annotations
 import json
 import sys
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 from typing import IO, List, Optional
 
 from repro.harness.spec import RunSpec
+
+#: current on-disk schema; bump when the entry shape changes
+LEDGER_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -62,6 +74,26 @@ class LedgerEntry:
             error=error,
         )
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LedgerEntry":
+        """Rebuild an entry from a ledger line, tolerating format drift.
+
+        Unknown fields (including future ``schema_version`` growth)
+        are ignored; missing fields fall back to neutral defaults, so
+        old readers keep working against newer ledgers and vice
+        versa.
+        """
+        known = {f.name for f in fields(cls)}
+        defaults = {
+            "spec_hash": "", "job": "", "benchmark": "", "level": "",
+            "n_pus": 0, "out_of_order": True, "cache": "miss",
+            "retries": 0, "outcome": "ok", "wall_seconds": 0.0,
+        }
+        kwargs = {k: payload.get(k, defaults.get(k))
+                  for k in known if k in payload or k in defaults}
+        kwargs.setdefault("error", payload.get("error"))
+        return cls(**kwargs)
+
 
 class RunLedger:
     """Appends entries to a JSONL file and narrates progress.
@@ -84,13 +116,29 @@ class RunLedger:
 
     def record(self, entry: LedgerEntry) -> None:
         """Append one entry (flushed immediately) and update progress."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"ts": round(time.time(), 3)}
+        payload = {
+            "ts": round(time.time(), 3),
+            "schema_version": LEDGER_SCHEMA_VERSION,
+        }
         payload.update(asdict(entry))
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(payload) + "\n")
+        self._append(payload)
         self._done += 1
         self._narrate(entry)
+
+    def event(self, kind: str, **detail) -> None:
+        """Append a harness lifecycle event (not tied to one spec)."""
+        payload = {
+            "ts": round(time.time(), 3),
+            "schema_version": LEDGER_SCHEMA_VERSION,
+            "event": kind,
+        }
+        payload.update(detail)
+        self._append(payload)
+
+    def _append(self, payload: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload) + "\n")
 
     def _narrate(self, entry: LedgerEntry) -> None:
         if self.progress is None:
@@ -123,6 +171,22 @@ def read_ledger(path) -> List[dict]:
             except json.JSONDecodeError:
                 continue
     return entries
+
+
+def completed_spec_hashes(path) -> set:
+    """Spec hashes the ledger records as successfully finished.
+
+    This is what ``--resume`` replays: cells whose hash appears here
+    were committed (cache hit or fresh execution) by a previous run
+    and can be skipped.  Event lines and malformed entries are
+    ignored.
+    """
+    done = set()
+    for entry in read_ledger(path):
+        spec_hash = entry.get("spec_hash")
+        if spec_hash and entry.get("outcome") == "ok":
+            done.add(spec_hash)
+    return done
 
 
 def default_progress() -> Optional[IO[str]]:

@@ -1,19 +1,27 @@
-"""Job-graph scheduler: group by compile key, fan out, retry, cache.
+"""Job-graph scheduler: group by compile key, fan out, retry, recover.
 
 The dependence structure of every paper artefact is known statically:
 cells sharing a ``(benchmark, scale, selection, input)`` tuple share
 one compilation (partition / trace / task stream), and everything
 else is independent.  :func:`run_specs` exploits exactly that shape:
 
-1. resolve **record cache hits** up front (no work scheduled);
+1. resolve **record cache hits** up front (no work scheduled) —
+   with ``resume=True`` the run ledger is replayed first, so an
+   interrupted grid restarts by executing only its missing cells;
 2. group the misses by compile signature;
 3. run each group as one job — compile once (warm-started from the
    persistent compiled-artifact cache when possible), then simulate
    every machine configuration in the group;
 4. fan groups out over a ``ProcessPoolExecutor`` (``jobs`` workers,
    default ``os.cpu_count()``), with a per-job timeout and a bounded
-   retry on failure; ``jobs=1`` degrades to a plain in-process loop
-   with no pool, byte-identical to the historical serial path.
+   retry (exponential backoff with full jitter between attempts);
+   ``jobs=1`` degrades to a plain in-process loop with no pool,
+   byte-identical to the historical serial path.
+
+The scheduler is self-healing: a dying worker pool
+(``BrokenProcessPool`` — e.g. a worker OOM-killed) no longer fails
+every remaining group.  The event is logged to the ledger and the
+rest of the grid finishes serially in-process.
 
 Results come back aligned with the input specs, so callers rebuild
 their keyed grids with ``zip``.
@@ -22,8 +30,10 @@ their keyed grids with ``zip``.
 from __future__ import annotations
 
 import os
+import random
 import time
 from concurrent.futures import (
+    BrokenExecutor,
     Executor,
     Future,
     ProcessPoolExecutor,
@@ -40,7 +50,11 @@ from repro.experiments.runner import (
     seed_compiled,
 )
 from repro.harness.cache import ArtifactCache
-from repro.harness.ledger import LedgerEntry, RunLedger
+from repro.harness.ledger import (
+    LedgerEntry,
+    RunLedger,
+    completed_spec_hashes,
+)
 from repro.harness.spec import RunSpec
 
 #: a worker maps one spec to one record (injectable for tests)
@@ -71,6 +85,26 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         input_set=spec.input_set,
         profile_input=spec.profile_input,
     )
+
+
+def backoff_delay(attempt: int, base: float, cap: float = 30.0,
+                  rng: Optional[random.Random] = None) -> float:
+    """Full-jitter exponential backoff: uniform in [0, base * 2^attempt].
+
+    ``attempt`` counts completed failures (0 for the first retry).
+    Jitter decorrelates retries across concurrent grids so a shared
+    bottleneck (disk, memory pressure) is not re-hit in lockstep.
+    """
+    if base <= 0:
+        return 0.0
+    span = min(cap, base * (2 ** attempt))
+    return (rng or random).uniform(0.0, span)
+
+
+def _sleep_backoff(attempt: int, base: float, cap: float) -> None:
+    delay = backoff_delay(attempt, base, cap)
+    if delay > 0:
+        time.sleep(delay)
 
 
 def _run_group(
@@ -137,6 +171,9 @@ def run_specs(
     retries: int = 1,
     worker: Optional[Worker] = None,
     use_threads: bool = False,
+    resume: bool = False,
+    backoff: float = 0.0,
+    backoff_cap: float = 30.0,
 ) -> List[RunRecord]:
     """Run every spec, returning records aligned with ``specs``.
 
@@ -144,12 +181,18 @@ def run_specs(
     in-process (no pool, no pickling — the graceful fallback).
     ``timeout`` bounds each group job's wall time (pool mode only; a
     timed-out job counts as a transient failure).  ``retries`` is the
-    number of *re*-submissions allowed per job.  ``use_threads``
-    swaps the process pool for threads — meant for tests injecting
-    unpicklable fake workers, not for throughput.
+    number of *re*-submissions allowed per job; ``backoff`` > 0 sleeps
+    a full-jitter exponential delay (capped at ``backoff_cap``
+    seconds) before each one.  ``resume`` replays the ledger and skips
+    cells it records as complete (their records come from the cache;
+    ledger label ``"resume"``).  ``use_threads`` swaps the process
+    pool for threads — meant for tests injecting unpicklable fake
+    workers, not for throughput.
 
-    Raises :class:`HarnessError` after the whole grid has been
-    attempted if any job still failed.
+    A worker pool that dies mid-grid (``BrokenProcessPool``) is logged
+    to the ledger and the unfinished groups complete serially
+    in-process; only per-job failures that exhaust their retries raise
+    :class:`HarnessError`, after the whole grid has been attempted.
     """
     specs = list(specs)
     worker = worker or execute_spec
@@ -159,6 +202,9 @@ def run_specs(
         spec.spec_hash(cache.salt if cache is not None else "")
         for spec in specs
     ]
+    resumed_hashes = set()
+    if resume and ledger is not None:
+        resumed_hashes = completed_spec_hashes(ledger.path)
     if ledger is not None:
         ledger.open_run(len(specs))
 
@@ -168,8 +214,9 @@ def run_specs(
         if record is not None:
             results[i] = record
             if ledger is not None:
+                status = "resume" if hashes[i] in resumed_hashes else "hit"
                 ledger.record(LedgerEntry.for_spec(
-                    spec, hashes[i], cache="hit", retries=0,
+                    spec, hashes[i], cache=status, retries=0,
                     outcome="ok", wall_seconds=0.0,
                 ))
         else:
@@ -200,70 +247,125 @@ def run_specs(
                     outcome=outcome, wall_seconds=0.0, error=reason,
                 ))
 
+    def _serial_group(group: List[Tuple[int, RunSpec]]) -> None:
+        """In-process execution of one group with retry + backoff."""
+        group_specs = [spec for _, spec in group]
+        attempts = 0
+        while True:
+            try:
+                pairs = _run_group(group_specs, worker, cache)
+            except Exception as exc:  # noqa: BLE001 — retried below
+                if attempts < retries:
+                    _sleep_backoff(attempts, backoff, backoff_cap)
+                    attempts += 1
+                    continue
+                _fail(group, attempts, "error", repr(exc))
+                return
+            _commit(group, pairs, attempts)
+            return
+
     if jobs == 1:
         for group in groups:
-            group_specs = [spec for _, spec in group]
-            attempts = 0
-            while True:
-                try:
-                    pairs = _run_group(group_specs, worker, cache)
-                except Exception as exc:  # noqa: BLE001 — retried below
-                    if attempts < retries:
-                        attempts += 1
-                        continue
-                    _fail(group, attempts, "error", repr(exc))
-                    break
-                _commit(group, pairs, attempts)
-                break
+            _serial_group(group)
     elif groups:
-        pool_cls = ThreadPoolExecutor if use_threads else ProcessPoolExecutor
-        pool: Executor = pool_cls(max_workers=jobs)
-        try:
-            futures: Dict[int, Future] = {
-                g: pool.submit(_run_group, [s for _, s in group], worker, cache)
-                for g, group in enumerate(groups)
-            }
-            attempts_left = {g: retries for g in futures}
-            attempts_used = {g: 0 for g in futures}
-            while futures:
-                done_keys = []
-                for g, future in list(futures.items()):
-                    group = groups[g]
-                    try:
-                        pairs = future.result(timeout=timeout)
-                    except FutureTimeout:
-                        future.cancel()
-                        if attempts_left[g] > 0:
-                            attempts_left[g] -= 1
-                            attempts_used[g] += 1
-                            futures[g] = pool.submit(
-                                _run_group, [s for _, s in group],
-                                worker, cache,
-                            )
-                            continue
-                        _fail(group, attempts_used[g], "timeout",
-                              f"timed out after {timeout}s")
-                        done_keys.append(g)
-                        continue
-                    except Exception as exc:  # noqa: BLE001 — retried below
-                        if attempts_left[g] > 0:
-                            attempts_left[g] -= 1
-                            attempts_used[g] += 1
-                            futures[g] = pool.submit(
-                                _run_group, [s for _, s in group],
-                                worker, cache,
-                            )
-                            continue
-                        _fail(group, attempts_used[g], "error", repr(exc))
-                        done_keys.append(g)
-                        continue
-                    _commit(group, pairs, attempts_used[g])
-                    done_keys.append(g)
-                for g in done_keys:
-                    futures.pop(g, None)
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+        degraded = _run_pool(
+            groups, worker, cache, ledger, jobs, timeout, retries,
+            use_threads, backoff, backoff_cap, _commit, _fail,
+        )
+        for group in degraded:
+            _serial_group(group)
 
     if failures:
         raise HarnessError(failures)
     return results  # type: ignore[return-value]  # all slots filled above
+
+
+def _run_pool(
+    groups: List[List[Tuple[int, RunSpec]]],
+    worker: Worker,
+    cache: Optional[ArtifactCache],
+    ledger: Optional[RunLedger],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    use_threads: bool,
+    backoff: float,
+    backoff_cap: float,
+    _commit,
+    _fail,
+) -> List[List[Tuple[int, RunSpec]]]:
+    """Pool execution; returns groups needing serial degradation.
+
+    A broken pool (worker process killed) aborts pool mode: the event
+    is logged and every not-yet-committed group is handed back to the
+    caller to finish in-process.
+    """
+    pool_cls = ThreadPoolExecutor if use_threads else ProcessPoolExecutor
+    pool: Executor = pool_cls(max_workers=jobs)
+    degraded: List[List[Tuple[int, RunSpec]]] = []
+    try:
+        futures: Dict[int, Future] = {
+            g: pool.submit(_run_group, [s for _, s in group], worker, cache)
+            for g, group in enumerate(groups)
+        }
+        attempts_left = {g: retries for g in futures}
+        attempts_used = {g: 0 for g in futures}
+
+        def _resubmit(g: int) -> bool:
+            """Retry group ``g``; False when the pool itself is broken."""
+            attempts_left[g] -= 1
+            attempts_used[g] += 1
+            _sleep_backoff(attempts_used[g] - 1, backoff, backoff_cap)
+            try:
+                futures[g] = pool.submit(
+                    _run_group, [s for _, s in groups[g]], worker, cache
+                )
+            except (BrokenExecutor, RuntimeError):
+                return False
+            return True
+
+        broken: Optional[BaseException] = None
+        while futures and broken is None:
+            done_keys = []
+            for g, future in list(futures.items()):
+                group = groups[g]
+                try:
+                    pairs = future.result(timeout=timeout)
+                except FutureTimeout:
+                    future.cancel()
+                    if attempts_left[g] > 0:
+                        if _resubmit(g):
+                            continue
+                        broken = RuntimeError("pool broke during resubmit")
+                        break
+                    _fail(group, attempts_used[g], "timeout",
+                          f"timed out after {timeout}s")
+                    done_keys.append(g)
+                    continue
+                except BrokenExecutor as exc:
+                    broken = exc
+                    break
+                except Exception as exc:  # noqa: BLE001 — retried below
+                    if attempts_left[g] > 0:
+                        if _resubmit(g):
+                            continue
+                        broken = RuntimeError("pool broke during resubmit")
+                        break
+                    _fail(group, attempts_used[g], "error", repr(exc))
+                    done_keys.append(g)
+                    continue
+                _commit(group, pairs, attempts_used[g])
+                done_keys.append(g)
+            for g in done_keys:
+                futures.pop(g, None)
+        if broken is not None:
+            degraded = [groups[g] for g in futures]
+            if ledger is not None:
+                ledger.event(
+                    "pool_broken",
+                    error=repr(broken),
+                    degraded_groups=len(degraded),
+                )
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return degraded

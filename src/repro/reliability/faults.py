@@ -1,0 +1,132 @@
+"""Seeded fault injection for the Multiscalar machine.
+
+A :class:`FaultPlan` perturbs a simulation with the two recovery
+events the machine must survive:
+
+* **forced control mispredictions** — a correctly predicted task
+  successor is treated as mispredicted, so the sequencer fills PUs
+  with wrong-path work and redirects when the victim task completes;
+* **spurious memory violations** — an in-flight speculative task is
+  squashed as if the ARB had flagged a dependence violation, forcing
+  the squash-and-re-execute path with no actual stale load.
+
+Both perturbations are *semantically neutral*: they may only cost
+cycles.  Architectural state — the committed instruction stream and
+its register/memory effects — must be bit-identical to the fault-free
+run, which is exactly what the differential oracle
+(:mod:`repro.reliability.oracle`) checks.  The plan is fully
+deterministic given ``(seed, faults)`` and the task stream, so a
+failing sweep replays exactly.
+
+The machine consults the plan through two duck-typed entry points
+(``sim`` never imports ``reliability``): :meth:`take_control_fault`
+during successor prediction and :meth:`memory_fault_victim` once per
+cycle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault the plan actually injected."""
+
+    kind: str  #: "control" | "memory"
+    seq: int  #: victim dynamic task
+    cycle: int  #: injection cycle (-1 for control faults: at prediction)
+
+
+class FaultPlan:
+    """Deterministic schedule of injected faults for one machine run.
+
+    ``faults`` is the total budget, split roughly evenly between
+    forced mispredictions and spurious violations.  Small workloads
+    may not expose enough opportunities to spend the whole budget;
+    :attr:`injected` records what actually happened.
+    """
+
+    #: injection cooldown bounds (cycles) between spurious violations,
+    #: so a burst of squashes cannot livelock the head of the window
+    MIN_GAP = 5
+    MAX_GAP = 60
+
+    def __init__(self, seed: int = 0, faults: int = 0) -> None:
+        self.seed = seed
+        self.budget = max(0, faults)
+        self.rng = random.Random(seed)
+        self.injected: List[InjectedFault] = []
+        self._control_targets: Set[int] = set()
+        self._memory_budget = 0
+        self._cooldown = 0
+        self._bound = False
+
+    # ------------------------------------------------------------- binding
+
+    def bind(self, n_tasks: int) -> None:
+        """Fix the schedule against a task stream of ``n_tasks`` tasks.
+
+        Called by the machine constructor.  Control faults target
+        specific dynamic tasks (sampled without replacement among the
+        tasks that have a successor); the memory budget is spent
+        opportunistically during the run.
+        """
+        if self._bound:
+            return
+        self._bound = True
+        n_control = self.budget // 2 + (self.budget % 2 and self.rng.random() < 0.5)
+        # Only tasks 0..n-2 predict a successor (the final task halts).
+        candidates = max(0, n_tasks - 1)
+        n_control = min(n_control, candidates)
+        if n_control:
+            self._control_targets = set(
+                self.rng.sample(range(candidates), n_control)
+            )
+        self._memory_budget = self.budget - n_control
+        self._cooldown = self.rng.randint(self.MIN_GAP, self.MAX_GAP)
+
+    # ------------------------------------------------------------ machine API
+
+    def take_control_fault(self, seq: int) -> bool:
+        """True exactly once for each targeted task's prediction."""
+        if seq in self._control_targets:
+            self._control_targets.discard(seq)
+            self.injected.append(InjectedFault("control", seq, -1))
+            return True
+        return False
+
+    def memory_fault_victim(self, machine, cycle: int) -> Optional[int]:
+        """Pick an in-flight speculative task to squash this cycle.
+
+        Returns ``None`` when the budget is spent, the cooldown has
+        not elapsed, or no strictly speculative task (seq beyond the
+        committing head) is in flight.
+        """
+        if self._memory_budget <= 0:
+            return None
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return None
+        candidates = sorted(
+            s for s in machine.in_flight if s > machine.retire_seq
+        )
+        if not candidates:
+            return None
+        victim = self.rng.choice(candidates)
+        self._memory_budget -= 1
+        self._cooldown = self.rng.randint(self.MIN_GAP, self.MAX_GAP)
+        self.injected.append(InjectedFault("memory", victim, cycle))
+        return victim
+
+    # ------------------------------------------------------------ reporting
+
+    @property
+    def control_injected(self) -> int:
+        return sum(1 for f in self.injected if f.kind == "control")
+
+    @property
+    def memory_injected(self) -> int:
+        return sum(1 for f in self.injected if f.kind == "memory")

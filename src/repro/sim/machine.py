@@ -82,6 +82,8 @@ class MultiscalarMachine:
         stream: TaskStream,
         config: Optional[SimConfig] = None,
         release: Optional[ReleaseAnalysis] = None,
+        monitor=None,
+        faults=None,
     ) -> None:
         self.config = config or SimConfig()
         self.stream = stream
@@ -117,6 +119,16 @@ class MultiscalarMachine:
         self._active_span = 0
         self._span_accum = 0
         self.cycle = 0
+        # Optional reliability hooks (duck-typed; see repro.reliability).
+        # ``monitor`` receives assignment/squash/retire events and may
+        # raise on invariant violations; ``faults`` injects forced
+        # mispredictions and spurious memory violations.
+        self.monitor = monitor
+        self.faults = faults
+        if faults is not None:
+            faults.bind(len(stream.tasks))
+        if monitor is not None:
+            monitor.attach(self)
 
     # ------------------------------------------------------------- services
 
@@ -167,6 +179,10 @@ class MultiscalarMachine:
                 self.breakdown.charge_memory_squash(penalty)
             else:
                 self.breakdown.charge_control_squash(penalty)
+            if self.monitor is not None:
+                self.monitor.on_squash_victim(
+                    seq, pu.index, cycle, penalty, memory
+                )
             self._active_span -= self.stream.tasks[seq].length
             self.state.clear_span(seq)
             pu.reset_idle()
@@ -180,13 +196,16 @@ class MultiscalarMachine:
         else:
             self.next_assign_pu = 0
         self.resume_cycle = max(self.resume_cycle, cycle + 1)
+        if self.monitor is not None:
+            self.monitor.post_squash(first_seq, cycle)
 
     def _squash_wrong(self, cycle: int) -> None:
         for pu in self.pus:
             if pu.wrong:
-                self.breakdown.charge_control_squash(
-                    max(0, cycle - pu.assign_cycle)
-                )
+                penalty = max(0, cycle - pu.assign_cycle)
+                self.breakdown.charge_control_squash(penalty)
+                if self.monitor is not None:
+                    self.monitor.on_wrong_squash(pu.index, cycle, penalty)
                 pu.reset_idle()
 
     def _check_store_violation(self, store_idx: int, cycle: int) -> None:
@@ -208,8 +227,20 @@ class MultiscalarMachine:
         if victim_seq is None:
             return
         self.memory_squashes += 1
+        if self.monitor is not None:
+            self.monitor.on_memory_violation(victim_seq)
         self._learn_sync(store_idx, victim_load)
         self._squash_from(victim_seq, cycle, memory=True)
+
+    def _inject_memory_fault(self, cycle: int) -> None:
+        """Spurious ARB violation from the fault plan (if one is due)."""
+        victim = self.faults.memory_fault_victim(self, cycle)
+        if victim is None:
+            return
+        self.memory_squashes += 1
+        if self.monitor is not None:
+            self.monitor.on_memory_violation(victim, injected=True)
+        self._squash_from(victim, cycle, memory=True)
 
     # --------------------------------------------------------------- assign
 
@@ -237,10 +268,17 @@ class MultiscalarMachine:
             self.ras.pop()
         self.predictor.push_history(pc)
         self.task_predictions += 1
+        if correct and self.faults is not None and self.faults.take_control_fault(seq):
+            # Injected fault: treat a correct prediction as wrong.  The
+            # sequencer redirects to the (unchanged) correct successor
+            # when this task completes, so only cycles are lost.
+            correct = False
         if not correct:
             self.task_mispredictions += 1
             self.pending_mispredict = seq
             self.control_squashes += 1
+            if self.monitor is not None:
+                self.monitor.on_control_mispredict(seq)
 
     def _assign(self, cycle: int) -> None:
         if cycle < self.resume_cycle:
@@ -250,6 +288,8 @@ class MultiscalarMachine:
             return
         if self.pending_mispredict is not None:
             pu.assign_wrong(cycle)
+            if self.monitor is not None:
+                self.monitor.on_wrong_assign(pu.index, cycle)
             self.next_assign_pu = (self.next_assign_pu + 1) % self.config.n_pus
             return
         if self.next_seq >= len(self.stream.tasks):
@@ -258,6 +298,8 @@ class MultiscalarMachine:
         dyn = self.stream.tasks[seq]
         pu.assign(dyn, cycle)
         self.in_flight[seq] = pu
+        if self.monitor is not None:
+            self.monitor.on_assign(seq, pu.index, cycle)
         self._active_span += dyn.length
         self.next_seq += 1
         self.next_assign_pu = (self.next_assign_pu + 1) % self.config.n_pus
@@ -275,6 +317,8 @@ class MultiscalarMachine:
                 self._active_span -= self.stream.tasks[seq].length
                 del self.in_flight[seq]
                 pu.reset_idle()
+                if self.monitor is not None:
+                    self.monitor.on_retire(seq, cycle)
                 self.retire_seq += 1
                 self._retiring_pu = None
             else:
@@ -294,7 +338,10 @@ class MultiscalarMachine:
         n_tasks = len(self.stream.tasks)
         cycle = 0
         if n_tasks == 0:
-            return self._result(0)
+            result = self._result(0)
+            if self.monitor is not None:
+                self.monitor.on_finish(self, result)
+            return result
 
         while self.retire_seq < n_tasks:
             if cycle > config.max_cycles:
@@ -320,6 +367,8 @@ class MultiscalarMachine:
                         self.resume_cycle,
                         cycle + config.task_mispredict_redirect,
                     )
+            if self.faults is not None:
+                self._inject_memory_fault(cycle)
             # Phase B: retire.
             self._retire(cycle)
             # Phase C: assign.
@@ -349,7 +398,10 @@ class MultiscalarMachine:
             self._span_accum += self._active_span
             cycle += 1
         self.cycle = cycle
-        return self._result(cycle)
+        result = self._result(cycle)
+        if self.monitor is not None:
+            self.monitor.on_finish(self, result)
+        return result
 
     def _result(self, cycles: int) -> SimResult:
         mean_span = self._span_accum / cycles if cycles else 0.0
@@ -373,6 +425,8 @@ def simulate(
     stream: TaskStream,
     config: Optional[SimConfig] = None,
     release: Optional[ReleaseAnalysis] = None,
+    monitor=None,
+    faults=None,
 ) -> SimResult:
     """Convenience: build a machine for ``stream`` and run it."""
-    return MultiscalarMachine(stream, config, release).run()
+    return MultiscalarMachine(stream, config, release, monitor, faults).run()

@@ -117,3 +117,21 @@ def big_call_program():
 @pytest.fixture
 def straightline():
     return build_straightline()
+
+
+@pytest.fixture
+def verify_oracle():
+    """Differential-oracle assertion: verify one cell or fail loudly.
+
+    Usage: ``report = verify_oracle("compress", level, scale=0.1)``;
+    the test fails with the full divergence list if the machine and
+    the sequential reference disagree (see repro.reliability).
+    """
+    from repro.reliability import verify_workload
+
+    def check(benchmark, level, **kwargs):
+        report = verify_workload(benchmark, level, **kwargs)
+        assert report.ok, report.summary()
+        return report
+
+    return check

@@ -48,8 +48,25 @@ class TestParser:
     def test_cache_subcommand(self):
         assert build_parser().parse_args(["cache", "stats"]).action == "stats"
         assert build_parser().parse_args(["cache", "clear"]).action == "clear"
+        assert build_parser().parse_args(
+            ["cache", "doctor"]).action == "doctor"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "bogus"])
+
+    def test_resume_flag(self):
+        args = build_parser().parse_args(["table1", "--resume"])
+        assert args.resume
+        assert not build_parser().parse_args(["table1"]).resume
+
+    def test_verify_options(self):
+        args = build_parser().parse_args(
+            ["verify", "compress", "tomcatv", "--faults", "50",
+             "--seed", "7", "--scale", "0.2"]
+        )
+        assert args.benchmarks == ["compress", "tomcatv"]
+        assert args.faults == 50
+        assert args.seed == 7
+        assert not args.all
 
 
 class TestCommands:
@@ -151,6 +168,39 @@ class TestCommands:
         assert "cleared" in capsys.readouterr().out
         assert main(["cache", "stats"]) == 0
         assert "records    : 0" in capsys.readouterr().out
+
+    def test_verify_clean_workload(self, capsys):
+        assert main(
+            ["verify", "compress", "--scale", "0.1", "--levels",
+             "control_flow,task_size", "--faults", "5", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "verified 2 cell(s): 2 ok, 0 diverged" in out
+
+    def test_verify_without_benchmarks_exits(self):
+        with pytest.raises(SystemExit, match="--all"):
+            main(["verify"])
+
+    def test_cache_doctor(self, capsys):
+        assert main(
+            ["table1", "--benchmarks", "compress", "--scale", "0.1"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "checked" in out and "quarantined: 0" in out
+
+    def test_resume_second_run_skips_completed(self, capsys, tmp_path):
+        from repro.experiments import clear_cache
+        from repro.harness import read_ledger
+
+        argv = ["table1", "--benchmarks", "compress", "--scale", "0.1"]
+        assert main(argv) == 0
+        clear_cache()
+        assert main(argv + ["--resume"]) == 0
+        entries = read_ledger(tmp_path / "cache" / "ledger.jsonl")
+        assert [e["cache"] for e in entries[-3:]] == ["resume"] * 3
 
     def test_unknown_benchmark_raises(self):
         with pytest.raises(KeyError):

@@ -119,7 +119,8 @@ class TestArtifactCache:
         run_specs(specs, jobs=1, cache=cache)
         for path in cache.records_dir.glob("*.pkl"):
             path.write_bytes(b"\x80garbage")
-        assert cache.get_record(specs[0]) is None
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get_record(specs[0]) is None
 
     def test_clear_removes_everything(self, tmp_path):
         cache = ArtifactCache(tmp_path, salt="s")
