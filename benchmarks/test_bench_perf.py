@@ -1,0 +1,39 @@
+"""Simulation-engine wall-clock benchmark (experiment id: sim).
+
+Times the smoke grid cold on both engines and publishes the
+machine-readable record to ``results/BENCH_sim.json`` — the same
+schema as the committed repo-root baseline, so a run here can be
+diffed against it directly.  Scale/subset come from the usual
+``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_SUBSET`` environment knobs via
+the ``smoke`` grid definition (the grid pins its own subset; only
+full-suite timing uses the ``figure5`` grid, via ``repro bench``).
+"""
+
+import json
+
+from benchmarks.conftest import publish
+from repro import bench
+
+
+def test_bench_sim_engines(benchmark, results_dir):
+    record = {}
+
+    def run():
+        nonlocal record
+        record = bench.run_bench(
+            grids=("smoke",), engines=("fast", "reference"), jobs=1
+        )
+        return record
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        results_dir,
+        "BENCH_sim.json",
+        json.dumps(record, indent=2, sort_keys=True) + "\n",
+    )
+    fast = record["grids"]["smoke@fast"]
+    reference = record["grids"]["smoke@reference"]
+    # The engines are bit-identical by contract; the benchmark
+    # enforces it on the aggregate the grids report.
+    assert fast["sim_cycles"] == reference["sim_cycles"]
+    assert fast["cells"] == reference["cells"] > 0

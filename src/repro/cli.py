@@ -9,6 +9,8 @@ Commands:
 * ``centralized`` — distributed vs centralized motivation study.
 * ``verify`` — differential oracle + invariant checks (optionally
   under seeded fault injection) for any set of workloads.
+* ``bench`` — time a grid cold and check/update ``BENCH_sim.json``.
+* ``profile-sim`` — cProfile one simulation, print the hotspots.
 * ``cache`` — inspect, audit (``doctor``), or clear the cache.
 * ``list`` — list the available benchmarks.
 
@@ -110,9 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--pus", type=int, default=4)
     run_p.add_argument("--in-order", action="store_true")
     run_p.add_argument("--scale", type=float, default=1.0)
+    run_p.add_argument("--engine", choices=["fast", "reference"],
+                       default="fast",
+                       help="simulation core (bit-identical results)")
 
     fig_p = sub.add_parser("figure5", help="regenerate Figure 5")
     _add_common(fig_p)
+    fig_p.add_argument("--engine", choices=["fast", "reference"],
+                       default="fast",
+                       help="simulation core (bit-identical results)")
     fig_p.add_argument("--pus", type=int, default=0,
                        help="restrict to one PU count (default: 4 and 8)")
     fig_p.add_argument("--in-order", action="store_true",
@@ -163,6 +171,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ver_p.add_argument("--seed", type=int, default=0,
                        help="base seed for the fault plans")
+    ver_p.add_argument("--engine", choices=["fast", "reference"],
+                       default="fast",
+                       help="simulation core under test (default: fast)")
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="time a grid cold and check/update BENCH_sim.json",
+    )
+    bench_p.add_argument(
+        "--grids", default="smoke",
+        help="comma-separated grid names (figure5, smoke, micro; "
+             "default: smoke)",
+    )
+    bench_p.add_argument(
+        "--engines", default="fast",
+        help="comma-separated engines to time (fast, reference; "
+             "default: fast)",
+    )
+    bench_p.add_argument("--jobs", type=int, default=1,
+                         help="harness workers (default 1, the "
+                              "baseline's configuration)")
+    bench_p.add_argument(
+        "--baseline", default="BENCH_sim.json",
+        help="baseline file to check/update (default: BENCH_sim.json)",
+    )
+    bench_p.add_argument(
+        "--check", action="store_true",
+        help="fail if wall time regresses past the baseline tolerance",
+    )
+    bench_p.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed wall-time regression for --check (default 0.25)",
+    )
+    bench_p.add_argument(
+        "--update", action="store_true",
+        help="merge this run's measurements into the baseline file",
+    )
+    bench_p.add_argument(
+        "--json", default="",
+        help="also write this run's record to this path",
+    )
+
+    prof_p = sub.add_parser(
+        "profile-sim",
+        help="cProfile one simulation and print the hotspots",
+    )
+    prof_p.add_argument("benchmark")
+    prof_p.add_argument(
+        "--level", choices=sorted(_LEVELS), default="data_dependence"
+    )
+    prof_p.add_argument("--pus", type=int, default=4)
+    prof_p.add_argument("--in-order", action="store_true")
+    prof_p.add_argument("--scale", type=float, default=1.0)
+    prof_p.add_argument("--engine", choices=["fast", "reference"],
+                        default="fast")
+    prof_p.add_argument("--top", type=int, default=25,
+                        help="number of hotspots to print (default 25)")
+    prof_p.add_argument(
+        "--sort", choices=["cumulative", "tottime"], default="cumulative",
+        help="pstats sort order (default: cumulative)",
+    )
+    prof_p.add_argument(
+        "--include-compile", action="store_true",
+        help="profile compilation too, not just the timing run",
+    )
 
     cache_p = sub.add_parser(
         "cache",
@@ -174,6 +247,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _sim_for_engine(engine: str):
+    """SimConfig override for a non-default engine (None = default)."""
+    if engine == "fast":
+        return None
+    from repro.sim import SimConfig
+
+    return SimConfig(engine=engine)
+
+
 def _cmd_run(args: argparse.Namespace) -> str:
     record = run_benchmark(
         args.benchmark,
@@ -181,6 +263,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
         n_pus=args.pus,
         out_of_order=not args.in_order,
         scale=args.scale,
+        sim=_sim_for_engine(args.engine),
     )
     lines = [
         f"benchmark            : {record.benchmark} ({record.suite})",
@@ -209,7 +292,7 @@ def _cmd_figure5(args: argparse.Namespace) -> str:
     configs = [(n, ooo) for ooo in modes for n in pus]
     result = run_figure5(
         benchmarks=_names(args), configs=configs, scale=args.scale,
-        **_harness_kwargs(args),
+        engine=args.engine, **_harness_kwargs(args),
     )
     _maybe_json(args, "figure5", result.records)
     return format_figure5(result, configs=configs)
@@ -257,6 +340,7 @@ def _cmd_verify(args: argparse.Namespace) -> str:
         scale=args.scale,
         faults=args.faults,
         seed=args.seed,
+        engine=args.engine,
     )
     lines = [report.summary() for report in reports]
     bad = sum(1 for report in reports if not report.ok)
@@ -267,6 +351,84 @@ def _cmd_verify(args: argparse.Namespace) -> str:
     if bad:
         raise SystemExit("\n".join(lines))
     return "\n".join(lines)
+
+
+def _cmd_bench(args: argparse.Namespace) -> str:
+    from repro import bench
+
+    grids = [g for g in args.grids.split(",") if g]
+    engines = [e for e in args.engines.split(",") if e]
+    for grid in grids:
+        if grid not in bench.GRIDS:
+            raise SystemExit(
+                f"repro bench: unknown grid {grid!r} "
+                f"(choose from {', '.join(sorted(bench.GRIDS))})"
+            )
+    record = bench.run_bench(grids=grids, engines=engines, jobs=args.jobs)
+    if args.json:
+        bench.write_record(args.json, record)
+    lines = [bench.format_record(record)]
+    if args.check:
+        baseline = bench.load_baseline(args.baseline)
+        if baseline is None:
+            raise SystemExit(
+                f"repro bench: no readable baseline at {args.baseline}"
+            )
+        problems = bench.check_regression(
+            record, baseline, tolerance=args.tolerance
+        )
+        if problems:
+            raise SystemExit("\n".join(
+                lines + [f"REGRESSION: {p}" for p in problems]
+            ))
+        lines.append(
+            f"no regression vs {args.baseline} "
+            f"(tolerance {args.tolerance:.0%})"
+        )
+    if args.update:
+        bench.merge_into_baseline(args.baseline, record)
+        lines.append(f"baseline {args.baseline} updated")
+    return "\n".join(lines)
+
+
+def _cmd_profile_sim(args: argparse.Namespace) -> str:
+    import cProfile
+    import io
+    import pstats
+
+    from repro.experiments.runner import compile_benchmark
+
+    level = _LEVELS[args.level]
+    profile = cProfile.Profile()
+    if args.include_compile:
+        profile.enable()
+        record = run_benchmark(
+            args.benchmark, level, n_pus=args.pus,
+            out_of_order=not args.in_order, scale=args.scale,
+            sim=_sim_for_engine(args.engine),
+        )
+        profile.disable()
+    else:
+        # Compile outside the profile so the report shows the
+        # simulation itself, not the one-off trace build.
+        compile_benchmark(args.benchmark, level, scale=args.scale)
+        profile.enable()
+        record = run_benchmark(
+            args.benchmark, level, n_pus=args.pus,
+            out_of_order=not args.in_order, scale=args.scale,
+            sim=_sim_for_engine(args.engine),
+        )
+        profile.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profile, stream=buf)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    mode = "ooo" if not args.in_order else "ino"
+    header = (
+        f"{args.benchmark}/{level.value}/{args.pus}{mode} "
+        f"engine={args.engine}: {record.cycles} cycles, "
+        f"{record.instructions} instructions, IPC {record.ipc:.3f}"
+    )
+    return header + "\n" + buf.getvalue().rstrip()
 
 
 def _cmd_cache(args: argparse.Namespace) -> str:
@@ -309,6 +471,8 @@ _COMMANDS = {
     "breakdown": _cmd_breakdown,
     "centralized": _cmd_centralized,
     "verify": _cmd_verify,
+    "bench": _cmd_bench,
+    "profile-sim": _cmd_profile_sim,
     "cache": _cmd_cache,
     "list": _cmd_list,
 }

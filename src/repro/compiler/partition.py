@@ -37,7 +37,8 @@ from repro.compiler.transforms import (
 from repro.ir.block import BlockId
 from repro.ir.cfg import build_cfg
 from repro.ir.program import Program
-from repro.profiling import Profile, profile_program
+from repro.ir.interp import run_program
+from repro.profiling import Profile, profile_trace
 
 
 def select_tasks(
@@ -63,8 +64,16 @@ def select_tasks(
     prog.validate()
 
     needs_profile = config.use_data_dependence or config.use_task_size
+    profiled_trace = None
     if needs_profile and profile is None:
-        profile = profile_program(prog, max_instructions=max_profile_instructions)
+        # Keep the trace alongside the profile: selection only picks
+        # task boundaries from here on (no further code changes), so
+        # the caller can reuse it instead of re-interpreting the
+        # program to obtain the measured trace.
+        profiled_trace = run_program(
+            prog, max_instructions=max_profile_instructions
+        )
+        profile = profile_trace(profiled_trace)
 
     absorbed: Set[str] = set()
     if config.use_task_size:
@@ -89,6 +98,7 @@ def select_tasks(
     else:
         _cover_program(partition, contexts, books)
     partition.validate()
+    partition.profile_trace = profiled_trace
     return partition
 
 

@@ -104,13 +104,20 @@ def run_figure5(
     cache: Optional[ArtifactCache] = None,
     ledger: Optional[RunLedger] = None,
     resume: bool = False,
+    engine: str = "fast",
 ) -> Figure5Result:
     """Run the Figure 5 grid (all benchmarks by default).
 
     The grid is submitted through the harness: ``jobs`` workers
     (``0``/``None`` = one per CPU), with compilation shared per
-    (benchmark, level) and optional persistent caching.
+    (benchmark, level) and optional persistent caching.  ``engine``
+    selects the simulation core (``"fast"`` or ``"reference"``); the
+    two are bit-identical, so this only affects wall-clock time — and
+    the cache key, which covers every ``SimConfig`` field.
     """
+    from repro.sim import SimConfig
+
+    sim = None if engine == "fast" else SimConfig(engine=engine)
     names = list(benchmarks) or [bm.name for bm in all_benchmarks()]
     keys: List[Tuple[str, HeuristicLevel, ConfigKey]] = []
     specs: List[RunSpec] = []
@@ -120,7 +127,7 @@ def run_figure5(
                 keys.append((name, level, (n_pus, ooo)))
                 specs.append(RunSpec(
                     benchmark=name, level=level, n_pus=n_pus,
-                    out_of_order=ooo, scale=scale,
+                    out_of_order=ooo, scale=scale, sim=sim,
                 ))
     records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger,
                         resume=resume)

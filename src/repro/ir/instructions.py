@@ -104,30 +104,22 @@ class Opcode(enum.Enum):
     RET = "ret"
     HALT = "halt"
 
-    @property
-    def is_branch(self) -> bool:
-        """True for conditional branches."""
-        return self in (Opcode.BEQZ, Opcode.BNEZ)
-
-    @property
-    def is_control(self) -> bool:
-        """True for any control transfer instruction."""
-        return self in _CONTROL_OPS
-
-    @property
-    def is_memory(self) -> bool:
-        """True for loads and stores."""
-        return self in (Opcode.LOAD, Opcode.STORE)
-
-    @property
-    def op_class(self) -> OpClass:
-        """Functional unit class this opcode executes on."""
-        return _OP_CLASS[self]
-
-    @property
-    def latency(self) -> int:
-        """Execution latency in cycles, excluding memory access time."""
-        return _LATENCY[self]
+    # Classification attributes, populated per member after the class
+    # body (plain attributes, not properties: these are read millions
+    # of times in the interpreter and trace-packing loops, and a
+    # descriptor plus a dict lookup per read dominated those loops):
+    #
+    # * ``is_branch`` — True for conditional branches.
+    # * ``is_control`` — True for any control transfer instruction.
+    # * ``is_memory`` — True for loads and stores.
+    # * ``op_class`` — :class:`OpClass` this opcode executes on.
+    # * ``latency`` — execution latency in cycles, excluding memory
+    #   access time.
+    is_branch: bool
+    is_control: bool
+    is_memory: bool
+    op_class: "OpClass"
+    latency: int
 
 
 _CONTROL_OPS = frozenset(
@@ -172,6 +164,13 @@ _LATENCY = {
 for _op in Opcode:
     _LATENCY.setdefault(_op, 1)
 
+for _op in Opcode:
+    _op.is_branch = _op is Opcode.BEQZ or _op is Opcode.BNEZ
+    _op.is_control = _op in _CONTROL_OPS
+    _op.is_memory = _op is Opcode.LOAD or _op is Opcode.STORE
+    _op.op_class = _OP_CLASS[_op]
+    _op.latency = _LATENCY[_op]
+
 
 @dataclass(frozen=True)
 class Instruction:
@@ -203,24 +202,26 @@ class Instruction:
     imm: Optional[float] = None
     target: Optional[str] = None
 
+    # Derived operand views, precomputed in ``__post_init__`` (plain
+    # attributes for the same hot-loop reason as the Opcode flags):
+    #
+    # * ``reads`` — register names this instruction reads, excluding
+    #   ``r0``.
+    # * ``writes`` — register name this instruction writes, or
+    #   ``None``; writes to ``r0`` are discarded and reported as
+    #   ``None``.
+    reads: Tuple[str, ...] = field(init=False, repr=False, compare=False)
+    writes: Optional[str] = field(init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
         if not isinstance(self.srcs, tuple):
             object.__setattr__(self, "srcs", tuple(self.srcs))
-
-    @property
-    def reads(self) -> Tuple[str, ...]:
-        """Register names this instruction reads (excluding ``r0``)."""
-        return tuple(s for s in self.srcs if s != ZERO_REG)
-
-    @property
-    def writes(self) -> Optional[str]:
-        """Register name this instruction writes, or ``None``.
-
-        Writes to ``r0`` are discarded and reported as ``None``.
-        """
-        if self.dst == ZERO_REG:
-            return None
-        return self.dst
+        object.__setattr__(
+            self, "reads", tuple(s for s in self.srcs if s != ZERO_REG)
+        )
+        object.__setattr__(
+            self, "writes", None if self.dst == ZERO_REG else self.dst
+        )
 
     def __str__(self) -> str:
         parts = [self.opcode.value]

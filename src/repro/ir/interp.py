@@ -135,7 +135,7 @@ class Interpreter:
 
     def read_reg(self, name: str) -> float:
         """Current value of register ``name`` (0 if never written)."""
-        if name.startswith("f"):
+        if name[0] == "f":
             return self.fp_regs.get(name, 0.0)
         if name == "r0":
             return 0
@@ -145,7 +145,7 @@ class Interpreter:
         """Set register ``name``; writes to ``r0`` are discarded."""
         if name == "r0":
             return
-        if name.startswith("f"):
+        if name[0] == "f":
             self.fp_regs[name] = float(value)
         else:
             self.int_regs[name] = int(value)
@@ -153,7 +153,13 @@ class Interpreter:
     # -------------------------------------------------------------- running
 
     def run(self) -> Trace:
-        """Execute from ``main`` until HALT; return the trace."""
+        """Execute from ``main`` until HALT; return the trace.
+
+        Register file access is inlined (int/fp dict gets keyed by the
+        ``f`` name prefix, matching :meth:`read_reg` / :meth:`write_reg`)
+        — this loop executes millions of dynamic instructions per trace
+        and the helper-call overhead used to dominate it.
+        """
         trace = Trace(self.program)
         program = self.program
         func_name = program.main_name
@@ -161,16 +167,39 @@ class Interpreter:
         assert label is not None
         call_stack: List[Tuple[str, str]] = []
         insts = trace.insts
+        append_inst = insts.append
         limit = self.max_instructions
+        int_regs = self.int_regs
+        fp_regs = self.fp_regs
+        memory = self.memory
+        n_insts = 0
+        _LOAD = Opcode.LOAD
+        _STORE = Opcode.STORE
+        _BEQZ = Opcode.BEQZ
+        _BNEZ = Opcode.BNEZ
+        _JUMP = Opcode.JUMP
+        _CALL = Opcode.CALL
+        _RET = Opcode.RET
+        _HALT = Opcode.HALT
+        _LI = Opcode.LI
+        _FLI = Opcode.FLI
+        _CVTFI = Opcode.CVTFI
+        _MOVES = (Opcode.MOV, Opcode.FMOV, Opcode.CVTIF, Opcode.CVTFI)
 
         while not self.halted:
             func = program.function(func_name)
             blk = func.block(label)
-            trace.block_entries.append((len(insts), (func_name, label)))
+            trace.block_entries.append((n_insts, (func_name, label)))
             next_func = func_name
             next_label: Optional[str] = blk.fallthrough
+            block_id = (func_name, label)
+            # PCs are assigned sequentially within a block, so one
+            # lookup per block entry replaces one per instruction.
+            block_pc = (
+                program.pc_of(func_name, label, 0) if blk.instructions else 0
+            )
             for iidx, ins in enumerate(blk.instructions):
-                if len(insts) >= limit:
+                if n_insts >= limit:
                     raise ExecutionLimitExceeded(
                         f"exceeded {limit} dynamic instructions"
                     )
@@ -179,27 +208,49 @@ class Interpreter:
                 taken: Optional[bool] = None
                 callee: Optional[str] = None
 
-                if op is Opcode.LOAD:
-                    base = self.read_reg(ins.srcs[0])
+                if op is _LOAD:
+                    name = ins.srcs[0]
+                    base = (
+                        fp_regs.get(name, 0.0)
+                        if name[0] == "f"
+                        else int_regs.get(name, 0)
+                    )
                     addr = int(base) + int(ins.imm or 0)
-                    assert ins.dst is not None
-                    self.write_reg(ins.dst, self.memory.get(addr, 0))
-                elif op is Opcode.STORE:
-                    value = self.read_reg(ins.srcs[0])
-                    base = self.read_reg(ins.srcs[1])
+                    dst = ins.dst
+                    if dst != "r0":
+                        val = memory.get(addr, 0)
+                        if dst[0] == "f":
+                            fp_regs[dst] = float(val)
+                        else:
+                            int_regs[dst] = int(val)
+                elif op is _STORE:
+                    name = ins.srcs[0]
+                    value = (
+                        fp_regs.get(name, 0.0)
+                        if name[0] == "f"
+                        else int_regs.get(name, 0)
+                    )
+                    name = ins.srcs[1]
+                    base = (
+                        fp_regs.get(name, 0.0)
+                        if name[0] == "f"
+                        else int_regs.get(name, 0)
+                    )
                     addr = int(base) + int(ins.imm or 0)
-                    self.memory[addr] = value
-                elif op is Opcode.BEQZ:
-                    taken = self.read_reg(ins.srcs[0]) == 0
+                    memory[addr] = value
+                elif op is _BEQZ or op is _BNEZ:
+                    name = ins.srcs[0]
+                    value = (
+                        fp_regs.get(name, 0.0)
+                        if name[0] == "f"
+                        else int_regs.get(name, 0)
+                    )
+                    taken = (value == 0) if op is _BEQZ else (value != 0)
                     if taken:
                         next_label = ins.target
-                elif op is Opcode.BNEZ:
-                    taken = self.read_reg(ins.srcs[0]) != 0
-                    if taken:
-                        next_label = ins.target
-                elif op is Opcode.JUMP:
+                elif op is _JUMP:
                     next_label = ins.target
-                elif op is Opcode.CALL:
+                elif op is _CALL:
                     assert ins.target is not None
                     callee = ins.target
                     assert blk.fallthrough is not None, (
@@ -208,32 +259,68 @@ class Interpreter:
                     call_stack.append((func_name, blk.fallthrough))
                     next_func = callee
                     next_label = program.function(callee).entry_label
-                elif op is Opcode.RET:
+                elif op is _RET:
                     if not call_stack:
                         raise RuntimeError(
                             f"RET with empty call stack in {func_name}:{label}"
                         )
                     next_func, next_label = call_stack.pop()
-                elif op is Opcode.HALT:
+                elif op is _HALT:
                     self.halted = True
                     next_label = None
                 else:
-                    self._execute_alu(ins)
+                    # ALU / move family, inlined from _execute_alu.
+                    srcs = ins.srcs
+                    if op is _LI or op is _FLI:
+                        val = ins.imm
+                    elif op in _MOVES:  # MOV / FMOV / CVTIF / CVTFI
+                        name = srcs[0]
+                        val = (
+                            fp_regs.get(name, 0.0)
+                            if name[0] == "f"
+                            else int_regs.get(name, 0)
+                        )
+                        if op is _CVTFI:
+                            val = int(val)
+                    else:
+                        name = srcs[0]
+                        a = (
+                            fp_regs.get(name, 0.0)
+                            if name[0] == "f"
+                            else int_regs.get(name, 0)
+                        )
+                        if len(srcs) > 1:
+                            name = srcs[1]
+                            b = (
+                                fp_regs.get(name, 0.0)
+                                if name[0] == "f"
+                                else int_regs.get(name, 0)
+                            )
+                        else:
+                            b = ins.imm
+                        val = op.alu(a, b)
+                    dst = ins.dst
+                    if dst != "r0":
+                        if dst[0] == "f":
+                            fp_regs[dst] = float(val)
+                        else:
+                            int_regs[dst] = int(val)
 
-                insts.append(
+                append_inst(
                     DynInst(
-                        index=len(insts),
-                        block=(func_name, label),
-                        iidx=iidx,
-                        op=op,
-                        pc=program.pc_of(func_name, label, iidx),
-                        reads=ins.reads,
-                        write=ins.writes,
-                        addr=addr,
-                        taken=taken,
-                        callee=callee,
+                        n_insts,
+                        block_id,
+                        iidx,
+                        op,
+                        block_pc + iidx,
+                        ins.reads,
+                        ins.writes,
+                        addr,
+                        taken,
+                        callee,
                     )
                 )
+                n_insts += 1
             if self.halted:
                 break
             if next_label is None:
@@ -261,7 +348,7 @@ class Interpreter:
         b = self.read_reg(ins.srcs[1]) if len(ins.srcs) > 1 else ins.imm
         assert b is not None, f"missing second operand for {ins}"
         assert ins.dst is not None
-        self.write_reg(ins.dst, _ALU_FUNCS[op](a, b))
+        self.write_reg(ins.dst, op.alu(a, b))
 
 
 def _int_div(a: float, b: float) -> int:
@@ -297,6 +384,12 @@ _ALU_FUNCS = {
     Opcode.FMUL: lambda a, b: float(a) * float(b),
     Opcode.FDIV: lambda a, b: float(a) / b if b != 0 else 0.0,
 }
+
+# Bind each ALU function directly onto its opcode: ``op.alu(a, b)`` is
+# an attribute load, where ``_ALU_FUNCS[op]`` pays an enum hash per
+# dynamic ALU instruction.
+for _op, _fn in _ALU_FUNCS.items():
+    _op.alu = _fn
 
 
 def run_program(program: Program, max_instructions: int = 2_000_000) -> Trace:

@@ -161,13 +161,17 @@ def verify_grid(
     scale: float = 1.0,
     faults: int = 0,
     seed: int = 0,
+    engine: str = "fast",
 ) -> List[VerifyReport]:
     """Verify every (benchmark, level) cell; returns all reports.
 
     With ``faults``, each cell gets its own deterministic plan seeded
     by ``seed`` and the cell's position, so different cells inject
-    different (but reproducible) schedules.
+    different (but reproducible) schedules.  ``engine`` selects the
+    simulation core under test ("fast" by default, so the oracle and
+    the invariant monitors exercise the event-driven engine).
     """
+    sim = None if engine == "fast" else SimConfig(engine=engine)
     names = list(benchmarks) or [bm.name for bm in all_benchmarks()]
     reports: List[VerifyReport] = []
     for b_index, name in enumerate(names):
@@ -175,6 +179,6 @@ def verify_grid(
             cell_seed = seed + 1009 * b_index + 9176 * l_index
             reports.append(verify_workload(
                 name, level, n_pus=n_pus, out_of_order=out_of_order,
-                scale=scale, faults=faults, seed=cell_seed,
+                scale=scale, sim=sim, faults=faults, seed=cell_seed,
             ))
     return reports

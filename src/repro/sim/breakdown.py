@@ -32,6 +32,20 @@ class StallReason(enum.Enum):
     IDLE = "idle"
 
 
+#: dense indexing for the hot accounting paths: a PU accumulates its
+#: per-task counts in a plain ``list`` slotted by these positions
+#: (no enum hashing per cycle) and the breakdown folds it back into
+#: the reason-keyed dict only at retire time.
+REASONS: "tuple[StallReason, ...]" = tuple(StallReason)
+REASON_INDEX: Dict[StallReason, int] = {r: i for i, r in enumerate(REASONS)}
+
+# The dense index is also bound onto each member (``reason.slot``) so
+# the hot paths resolve it with an attribute load instead of an
+# enum-keyed dict lookup.
+for _reason, _slot in REASON_INDEX.items():
+    _reason.slot = _slot
+
+
 @dataclass
 class CycleBreakdown:
     """Accumulated PU-cycles per category across a whole run."""
@@ -45,6 +59,13 @@ class CycleBreakdown:
     def charge(self, reason: StallReason, cycles: int = 1) -> None:
         """Add ``cycles`` to ``reason``."""
         self.per_reason[reason] += cycles
+
+    def charge_counts(self, counts) -> None:
+        """Merge a dense per-reason count list (indexed per ``REASONS``)."""
+        per_reason = self.per_reason
+        for i, count in enumerate(counts):
+            if count:
+                per_reason[REASONS[i]] += count
 
     def charge_control_squash(self, cycles: int) -> None:
         """Account a control flow misspeculation penalty."""

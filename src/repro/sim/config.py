@@ -110,7 +110,17 @@ class SimConfig:
     #: safety valve: abort runs exceeding this many cycles
     max_cycles: int = 50_000_000
 
+    #: cycle-loop implementation: "fast" (event-driven, skips
+    #: quiescent spans) or "reference" (uniform per-cycle tick).
+    #: Results are bit-identical; the reference engine is the oracle
+    #: the fast path is validated against.
+    engine: str = "fast"
+
     def __post_init__(self) -> None:
+        if self.engine not in ("fast", "reference"):
+            raise ValueError(
+                f"engine must be 'fast' or 'reference', got {self.engine!r}"
+            )
         if self.n_pus < 1:
             raise ValueError("n_pus must be >= 1")
         if self.issue_width < 1 or self.fetch_width < 1:

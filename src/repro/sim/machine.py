@@ -21,10 +21,29 @@ D. **Execute** — each PU issues and fetches; every occupied PU-cycle
 The simulation is trace-driven: squashed work re-executes the same
 dynamic instructions at later cycles; committed instruction count
 equals the trace length exactly once.
+
+Two engines share the phase logic (:meth:`MultiscalarMachine._tick`):
+
+* ``engine="reference"`` ticks every cycle — the original, obviously
+  correct loop kept as the equivalence oracle.
+* ``engine="fast"`` (default) is event-driven: after a *quiescent*
+  tick (no completion drained, nothing issued or fetched, no retire /
+  assign / redirect progress) the machine asks every unit for its next
+  possible event cycle — head of the completion heap, fetch resume,
+  scheduled ring-forward arrival, task-start boundary, retire finish,
+  sequencer resume — jumps straight to the minimum, and bulk-charges
+  the skipped cycles to the stall category each PU was accumulating.
+  Because a quiescent cycle's blocking state provably cannot change
+  before one of those events (every state transition in the model is
+  caused by one), the fast engine produces bit-identical results;
+  ``tests/test_fastpath.py`` enforces this cell-by-cell against the
+  reference engine.  Fault injection mutates per-cycle cooldown state,
+  so a machine with a fault plan attached never skips.
 """
 
 from __future__ import annotations
 
+import gc
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -32,12 +51,25 @@ from typing import Dict, List, Optional, Tuple
 from repro.compiler.regcomm import ReleaseAnalysis
 from repro.compiler.task import TargetKind
 from repro.predict import PathPredictor, ReturnAddressStack
-from repro.sim.breakdown import CycleBreakdown, StallReason
+from repro.sim.breakdown import (
+    REASON_INDEX,
+    CycleBreakdown,
+    StallReason,
+)
 from repro.sim.config import SimConfig
 from repro.sim.memory import MemoryHierarchy
 from repro.sim.pu import ProcessingUnit
 from repro.sim.runstate import RunState
 from repro.sim.taskstream import TaskStream
+
+_NEVER = 1 << 60
+
+_R_USEFUL = REASON_INDEX[StallReason.USEFUL]
+_R_TASK_START = REASON_INDEX[StallReason.TASK_START]
+_R_TASK_END = REASON_INDEX[StallReason.TASK_END]
+_R_FETCH = REASON_INDEX[StallReason.FETCH]
+_R_LOAD_IMBALANCE = REASON_INDEX[StallReason.LOAD_IMBALANCE]
+_N_REASONS = len(REASON_INDEX)
 
 
 @dataclass
@@ -71,7 +103,14 @@ class SimResult:
 
 
 class SimulationStuck(RuntimeError):
-    """The cycle loop exceeded ``max_cycles`` (a model bug guard)."""
+    """The cycle loop cannot make progress (a model bug guard).
+
+    Raised when ``max_cycles`` is exceeded, or — fast engine only —
+    when no unit reports a future event while unretired tasks remain.
+    The message carries the workload label, engine, retire progress
+    and current cycle so a stuck grid cell is diagnosable from the
+    traceback alone.
+    """
 
 
 class MultiscalarMachine:
@@ -84,9 +123,11 @@ class MultiscalarMachine:
         release: Optional[ReleaseAnalysis] = None,
         monitor=None,
         faults=None,
+        label: Optional[str] = None,
     ) -> None:
         self.config = config or SimConfig()
         self.stream = stream
+        self.label = label
         self.state = RunState(stream, self.config, release)
         self.hierarchy = MemoryHierarchy(self.config)
         self.predictor = PathPredictor()
@@ -119,6 +160,26 @@ class MultiscalarMachine:
         self._active_span = 0
         self._span_accum = 0
         self.cycle = 0
+        #: bumped whenever machine state that any PU's issue decision
+        #: could observe changes (see ProcessingUnit.issue memoization)
+        self._mut_version = 0
+        #: bumped on retires only; consulted just by ARB-gate-blocked
+        #: results, so a retire doesn't invalidate every memo
+        self._retire_version = 0
+        #: idle PU-cycles, folded into the breakdown at result time so
+        #: the per-cycle path is an int increment, not a dict update
+        self._idle_accum = 0
+        #: retired tasks' stall accounting, slotted per REASONS; folded
+        #: into the breakdown at result time so each retire is ten int
+        #: adds instead of an enum-keyed dict merge
+        self._reason_accum = [0] * _N_REASONS
+        #: per-tick constants, unpacked once per _tick call instead of
+        #: re-reading config attributes every cycle
+        self._tick_consts = (
+            self.config.task_start_overhead,
+            self.config.rob_size,
+            self.pus[0]._lazy_fp if self.pus else False,
+        )
         # Optional reliability hooks (duck-typed; see repro.reliability).
         # ``monitor`` receives assignment/squash/retire events and may
         # raise on invariant violations; ``faults`` injects forced
@@ -147,6 +208,7 @@ class MultiscalarMachine:
     def _learn_sync(self, store_idx: int, load_idx: int) -> None:
         if self.config.sync_table_size <= 0:
             return
+        self._mut_version += 1
         key = (self.state.pc[store_idx], self.state.pc[load_idx])
         self.sync_pairs[key] = None
         self.sync_pairs.move_to_end(key)
@@ -165,6 +227,7 @@ class MultiscalarMachine:
 
     def _squash_from(self, first_seq: int, cycle: int, memory: bool) -> None:
         """Squash every in-flight real task with seq >= ``first_seq``."""
+        self._mut_version += 1
         victims = sorted(s for s in self.in_flight if s >= first_seq)
         if (
             self._retiring_pu is not None
@@ -200,6 +263,7 @@ class MultiscalarMachine:
             self.monitor.post_squash(first_seq, cycle)
 
     def _squash_wrong(self, cycle: int) -> None:
+        self._mut_version += 1
         for pu in self.pus:
             if pu.wrong:
                 penalty = max(0, cycle - pu.assign_cycle)
@@ -280,20 +344,26 @@ class MultiscalarMachine:
             if self.monitor is not None:
                 self.monitor.on_control_mispredict(seq)
 
-    def _assign(self, cycle: int) -> None:
+    def _assign(self, cycle: int) -> bool:
+        """Phase C; returns True when a PU was occupied this cycle."""
         if cycle < self.resume_cycle:
-            return
+            return False
         pu = self.pus[self.next_assign_pu]
         if not pu.idle:
-            return
+            return False
         if self.pending_mispredict is not None:
             pu.assign_wrong(cycle)
             if self.monitor is not None:
                 self.monitor.on_wrong_assign(pu.index, cycle)
             self.next_assign_pu = (self.next_assign_pu + 1) % self.config.n_pus
-            return
+            return True
         if self.next_seq >= len(self.stream.tasks):
-            return
+            return False
+        # No version bump: a fresh assignment changes nothing another
+        # PU's blocked-issue computation reads (pu_of_seq of a task is
+        # only consulted once that task has completed values, which
+        # postdates its assignment; squash-driven reassignment is
+        # covered by the squash bump).
         seq = self.next_seq
         dyn = self.stream.tasks[seq]
         pu.assign(dyn, cycle)
@@ -304,106 +374,301 @@ class MultiscalarMachine:
         self.next_seq += 1
         self.next_assign_pu = (self.next_assign_pu + 1) % self.config.n_pus
         self._predict_successor(seq)
+        return True
 
     # --------------------------------------------------------------- retire
 
-    def _retire(self, cycle: int) -> None:
+    def _retire(self, cycle: int) -> bool:
+        """Phase B; returns True when a retire completed or started."""
+        active = False
         if self._retiring_pu is not None:
-            if cycle >= self._retire_finish:
-                pu = self._retiring_pu
-                for reason, count in pu.local_counts.items():
-                    self.breakdown.charge(reason, count)
-                seq = pu.seq
-                self._active_span -= self.stream.tasks[seq].length
-                del self.in_flight[seq]
-                pu.reset_idle()
-                if self.monitor is not None:
-                    self.monitor.on_retire(seq, cycle)
-                self.retire_seq += 1
-                self._retiring_pu = None
-            else:
-                return
+            if cycle < self._retire_finish:
+                return False
+            pu = self._retiring_pu
+            accum = self._reason_accum
+            for i, n in enumerate(pu.local_counts):
+                if n:
+                    accum[i] += n
+            seq = pu.seq
+            self._active_span -= self.stream.tasks[seq].length
+            del self.in_flight[seq]
+            pu.reset_idle()
+            if self.monitor is not None:
+                self.monitor.on_retire(seq, cycle)
+            self.retire_seq += 1
+            self._retiring_pu = None
+            self._retire_version += 1
+            active = True
         pu = self.in_flight.get(self.retire_seq)
         if pu is not None and pu.done:
-            pu.charge(StallReason.TASK_END, self.config.task_end_overhead)
+            pu.local_counts[_R_TASK_END] += self.config.task_end_overhead
             pu.retiring = True
             self._retiring_pu = pu
             self._retire_finish = cycle + self.config.task_end_overhead
+            active = True
+        return active
 
     # ------------------------------------------------------------- run loop
 
+    def _tick(self, cycle: int) -> bool:
+        """Run phases A–D for one cycle; True when anything progressed.
+
+        "Progress" means: an instruction completed, a misprediction
+        resolved, a retire started or finished, a PU was assigned,
+        or anything issued or fetched.  A False return certifies the
+        machine was quiescent, which is what licenses the fast engine
+        to consult :meth:`ProcessingUnit.next_event_cycle` and skip.
+        """
+        config = self.config
+        active = False
+        pus = self.pus
+        # Phase A: completions (+ violation checks, + control resolve).
+        for pu in pus:
+            if pu.dyn_task is None:
+                continue
+            in_flight = pu.in_flight
+            if in_flight:
+                if in_flight[0][0] > cycle:
+                    continue
+            elif pu.done or pu.remaining or pu.fetch_ptr < pu.dyn_task.end:
+                # Nothing pending, and the done-flip (the only other
+                # thing drain does) needs remaining == 0 AND a finished
+                # fetch stream.
+                continue
+            stores, popped, global_event, cross_popped = (
+                pu.drain_completions(cycle)
+            )
+            if popped:
+                active = True
+            if global_event:
+                self._mut_version += 1
+            if cross_popped:
+                # Invalidate exactly the tasks whose issue decisions
+                # can observe these completions (their register or
+                # memory consumers); everyone else's memoized blocked
+                # results stay valid.
+                consumer_seqs = self.state.consumer_seqs
+                tasks_on_pus = self.in_flight
+                for cidx in cross_popped:
+                    for cs in consumer_seqs[cidx]:
+                        cpu = tasks_on_pus.get(cs)
+                        if cpu is not None:
+                            cpu.issue_cache_key = -1
+            for store_idx in stores:
+                self._check_store_violation(store_idx, cycle)
+        if self.pending_mispredict is not None:
+            src = self.in_flight.get(self.pending_mispredict)
+            if src is not None and src.done:
+                active = True
+                self._squash_wrong(cycle)
+                self.next_assign_pu = (
+                    self.state.pu_of_seq[self.pending_mispredict] + 1
+                ) % config.n_pus
+                self.pending_mispredict = None
+                self.resume_cycle = max(
+                    self.resume_cycle,
+                    cycle + config.task_mispredict_redirect,
+                )
+        if self.faults is not None:
+            self._inject_memory_fault(cycle)
+        # Phase B: retire.
+        if self._retiring_pu is not None:
+            if self._retire(cycle):
+                active = True
+        else:
+            head = self.in_flight.get(self.retire_seq)
+            if head is not None and head.done and self._retire(cycle):
+                active = True
+        # Phase C: assign.
+        if cycle >= self.resume_cycle:
+            nxt = pus[self.next_assign_pu]
+            if nxt.dyn_task is None and not nxt.wrong and self._assign(cycle):
+                active = True
+        # Phase D: execute + accounting.
+        task_start_overhead, rob_size, lazy_fp = self._tick_consts
+        mut_version = self._mut_version
+        retire_version = self._retire_version
+        idle = 0
+        for pu in pus:
+            if pu.wrong:
+                continue  # charged as penalty at resolution
+            if pu.dyn_task is None:
+                idle += 1
+                continue
+            if pu.retiring:
+                continue  # TASK_END charged up front
+            counts = pu.local_counts
+            if pu.done:
+                counts[_R_LOAD_IMBALANCE] += 1
+                continue
+            if (
+                pu.issue_cache_key == mut_version
+                and cycle < pu.issue_wake
+                and (
+                    not pu.retire_sensitive
+                    or pu.issue_retire_key == retire_version
+                )
+            ):
+                # Memoized blocked result: nothing this PU's issue
+                # decision observes has changed since it was computed.
+                issued = 0
+                reason = pu.last_block
+            elif pu.unissued:
+                issued, reason = pu.issue(cycle, self)
+            else:
+                # Empty window: issue() would early-return; skip the
+                # call (its other preconditions are already excluded
+                # above) but keep its cache bookkeeping.
+                pu.issue_wake = _NEVER
+                pu.retire_sensitive = False
+                pu.last_block = None
+                pu.issue_cache_key = mut_version
+                issued = 0
+                reason = None
+            if (
+                pu.pending_branch < 0
+                and cycle >= pu.fetch_resume
+                and pu.fetch_ptr < pu.fetch_end
+                and pu.rob_count < rob_size
+                and pu.fetch(cycle)
+            ):
+                active = True
+                if lazy_fp and pu.done:
+                    # The task finished at fetch: its writes just
+                    # bulk-forwarded, which later-scanned PUs' issue
+                    # decisions may observe this very cycle — keep the
+                    # hoisted version in step.
+                    self._mut_version += 1
+                    mut_version = self._mut_version
+            if issued:
+                active = True
+                counts[_R_USEFUL] += 1
+            elif cycle < pu.assign_cycle + task_start_overhead:
+                counts[_R_TASK_START] += 1
+            elif reason is not None:
+                counts[pu.last_slot] += 1
+            else:
+                counts[_R_FETCH] += 1
+        self._idle_accum += idle
+        self._span_accum += self._active_span
+        return active
+
     def run(self) -> SimResult:
         """Simulate until every dynamic task has retired."""
-        config = self.config
-        n_tasks = len(self.stream.tasks)
-        cycle = 0
-        if n_tasks == 0:
+        if len(self.stream.tasks) == 0:
             result = self._result(0)
             if self.monitor is not None:
                 self.monitor.on_finish(self, result)
             return result
-
-        while self.retire_seq < n_tasks:
-            if cycle > config.max_cycles:
-                raise SimulationStuck(
-                    f"exceeded {config.max_cycles} cycles "
-                    f"(retired {self.retire_seq}/{n_tasks} tasks)"
-                )
-            # Phase A: completions (+ violation checks, + control resolve).
-            for pu in self.pus:
-                if pu.dyn_task is None:
-                    continue
-                for store_idx in pu.drain_completions(cycle):
-                    self._check_store_violation(store_idx, cycle)
-            if self.pending_mispredict is not None:
-                src = self.in_flight.get(self.pending_mispredict)
-                if src is not None and src.done:
-                    self._squash_wrong(cycle)
-                    self.next_assign_pu = (
-                        self.state.pu_of_seq[self.pending_mispredict] + 1
-                    ) % config.n_pus
-                    self.pending_mispredict = None
-                    self.resume_cycle = max(
-                        self.resume_cycle,
-                        cycle + config.task_mispredict_redirect,
-                    )
-            if self.faults is not None:
-                self._inject_memory_fault(cycle)
-            # Phase B: retire.
-            self._retire(cycle)
-            # Phase C: assign.
-            self._assign(cycle)
-            # Phase D: execute + accounting.
-            for pu in self.pus:
-                if pu.wrong:
-                    continue  # charged as penalty at resolution
-                if pu.dyn_task is None:
-                    self.breakdown.charge(StallReason.IDLE)
-                    continue
-                if pu.retiring:
-                    continue  # TASK_END charged up front
-                if pu.done:
-                    pu.charge(StallReason.LOAD_IMBALANCE)
-                    continue
-                issued, reason = pu.issue(cycle, self)
-                pu.fetch(cycle)
-                if issued:
-                    pu.charge(StallReason.USEFUL)
-                elif cycle < pu.assign_cycle + config.task_start_overhead:
-                    pu.charge(StallReason.TASK_START)
-                elif reason is not None:
-                    pu.charge(reason)
-                else:
-                    pu.charge(StallReason.FETCH)
-            self._span_accum += self._active_span
-            cycle += 1
-        self.cycle = cycle
-        result = self._result(cycle)
+        # The cycle loop allocates only acyclic, reference-counted
+        # garbage (tuples, small lists); the cyclic collector just
+        # burns time re-scanning the trace arrays.  Pause it for the
+        # duration of the run, restoring the caller's setting.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            if self.config.engine == "reference":
+                cycles = self._run_reference()
+            else:
+                cycles = self._run_fast()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        self.cycle = cycles
+        result = self._result(cycles)
         if self.monitor is not None:
             self.monitor.on_finish(self, result)
         return result
 
+    def _run_reference(self) -> int:
+        """The original uniform per-cycle loop (equivalence oracle)."""
+        max_cycles = self.config.max_cycles
+        n_tasks = len(self.stream.tasks)
+        cycle = 0
+        while self.retire_seq < n_tasks:
+            if cycle > max_cycles:
+                raise self._stuck(cycle, f"exceeded {max_cycles} cycles")
+            self._tick(cycle)
+            cycle += 1
+        return cycle
+
+    def _run_fast(self) -> int:
+        """Event-driven loop: tick, and after a quiescent tick jump to
+        the next event, bulk-charging the skipped span."""
+        config = self.config
+        max_cycles = config.max_cycles
+        n_tasks = len(self.stream.tasks)
+        pus = self.pus
+        # Fault plans decrement per-cycle cooldowns: every cycle must
+        # be presented to them, so skipping is off.
+        can_skip = self.faults is None
+        cycle = 0
+        while self.retire_seq < n_tasks:
+            if cycle > max_cycles:
+                raise self._stuck(cycle, f"exceeded {max_cycles} cycles")
+            if self._tick(cycle) or not can_skip:
+                cycle += 1
+                continue
+            # Quiescent: find the earliest cycle anything can happen.
+            t = cycle + 1
+            wake = _NEVER
+            if self._retiring_pu is not None:
+                wake = self._retire_finish
+            if pus[self.next_assign_pu].idle and (
+                self.pending_mispredict is not None
+                or self.next_seq < n_tasks
+            ):
+                resume = self.resume_cycle
+                if resume < t:
+                    resume = t
+                if resume < wake:
+                    wake = resume
+            idle_pus = 0
+            charged: List[Tuple[List[int], int]] = []
+            for pu in pus:
+                if pu.wrong or pu.retiring:
+                    continue
+                if pu.dyn_task is None:
+                    idle_pus += 1
+                    continue
+                w, slot = pu.next_event_cycle(t, self)
+                if w < wake:
+                    wake = w
+                if slot is not None:
+                    charged.append((pu.local_counts, slot))
+            if wake >= _NEVER:
+                raise self._stuck(cycle, "no pending event (livelock)")
+            if wake <= t:
+                cycle = t
+                continue
+            if wake > max_cycles:
+                wake = max_cycles + 1  # let the guard above raise
+            skipped = wake - t
+            if idle_pus:
+                self._idle_accum += idle_pus * skipped
+            for counts, slot in charged:
+                counts[slot] += skipped
+            self._span_accum += self._active_span * skipped
+            cycle = wake
+        return cycle
+
+    def _stuck(self, cycle: int, reason: str) -> SimulationStuck:
+        label = f"{self.label}: " if self.label else ""
+        return SimulationStuck(
+            f"{label}{reason} at cycle {cycle} "
+            f"(engine={self.config.engine}, "
+            f"retired {self.retire_seq}/{len(self.stream.tasks)} tasks, "
+            f"next_seq={self.next_seq}, "
+            f"pending_mispredict={self.pending_mispredict})"
+        )
+
     def _result(self, cycles: int) -> SimResult:
+        if any(self._reason_accum):
+            self.breakdown.charge_counts(self._reason_accum)
+            self._reason_accum = [0] * _N_REASONS
+        if self._idle_accum:
+            self.breakdown.charge(StallReason.IDLE, self._idle_accum)
+            self._idle_accum = 0
         mean_span = self._span_accum / cycles if cycles else 0.0
         return SimResult(
             cycles=cycles,
@@ -427,6 +692,9 @@ def simulate(
     release: Optional[ReleaseAnalysis] = None,
     monitor=None,
     faults=None,
+    label: Optional[str] = None,
 ) -> SimResult:
     """Convenience: build a machine for ``stream`` and run it."""
-    return MultiscalarMachine(stream, config, release, monitor, faults).run()
+    return MultiscalarMachine(
+        stream, config, release, monitor, faults, label=label
+    ).run()

@@ -17,29 +17,41 @@ from repro.sim.config import CacheConfig, SimConfig
 
 
 class Cache:
-    """A single set-associative LRU cache level."""
+    """A single set-associative LRU cache level.
+
+    Sets are stored sparsely (dict keyed by set index): an untouched
+    set is indistinguishable from an empty one, and a 4 MB L2 has 64K
+    sets of which a run touches a few hundred — allocating them all
+    eagerly used to dominate machine construction time.
+    """
 
     def __init__(self, config: CacheConfig, name: str = "cache") -> None:
         self.config = config
         self.name = name
-        self.sets: List[List[int]] = [[] for _ in range(config.sets)]
+        self.sets: Dict[int, List[int]] = {}
+        self._n_sets = config.sets
+        self._assoc = config.assoc
         self.hits = 0
         self.misses = 0
 
     def _locate(self, line_addr: int) -> int:
-        return line_addr % self.config.sets
+        return line_addr % self._n_sets
 
     def access(self, line_addr: int) -> bool:
         """Touch ``line_addr``; return True on hit (LRU updated)."""
-        ways = self.sets[self._locate(line_addr)]
-        if line_addr in ways:
-            ways.remove(line_addr)
-            ways.append(line_addr)
+        index = line_addr % self._n_sets
+        ways = self.sets.get(index)
+        if ways is None:
+            ways = self.sets[index] = []
+        elif line_addr in ways:
+            if ways[-1] != line_addr:
+                ways.remove(line_addr)
+                ways.append(line_addr)
             self.hits += 1
             return True
         self.misses += 1
         ways.append(line_addr)
-        if len(ways) > self.config.assoc:
+        if len(ways) > self._assoc:
             ways.pop(0)
         return False
 

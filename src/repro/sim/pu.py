@@ -11,6 +11,22 @@ single memory unit), which keeps intra-task memory semantics exact.
 The PU charges every occupied cycle to a Figure-2 category in a local
 breakdown; the machine merges it on retire or converts the whole
 occupancy into a misspeculation penalty on squash.
+
+The hot paths (``issue``/``fetch``/``drain_completions``) index the
+stream's packed trace arrays — flat ints, no ``DynInst`` attribute
+chasing — and the per-task stall accounting is a dense int list
+(slotted per :data:`~repro.sim.breakdown.REASONS`), so a cycle of
+bookkeeping costs a couple of list indexings instead of enum-keyed
+dict updates.
+
+For the event-driven engine the PU also exposes
+:meth:`next_event_cycle`: after a globally quiescent cycle it reports
+the earliest future cycle at which this PU could act (next completion,
+fetch resume, ring-forward arrival, task-start boundary) plus the
+stall category it keeps charging until then.  ``issue`` records the
+two facts the probe needs as it scans — the blocking reason of the
+oldest unissued instruction and the earliest ring-forward arrival
+among blocked candidates — so the probe itself does no rescanning.
 """
 
 from __future__ import annotations
@@ -18,7 +34,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Tuple
 
-from repro.sim.breakdown import StallReason
+from repro.sim.breakdown import REASON_INDEX, StallReason
 from repro.sim.config import SimConfig
 from repro.sim.runstate import (
     OPCLASS_BRANCH,
@@ -31,6 +47,12 @@ from repro.sim.taskstream import DynTask
 
 _NEVER = 1 << 60
 
+_N_REASONS = len(REASON_INDEX)
+_R_FETCH = REASON_INDEX[StallReason.FETCH]
+_R_LOAD_IMBALANCE = REASON_INDEX[StallReason.LOAD_IMBALANCE]
+_R_TASK_START = REASON_INDEX[StallReason.TASK_START]
+_R_USEFUL = REASON_INDEX[StallReason.USEFUL]
+
 
 class ProcessingUnit:
     """Execution state of one PU."""
@@ -39,6 +61,63 @@ class ProcessingUnit:
         self.index = index
         self.config = config
         self.state = state
+        forward_policy = config.forward_policy.value
+        self._schedule_fp = forward_policy == "schedule"
+        self._lazy_fp = forward_policy == "lazy"
+        # Per-run constants for the hot methods, bundled so each call
+        # rebinds them with one attribute load and a tuple unpack
+        # instead of ~20 attribute loads (the prologue cost dominates
+        # short calls).  All referenced objects are identity-stable
+        # for the lifetime of the run.
+        self._fu_budget = [
+            config.int_units,
+            config.fp_units,
+            config.mem_units,
+            config.branch_units,
+        ]
+        self._issue_consts = (
+            state.opcls,
+            state.is_load,
+            state.is_mem,
+            state.producers,
+            state.task_seq,
+            state.complete,
+            state.forward,
+            state.pu_of_seq,
+            state.mem_producer,
+            state.latency,
+            state.addr,
+            config.out_of_order,
+            config.issue_width,
+            config.issue_list_size,
+            config.n_pus,
+            config.ring_hop_latency,
+            config.arb_entries_per_pu,
+            config.arb_latency,
+            config.stlf_latency,
+            index,
+        )
+        self._fetch_consts = (
+            state.block_start,
+            state.is_cond_branch,
+            state.gshare_mispred,
+            state.is_mem,
+            state.pc,
+            config.fetch_width,
+            config.rob_size,
+            config.l1i.hit_latency,
+            config.out_of_order,
+            config.issue_list_size,
+        )
+        self._drain_consts = (
+            state.complete,
+            state.has_write,
+            state.release_now,
+            state.is_store,
+            state.cross_consumer,
+            config.release_lag,
+            config.branch_mispredict_penalty,
+        )
         self.reset_idle()
 
     # ------------------------------------------------------------ lifecycle
@@ -54,15 +133,45 @@ class ProcessingUnit:
         self.fetch_resume = 0
         self.next_mem_ptr = 0
         self.pending_branch = -1
-        # window entries: [trace_idx, fetch_cycle]
-        self.window: List[List[int]] = []
-        self.unissued: List[List[int]] = []
+        #: occupancy of the reorder buffer (fetched, not yet completed)
+        self.rob_count = 0
+        #: window entries awaiting issue: (trace_idx, fetch_cycle)
+        self.unissued: List[Tuple[int, int]] = []
+        #: fetched memory-op trace indices in program order; the entry
+        #: at ``mem_head`` is the oldest unissued one (the only memory
+        #: op allowed to issue — an O(1) check instead of a window scan)
+        self.unissued_mem: List[int] = []
+        self.mem_head = 0
         self.in_flight: List[Tuple[int, int]] = []  # (complete_cycle, idx)
         self.remaining = 0
         self.done = False
         self.done_cycle = -1
         self.retiring = False
-        self.local_counts: Dict[StallReason, int] = {}
+        #: per-task stall accounting, slotted per breakdown.REASONS
+        self.local_counts: List[int] = [0] * _N_REASONS
+        #: earliest ring-forward arrival among blocked candidates, as
+        #: observed by the last ``issue`` call (event-probe input)
+        self.issue_wake = _NEVER
+        #: blocking reason of the oldest unissued instruction, as
+        #: observed by the last ``issue`` call (event-probe input)
+        self.last_block: Optional[StallReason] = None
+        #: dense slot of ``last_block`` (valid when it is not None)
+        self.last_slot = _R_FETCH
+        #: trace index one past this task's span (0 when idle); lets
+        #: the machine pre-test fetchability without touching dyn_task
+        self.fetch_end = 0
+        #: machine mutation version at which the last blocked ``issue``
+        #: result was computed; -1 = stale.  While the machine's
+        #: version matches and ``cycle < issue_wake``, a re-issue would
+        #: provably reproduce (0, last_block), so the tick loop skips
+        #: the call entirely.
+        self.issue_cache_key = -1
+        #: retire version at compute time, consulted only when the
+        #: blocked result actually read ``machine.retire_seq`` (the
+        #: ARB capacity gate) — most blocked results don't, so plain
+        #: retires leave their memoization intact.
+        self.issue_retire_key = -1
+        self.retire_sensitive = False
 
     @property
     def idle(self) -> bool:
@@ -76,11 +185,11 @@ class ProcessingUnit:
         self.seq = dyn_task.seq
         self.assign_cycle = cycle
         self.fetch_ptr = dyn_task.start
+        self.fetch_end = dyn_task.end
         self.next_mem_ptr = dyn_task.start
         self.fetch_resume = cycle + self.config.task_start_overhead
         self.remaining = dyn_task.length
-        state = self.state
-        state.pu_of_seq[dyn_task.seq] = self.index
+        self.state.pu_of_seq[dyn_task.seq] = self.index
 
     def assign_wrong(self, cycle: int) -> None:
         """Occupy the PU with wrong-path work (after a task mispredict)."""
@@ -90,39 +199,60 @@ class ProcessingUnit:
 
     def charge(self, reason: StallReason, cycles: int = 1) -> None:
         """Account ``cycles`` to ``reason`` in the task-local breakdown."""
-        self.local_counts[reason] = self.local_counts.get(reason, 0) + cycles
+        self.local_counts[REASON_INDEX[reason]] += cycles
 
     # ---------------------------------------------------------- completions
 
-    def drain_completions(self, cycle: int) -> List[int]:
-        """Pop instructions completing at ``cycle``; update run state.
+    def drain_completions(
+        self, cycle: int
+    ) -> Tuple[List[int], bool, bool, List[int]]:
+        """Pop instructions finishing at ``cycle``; update run state.
 
-        Returns completed store indices (the machine checks them for
-        memory dependence violations).
+        Returns ``(completed stores, popped anything, global event,
+        cross-consumer completions)``: the machine checks the stores
+        for memory dependence violations, uses the pop flag for
+        activity detection, bumps its mutation version on a global
+        event (a LAZY-policy task finishing — its writes forward in
+        bulk), and invalidates the memoized issue results of exactly
+        the consumer tasks of each cross-consumer completion.
         """
-        state = self.state
-        config = self.config
         completed_stores: List[int] = []
-        while self.in_flight and self.in_flight[0][0] <= cycle:
-            _, idx = heapq.heappop(self.in_flight)
-            state.complete[idx] = cycle
-            self.remaining -= 1
-            # Remove from window.
-            for pos, entry in enumerate(self.window):
-                if entry[0] == idx:
-                    del self.window[pos]
-                    break
-            if state.has_write[idx]:
-                if state.release_now[idx]:
-                    self._schedule_forward(idx, cycle)
-                elif config.forward_policy.value == "schedule":
-                    self._schedule_forward(idx, cycle + config.release_lag)
-                # LAZY: forwarded in bulk at task completion.
-            if state.is_store[idx]:
-                completed_stores.append(idx)
-            if idx == self.pending_branch:
-                self.pending_branch = -1
-                self.fetch_resume = cycle + config.branch_mispredict_penalty
+        cross_popped: List[int] = []
+        in_flight = self.in_flight
+        popped = False
+        global_event = False
+        if in_flight and in_flight[0][0] <= cycle:
+            (
+                complete,
+                has_write,
+                release_now,
+                is_store,
+                cross_consumer,
+                release_lag,
+                mispredict_penalty,
+            ) = self._drain_consts
+            heappop = heapq.heappop
+            schedule_policy = self._schedule_fp
+            popped = True
+            self.issue_cache_key = -1
+            while in_flight and in_flight[0][0] <= cycle:
+                _, idx = heappop(in_flight)
+                complete[idx] = cycle
+                self.remaining -= 1
+                self.rob_count -= 1
+                if cross_consumer[idx]:
+                    cross_popped.append(idx)
+                if has_write[idx]:
+                    if release_now[idx]:
+                        self._schedule_forward(idx, cycle)
+                    elif schedule_policy:
+                        self._schedule_forward(idx, cycle + release_lag)
+                    # LAZY: forwarded in bulk at task completion.
+                if is_store[idx]:
+                    completed_stores.append(idx)
+                if idx == self.pending_branch:
+                    self.pending_branch = -1
+                    self.fetch_resume = cycle + mispredict_penalty
         if (
             not self.done
             and self.dyn_task is not None
@@ -131,9 +261,14 @@ class ProcessingUnit:
         ):
             self.done = True
             self.done_cycle = cycle
-            if config.forward_policy.value == "lazy":
+            if self._lazy_fp:
+                # Bulk forwarding is the only completion effect another
+                # task's issue decision can observe here; under EAGER /
+                # SCHEDULE every forward was already published at its
+                # own drain (and targeted invalidation covered it).
+                global_event = True
                 self._forward_all_writes(cycle)
-        return completed_stores
+        return completed_stores, popped, global_event, cross_popped
 
     def _schedule_forward(self, idx: int, earliest: int) -> None:
         state = self.state
@@ -161,40 +296,69 @@ class ProcessingUnit:
     def _forward_all_writes(self, cycle: int) -> None:
         state = self.state
         assert self.dyn_task is not None
+        has_write = state.has_write
+        forward = state.forward
         for i in range(self.dyn_task.start, self.dyn_task.end):
-            if state.has_write[i] and state.forward[i] < 0:
+            if has_write[i] and forward[i] < 0:
                 self._schedule_forward(i, cycle)
 
     # ---------------------------------------------------------------- fetch
 
-    def fetch(self, cycle: int) -> None:
-        """Bring up to ``fetch_width`` instructions into the window."""
+    def fetch(self, cycle: int) -> bool:
+        """Bring up to ``fetch_width`` instructions into the window.
+
+        Returns True when anything was fetched (activity detection).
+        """
         if self.dyn_task is None or self.done:
-            return
+            return False
         if cycle < self.fetch_resume or self.pending_branch >= 0:
-            return
-        state = self.state
-        config = self.config
+            return False
+        (
+            block_start,
+            is_cond_branch,
+            gshare_mispred,
+            is_mem,
+            pc,
+            fetch_width,
+            rob_size,
+            l1i_hit_latency,
+            out_of_order,
+            issue_list_size,
+        ) = self._fetch_consts
         end = self.dyn_task.end
+        unissued = self.unissued
+        unissued_mem = self.unissued_mem
         fetched = 0
+        # Appending to the window invalidates a memoized blocked-issue
+        # result only when the next scan would actually reach the new
+        # entries: an in-order scan breaks at its first blocker, and an
+        # out-of-order scan stops at ``issue_list_size`` candidates.
+        # (A previously-empty window always invalidates: its memo is
+        # the trivial "nothing to issue" result.)
+        if out_of_order:
+            if len(unissued) < issue_list_size:
+                self.issue_cache_key = -1
+        elif not unissued:
+            self.issue_cache_key = -1
         while (
-            fetched < config.fetch_width
+            fetched < fetch_width
             and self.fetch_ptr < end
-            and len(self.window) < config.rob_size
+            and self.rob_count < rob_size
         ):
             idx = self.fetch_ptr
-            if state.block_start[idx]:
-                latency = self.icache_access(state.pc[idx])
-                if latency > config.l1i.hit_latency:
+            if block_start[idx]:
+                latency = self.icache_access(pc[idx])
+                if latency > l1i_hit_latency:
                     # Miss: stall the front end for the extra cycles,
                     # then this (already-fetched) line streams in.
-                    self.fetch_resume = cycle + (latency - config.l1i.hit_latency)
-            entry = [idx, cycle]
-            self.window.append(entry)
-            self.unissued.append(entry)
+                    self.fetch_resume = cycle + (latency - l1i_hit_latency)
+            self.rob_count += 1
+            unissued.append((idx, cycle))
+            if is_mem[idx]:
+                unissued_mem.append(idx)
             self.fetch_ptr = idx + 1
             fetched += 1
-            if state.is_cond_branch[idx] and state.gshare_mispred[idx]:
+            if is_cond_branch[idx] and gshare_mispred[idx]:
                 # Wrong-path fetch: stall until the branch resolves.
                 self.pending_branch = idx
                 self.fetch_resume = _NEVER
@@ -205,12 +369,13 @@ class ProcessingUnit:
             not self.done
             and self.remaining == 0
             and self.fetch_ptr >= end
-            and not self.window
+            and self.rob_count == 0
         ):
             self.done = True
             self.done_cycle = cycle
-            if config.forward_policy.value == "lazy":
+            if self._lazy_fp:
                 self._forward_all_writes(cycle)
+        return fetched > 0
 
     def icache_access(self, pc: int) -> int:
         """Overridden by the machine with the shared hierarchy."""
@@ -224,155 +389,251 @@ class ProcessingUnit:
         The stall reason reflects the oldest unissued instruction when
         nothing issued this cycle (None when something issued or there
         is nothing to issue).
-        """
-        if self.dyn_task is None or self.done or not self.unissued:
-            return 0, None
-        config = self.config
-        state = self.state
-        issued = 0
-        fu_budget = {
-            OPCLASS_INT: config.int_units,
-            OPCLASS_FP: config.fp_units,
-            OPCLASS_MEM: config.mem_units,
-            OPCLASS_BRANCH: config.branch_units,
-        }
-        first_block: Optional[StallReason] = None
-        issued_entries: List[List[int]] = []
 
-        candidates = (
-            self.unissued
-            if not config.out_of_order
-            else self.unissued[: config.issue_list_size]
-        )
-        for entry in candidates:
-            if issued >= config.issue_width:
+        A blocked result is memoized against the machine's mutation
+        version: until a completion with cross-task consumers, a
+        retire, an assign, a squash, or this PU's own fetch/issue/drain
+        occurs — and before any recorded ring-forward arrival
+        (``issue_wake``) — re-running this computation cannot change
+        its outcome, so the tick loop replays ``(0, last_block)``
+        without calling in.  Results that touched the memory sync
+        table's LRU are never memoized: the touch itself must re-run
+        every cycle to keep the reference engine's eviction order.
+
+        The per-candidate blocking analysis (register operands,
+        program-order memory, ARB capacity, sync table) and the issue
+        latency are fused inline: this loop runs millions of times per
+        run and the call overhead of one helper per candidate used to
+        dominate it.
+        """
+        self.issue_wake = _NEVER
+        self.retire_sensitive = False
+        unissued = self.unissued
+        if self.dyn_task is None or self.done or not unissued:
+            self.last_block = None
+            self.issue_cache_key = machine._mut_version
+            return 0, None
+        issued = 0
+        (
+            opcls,
+            is_load,
+            is_mem,
+            producers,
+            task_seq,
+            complete,
+            forward,
+            pu_of_seq,
+            mem_producer,
+            latency_of,
+            addr,
+            out_of_order,
+            issue_width,
+            issue_list_size,
+            n_pus,
+            hop_latency,
+            arb_capacity,
+            arb_latency,
+            stlf_latency,
+            my_pu,
+        ) = self._issue_consts
+        # FU budget slotted by opcode class (OPCLASS_*).
+        budget = self._fu_budget.copy()
+        first_block: Optional[StallReason] = None
+        issued_pos: List[int] = []
+
+        limit = len(unissued)
+        if out_of_order and limit > issue_list_size:
+            limit = issue_list_size
+        in_flight = self.in_flight
+        seq = self.seq
+        at_head = seq == machine.retire_seq
+        heappush = heapq.heappush
+        unissued_mem = self.unissued_mem
+        mem_head = self.mem_head
+        issued_mem = 0
+        issue_wake = _NEVER
+        sync_block = False
+        retire_sensitive = False
+
+        for pos in range(limit):
+            if issued >= issue_width:
                 break
-            idx, fetch_cycle = entry
+            idx, fetch_cycle = unissued[pos]
+            reason: Optional[StallReason] = None
             if fetch_cycle >= cycle:
-                # Decode: not issuable the cycle it was fetched.
+                # Decode: not issuable the cycle it was fetched.  Fetch
+                # stamps never decrease along the window, so every
+                # later candidate is decode-stalled too — stop scanning.
                 if first_block is None:
                     first_block = StallReason.FETCH
-                if not config.out_of_order:
-                    break
-                continue
-            reason = self._blocking_reason(idx, cycle, machine)
+                break
+            else:
+                # Register operands.  A block on a scheduled ring
+                # forward records the arrival cycle in ``issue_wake``
+                # for the event probe — the only blocking condition
+                # that clears at a known future cycle rather than at
+                # another unit's event.
+                for p in producers[idx]:
+                    pseq = task_seq[p]
+                    if pseq == seq:
+                        done = complete[p]
+                        if done < 0 or done > cycle:
+                            reason = StallReason.INTRA_DEP
+                            break
+                    else:
+                        fwd = forward[p]
+                        if fwd < 0:
+                            reason = StallReason.INTER_COMM
+                            break
+                        prod_pu = pu_of_seq[pseq]
+                        hops = (
+                            (my_pu - prod_pu) % n_pus if prod_pu >= 0 else 1
+                        )
+                        if hops > 1:
+                            fwd += (hops - 1) * hop_latency
+                        if fwd > cycle:
+                            if fwd < issue_wake:
+                                issue_wake = fwd
+                            reason = StallReason.INTER_COMM
+                            break
+                if reason is None and is_mem[idx]:
+                    # Program-order memory issue within the task.  The
+                    # head index is frozen for the whole cycle (the
+                    # reference window scan also still sees entries
+                    # issued earlier this cycle), so at most one memory
+                    # op issues per cycle through this gate.
+                    if unissued_mem[mem_head] != idx:
+                        reason = StallReason.MEMORY
+                    if reason is None:
+                        # ARB capacity: a speculative task with a full
+                        # ARB stalls its memory operations until it
+                        # becomes the head.  Outcome depends on
+                        # retire_seq: invalidate on retire.
+                        if arb_capacity > 0 and self.arb_used >= arb_capacity:
+                            retire_sensitive = True
+                            if not at_head:
+                                reason = StallReason.MEMORY
+                        if reason is None and is_load[idx]:
+                            p = mem_producer[idx]
+                            if p >= 0:
+                                pseq = task_seq[p]
+                                if pseq == seq:
+                                    done = complete[p]
+                                    if done < 0 or done > cycle:
+                                        reason = StallReason.MEMORY
+                                elif complete[p] < 0 or complete[p] > cycle:
+                                    # Not forwarded by the ARB yet.
+                                    if machine.is_synchronised(p, idx):
+                                        # Touched the sync table's LRU:
+                                        # never memoize this result.
+                                        sync_block = True
+                                        if not at_head:
+                                            reason = StallReason.SYNC_WAIT
+                                    # else: speculate
             if reason is not None:
                 if first_block is None:
                     first_block = reason
-                if not config.out_of_order:
+                if not out_of_order:
                     break
                 continue
-            opcls = state.opcls[idx]
-            if fu_budget[opcls] <= 0:
+            cls = opcls[idx]
+            if budget[cls] <= 0:
                 if first_block is None:
                     first_block = StallReason.USEFUL
-                if not config.out_of_order:
+                if not out_of_order:
                     break
                 continue
-            fu_budget[opcls] -= 1
-            latency = self._issue_latency(idx, cycle, machine)
-            heapq.heappush(self.in_flight, (cycle + latency, idx))
-            issued_entries.append(entry)
+            budget[cls] -= 1
+            if is_load[idx]:
+                p = mem_producer[idx]
+                if p >= 0 and task_seq[p] == seq:
+                    latency = stlf_latency
+                elif p >= 0 and complete[p] >= 0:
+                    latency = arb_latency
+                else:
+                    if p >= 0:
+                        # Speculative load: may be violated when p
+                        # executes.
+                        machine.register_speculative_load(p, idx, seq)
+                    latency = machine.data_access(addr[idx])
+                    if latency < arb_latency:
+                        latency = arb_latency
+            else:
+                latency = latency_of[idx]
+            heappush(in_flight, (cycle + latency, idx))
+            issued_pos.append(pos)
             issued += 1
-            if state.is_load[idx] or state.is_store[idx]:
+            if is_mem[idx]:
                 self.next_mem_ptr = idx + 1
-                if self.seq != machine.retire_seq:
+                issued_mem += 1
+                if not at_head:
                     self.arb_used += 1
 
-        for entry in issued_entries:
-            self.unissued.remove(entry)
+        self.issue_wake = issue_wake
         if issued:
+            if issued_mem:
+                self.mem_head = mem_head + issued_mem
+            for shift, pos in enumerate(issued_pos):
+                del unissued[pos - shift]
+            self.last_block = None
+            self.issue_cache_key = -1
             return issued, None
+        self.last_block = first_block
+        if first_block is not None:
+            self.last_slot = first_block.slot
+        self.retire_sensitive = retire_sensitive
+        if sync_block:
+            self.issue_cache_key = -1
+        else:
+            self.issue_cache_key = machine._mut_version
+            self.issue_retire_key = machine._retire_version
         return 0, first_block
 
-    def _blocking_reason(
-        self, idx: int, cycle: int, machine
-    ) -> Optional[StallReason]:
-        """Why can't ``idx`` issue now?  ``None`` when it can."""
-        state = self.state
-        seq = self.seq
-        n_pus = self.config.n_pus
-        hop_latency = self.config.ring_hop_latency
-        my_pu = self.index
-        for p in state.producers[idx]:
-            pseq = state.task_seq[p]
-            if pseq == seq:
-                done = state.complete[p]
-                if done < 0 or done > cycle:
-                    return StallReason.INTRA_DEP
-            else:
-                fwd = state.forward[p]
-                if fwd < 0:
-                    return StallReason.INTER_COMM
-                prod_pu = state.pu_of_seq[pseq]
-                hops = (my_pu - prod_pu) % n_pus if prod_pu >= 0 else 1
-                extra = max(0, hops - 1) * hop_latency
-                if fwd + extra > cycle:
-                    return StallReason.INTER_COMM
-        if state.is_load[idx] or state.is_store[idx]:
-            # Program-order memory issue within the task.
-            mem_ptr = self._oldest_unissued_mem(idx)
-            if mem_ptr != idx:
-                return StallReason.MEMORY
-            # ARB capacity: a speculative task with a full ARB stalls
-            # its memory operations until it becomes the head.
-            capacity = self.config.arb_entries_per_pu
-            if (
-                capacity > 0
-                and self.arb_used >= capacity
-                and self.seq != machine.retire_seq
-            ):
-                return StallReason.MEMORY
-            if state.is_load[idx]:
-                return self._load_block_reason(idx, cycle, machine)
-        return None
+    # ---------------------------------------------------------- event probe
 
-    def _oldest_unissued_mem(self, upto: int) -> int:
-        """Trace index of the oldest unissued memory op (<= ``upto``)."""
-        state = self.state
-        for entry in self.unissued:
-            i = entry[0]
-            if i > upto:
-                break
-            if state.is_load[i] or state.is_store[i]:
-                return i
-        return upto
+    def next_event_cycle(
+        self, t: int, machine
+    ) -> Tuple[int, Optional[int]]:
+        """Earliest cycle >= ``t`` this PU could act, and the stall slot
+        (a ``REASONS`` index, or None) it charges until then.
 
-    def _load_block_reason(
-        self, idx: int, cycle: int, machine
-    ) -> Optional[StallReason]:
-        state = self.state
-        p = state.mem_producer[idx]
-        if p < 0:
-            return None
-        pseq = state.task_seq[p]
-        if pseq == self.seq:
-            done = state.complete[p]
-            if done < 0 or done > cycle:
-                return StallReason.MEMORY
-            return None
-        if state.complete[p] >= 0 and state.complete[p] <= cycle:
-            return None  # ARB forwards from the earlier task
-        if machine.is_synchronised(p, idx) and self.seq != machine.retire_seq:
-            return StallReason.SYNC_WAIT
-        return None  # speculate
-
-    def _issue_latency(self, idx: int, cycle: int, machine) -> int:
-        state = self.state
-        config = self.config
-        if state.is_load[idx]:
-            p = state.mem_producer[idx]
-            if p >= 0:
-                pseq = state.task_seq[p]
-                if pseq == self.seq:
-                    return config.stlf_latency
-                if state.complete[p] >= 0:
-                    return config.arb_latency
-                # Speculative load: may be violated when p executes.
-                machine.register_speculative_load(p, idx, self.seq)
-            return max(
-                config.arb_latency, machine.data_access(state.addr[idx])
-            )
-        if state.is_store[idx]:
-            return state.latency[idx]
-        return state.latency[idx]
+        Only meaningful immediately after a cycle in which this PU made
+        no progress (nothing drained, issued, or fetched): the blocking
+        state observed by that cycle's ``issue`` call then holds for
+        every cycle before the returned wake-up point, so the machine
+        can charge the whole quiescent span in one step.  Wake-up
+        sources that live on *other* units (a producer task's
+        completion, the retire chain, the sequencer) are deliberately
+        not bounded here — the machine takes the minimum across all
+        units, and any of those events ends the span globally.
+        """
+        if self.wrong or self.retiring:
+            return _NEVER, None
+        dyn = self.dyn_task
+        if dyn is None:
+            return _NEVER, None  # charged as machine-level IDLE
+        if self.done:
+            return _NEVER, _R_LOAD_IMBALANCE
+        in_flight = self.in_flight
+        wake = in_flight[0][0] if in_flight else _NEVER
+        if (
+            self.pending_branch < 0
+            and self.fetch_ptr < dyn.end
+            and self.rob_count < self.config.rob_size
+        ):
+            resume = self.fetch_resume
+            if resume < t:
+                resume = t
+            if resume < wake:
+                wake = resume
+        if self.issue_wake < wake:
+            wake = self.issue_wake
+        boundary = self.assign_cycle + self.config.task_start_overhead
+        if t < boundary:
+            # The charge category flips from TASK_START at the boundary.
+            if boundary < wake:
+                wake = boundary
+            return wake, _R_TASK_START
+        if self.last_block is None:
+            return wake, _R_FETCH
+        return wake, self.last_slot

@@ -1,33 +1,35 @@
-"""Preprocessed per-run state shared by the PUs and the sequencer.
+"""Per-run state shared by the PUs and the sequencer.
 
-Built once per (trace, partition, config): static per-instruction
-arrays (operand producers, memory producers, latencies, release
-points, gshare outcomes) plus the mutable completion / forward-time
-arrays the cycle loop updates.  Squashes reset the mutable slices of
-the affected dynamic task spans.
+The static per-instruction arrays (operand producers, memory
+producers, latencies, release points, gshare outcomes) live in the
+stream's shared :class:`~repro.sim.packed.PackedTrace` — built once
+per ``(trace, partition)`` and aliased here, so constructing a
+machine costs O(tasks), not O(trace).  Only the mutable completion /
+forward-time arrays the cycle loop updates are allocated per run.
+Squashes reset the mutable slices of the affected dynamic task spans.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.compiler.regcomm import ReleaseAnalysis
-from repro.ir.instructions import OpClass, Opcode
-from repro.predict import GsharePredictor
 from repro.sim.config import ForwardPolicy, SimConfig
+from repro.sim.packed import (
+    OPCLASS_BRANCH,
+    OPCLASS_FP,
+    OPCLASS_INT,
+    OPCLASS_MEM,
+)
 from repro.sim.taskstream import TaskStream
 
-OPCLASS_INT = 0
-OPCLASS_FP = 1
-OPCLASS_MEM = 2
-OPCLASS_BRANCH = 3
-
-_OPCLASS_ID = {
-    OpClass.INT: OPCLASS_INT,
-    OpClass.FP: OPCLASS_FP,
-    OpClass.MEM: OPCLASS_MEM,
-    OpClass.BRANCH: OPCLASS_BRANCH,
-}
+__all__ = [
+    "OPCLASS_BRANCH",
+    "OPCLASS_FP",
+    "OPCLASS_INT",
+    "OPCLASS_MEM",
+    "RunState",
+]
 
 
 class RunState:
@@ -41,89 +43,34 @@ class RunState:
     ) -> None:
         self.stream = stream
         self.config = config
-        trace = stream.trace
-        n = len(trace)
 
         if config.forward_policy is ForwardPolicy.SCHEDULE and release is None:
             release = ReleaseAnalysis(stream.partition)
         self.release_analysis = release
 
-        # ---- static arrays -------------------------------------------------
-        self.opcls: List[int] = [0] * n
-        self.latency: List[int] = [0] * n
-        self.is_load = bytearray(n)
-        self.is_store = bytearray(n)
-        self.is_cond_branch = bytearray(n)
-        self.pc: List[int] = [0] * n
-        self.addr: List[int] = [0] * n
-        self.block_start = bytearray(n)
-        self.producers: List[Tuple[int, ...]] = [()] * n
-        self.mem_producer: List[int] = [-1] * n
-        self.task_seq: List[int] = [0] * n
-        self.gshare_mispred = bytearray(n)
-        self.release_now = bytearray(n)  # forward at completion (no lag)
-        self.has_write = bytearray(n)
-        self.has_remote_consumer = bytearray(n)
+        packed = stream.packed
+        self.packed = packed
+        n = packed.n
 
-        self.gshare = GsharePredictor()
-
-        for start_idx, _block in trace.block_entries:
-            if start_idx < n:
-                self.block_start[start_idx] = 1
-
-        for seq, dyn_task in enumerate(stream.tasks):
-            for i in range(dyn_task.start, dyn_task.end):
-                self.task_seq[i] = seq
-
-        last_writer: Dict[str, int] = {}
-        last_store: Dict[int, int] = {}
-        policy = config.forward_policy
-        absorbed = stream.absorbed_flags
-
-        for i, dyn in enumerate(trace.insts):
-            op = dyn.op
-            self.opcls[i] = _OPCLASS_ID[op.op_class]
-            self.latency[i] = op.latency
-            self.pc[i] = dyn.pc
-            if op is Opcode.LOAD:
-                self.is_load[i] = 1
-                assert dyn.addr is not None
-                self.addr[i] = dyn.addr
-                self.mem_producer[i] = last_store.get(dyn.addr, -1)
-            elif op is Opcode.STORE:
-                self.is_store[i] = 1
-                assert dyn.addr is not None
-                self.addr[i] = dyn.addr
-                last_store[dyn.addr] = i
-            elif op.is_branch:
-                self.is_cond_branch[i] = 1
-                assert dyn.taken is not None
-                if self.gshare.update(dyn.pc, dyn.taken):
-                    self.gshare_mispred[i] = 1
-
-            prods = tuple(
-                sorted({last_writer[r] for r in dyn.reads if r in last_writer})
-            )
-            self.producers[i] = prods
-            if dyn.write is not None:
-                self.has_write[i] = 1
-                last_writer[dyn.write] = i
-                if policy is ForwardPolicy.EAGER:
-                    self.release_now[i] = 1
-                elif policy is ForwardPolicy.SCHEDULE:
-                    if not absorbed[i]:
-                        task = stream.tasks[self.task_seq[i]].task
-                        assert release is not None
-                        if dyn.block in task.blocks and release.is_release(
-                            task, dyn.block, dyn.iidx, dyn.write
-                        ):
-                            self.release_now[i] = 1
-
-        for i, prods in enumerate(self.producers):
-            seq = self.task_seq[i]
-            for p in prods:
-                if self.task_seq[p] != seq:
-                    self.has_remote_consumer[p] = 1
+        # ---- static arrays: aliases into the shared packed trace ----------
+        self.opcls = packed.opcls
+        self.latency = packed.latency
+        self.is_load = packed.is_load
+        self.is_store = packed.is_store
+        self.is_mem = packed.is_mem
+        self.is_cond_branch = packed.is_cond_branch
+        self.pc = packed.pc
+        self.addr = packed.addr
+        self.block_start = packed.block_start
+        self.producers = packed.producers
+        self.mem_producer = packed.mem_producer
+        self.task_seq = packed.task_seq
+        self.gshare_mispred = packed.gshare_mispred
+        self.has_write = packed.has_write
+        self.has_remote_consumer = packed.has_remote_consumer
+        self.cross_consumer = packed.cross_consumer
+        self.consumer_seqs = packed.consumer_seqs
+        self.release_now = packed.release_now(config.forward_policy, release)
 
         # ---- mutable arrays ------------------------------------------------
         #: completion cycle per executed instruction (-1 = not executed)
@@ -138,17 +85,17 @@ class RunState:
     def clear_span(self, seq: int) -> None:
         """Reset execution state of dynamic task ``seq`` after a squash."""
         dyn_task = self.stream.tasks[seq]
-        for i in range(dyn_task.start, dyn_task.end):
-            self.complete[i] = -1
-            self.forward[i] = -1
+        start, end = dyn_task.start, dyn_task.end
+        self.complete[start:end] = [-1] * (end - start)
+        self.forward[start:end] = [-1] * (end - start)
         self.generation[seq] += 1
 
     @property
     def gshare_accuracy(self) -> float:
         """Program-order intra-task branch prediction accuracy."""
-        return self.gshare.accuracy
+        return self.packed.gshare_accuracy
 
     @property
     def branch_count(self) -> int:
         """Dynamic conditional branches in the trace."""
-        return self.gshare.predictions
+        return self.packed.gshare_predictions

@@ -17,6 +17,7 @@ from repro.compiler.task import Target, TargetKind, Task, TaskPartition
 from repro.ir.block import BlockId
 from repro.ir.instructions import Opcode
 from repro.ir.interp import Trace
+from repro.sim.packed import PackedTrace
 
 
 @dataclass
@@ -52,6 +53,18 @@ class TaskStream:
         self.tasks = tasks
         #: per trace index: 1 when executed inside an absorbed callee
         self.absorbed_flags = absorbed_flags
+        self._packed: Optional[PackedTrace] = None
+
+    @property
+    def packed(self) -> PackedTrace:
+        """Flat per-instruction arrays, built lazily and shared.
+
+        ``build_task_stream`` forces the build eagerly so the packing
+        cost lands with compilation, not with the first machine run.
+        """
+        if self._packed is None:
+            self._packed = PackedTrace(self)
+        return self._packed
 
     def __len__(self) -> int:
         return len(self.tasks)
@@ -192,4 +205,6 @@ def build_task_stream(trace: Trace, partition: TaskPartition) -> TaskStream:
             next_root=None,
         )
     )
-    return TaskStream(trace, partition, tasks, absorbed)
+    stream = TaskStream(trace, partition, tasks, absorbed)
+    stream.packed  # pack eagerly: once per stream, shared by every run
+    return stream
