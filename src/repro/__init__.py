@@ -10,7 +10,11 @@ The package implements, from scratch:
 * control-flow prediction hardware models (:mod:`repro.predict`),
 * a trace-driven cycle-level Multiscalar simulator (:mod:`repro.sim`),
 * metrics and experiment harnesses regenerating the paper's Figure 5
-  and Table 1 (:mod:`repro.metrics`, :mod:`repro.experiments`).
+  and Table 1 (:mod:`repro.metrics`, :mod:`repro.experiments`),
+* observability for individual runs — lifecycle tracing with
+  Perfetto-loadable export, a metrics registry, and cell-by-cell run
+  reports (:mod:`repro.telemetry`; ``repro trace`` / ``repro
+  report``).
 
 Quickstart::
 

@@ -10,9 +10,14 @@ Commands:
 * ``verify`` — differential oracle + invariant checks (optionally
   under seeded fault injection) for any set of workloads.
 * ``bench`` — time a grid cold and check/update ``BENCH_sim.json``.
+* ``trace`` — run one cell with the telemetry collector attached and
+  export a Perfetto-loadable Chrome trace-event JSON timeline.
+* ``report`` — diff two result sets (record grids, harness ledgers,
+  bench baselines, or the built-in ``paper-table1``) cell by cell;
+  exits non-zero when simulated cycles drifted.
 * ``profile-sim`` — cProfile one simulation, print the hotspots.
 * ``cache`` — inspect, audit (``doctor``), or clear the cache.
-* ``list`` — list the available benchmarks.
+* ``list`` — list the available benchmarks with static code counts.
 
 Grid commands execute through :mod:`repro.harness`: ``--jobs N``
 fans the grid out over N worker processes (0 = one per CPU), the
@@ -213,6 +218,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write this run's record to this path",
     )
 
+    trace_p = sub.add_parser(
+        "trace",
+        help="export one run's task timeline as Chrome trace-event "
+             "JSON (open in Perfetto / chrome://tracing)",
+    )
+    trace_p.add_argument("benchmark")
+    trace_p.add_argument(
+        "--level", choices=sorted(_LEVELS), default="data_dependence"
+    )
+    trace_p.add_argument("--pus", type=int, default=4)
+    trace_p.add_argument("--in-order", action="store_true")
+    trace_p.add_argument("--scale", type=float, default=1.0)
+    trace_p.add_argument("--engine", choices=["fast", "reference"],
+                         default="fast",
+                         help="simulation core (identical event streams; "
+                              "fast adds cycle-skip diagnostics)")
+    trace_p.add_argument("-o", "--output", default="trace.json",
+                         help="output path (default: trace.json)")
+    trace_p.add_argument(
+        "--no-engine-events", action="store_true",
+        help="omit the engine-local cycle-skip track",
+    )
+
+    rep_p = sub.add_parser(
+        "report",
+        help="diff two result sets cell by cell; non-zero exit on "
+             "simulated-cycle drift",
+    )
+    rep_p.add_argument(
+        "a", help="baseline: records JSON, ledger.jsonl, bench record, "
+                  "or the built-in 'paper-table1'",
+    )
+    rep_p.add_argument("b", help="comparison input (same formats)")
+    rep_p.add_argument(
+        "--tolerance", type=float, default=0.0,
+        help="allowed relative cycle difference (default 0 = exact)",
+    )
+
     prof_p = sub.add_parser(
         "profile-sim",
         help="cProfile one simulation and print the hotspots",
@@ -243,7 +286,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_p.add_argument("action", choices=["stats", "clear", "doctor"])
 
-    sub.add_parser("list", help="list the available benchmarks")
+    sub.add_parser(
+        "list",
+        help="list the available benchmarks with static code counts",
+    )
     return parser
 
 
@@ -391,6 +437,59 @@ def _cmd_bench(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_trace(args: argparse.Namespace) -> str:
+    from repro.telemetry import TraceCollector, write_chrome_trace
+
+    collector = TraceCollector()
+    record = run_benchmark(
+        args.benchmark,
+        _LEVELS[args.level],
+        n_pus=args.pus,
+        out_of_order=not args.in_order,
+        scale=args.scale,
+        sim=_sim_for_engine(args.engine),
+        tracer=collector,
+    )
+    payload = write_chrome_trace(
+        args.output, collector,
+        include_engine_events=not args.no_engine_events,
+    )
+    counts = collector.counts()
+    tally = ", ".join(f"{kind}={n}" for kind, n in sorted(counts.items()))
+    lines = [
+        f"{args.benchmark}/{args.level}@{args.pus}pu "
+        f"engine={args.engine}: {record.cycles} cycles, "
+        f"{record.dynamic_tasks} tasks",
+        f"{len(collector.events)} lifecycle event(s) ({tally})",
+    ]
+    if collector.engine_events and not args.no_engine_events:
+        lines.append(
+            f"{len(collector.engine_events)} fast-engine cycle skip(s) "
+            f"on the 'engine' track"
+        )
+    lines.append(
+        f"wrote {len(payload['traceEvents'])} trace event(s) to "
+        f"{args.output} — open at https://ui.perfetto.dev "
+        f"(1 µs = 1 cycle)"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    from repro.telemetry import diff_cells, format_report, load_cells
+
+    try:
+        a = load_cells(args.a)
+        b = load_cells(args.b)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro report: {exc}")
+    rows = diff_cells(a, b, tolerance=args.tolerance)
+    text = format_report(a, b, rows)
+    if any(row.drifted for row in rows):
+        raise SystemExit(text)
+    return text
+
+
 def _cmd_profile_sim(args: argparse.Namespace) -> str:
     import cProfile
     import io
@@ -453,14 +552,25 @@ def _cmd_cache(args: argparse.Namespace) -> str:
         f"compiled   : {stats['compiled']}",
         f"quarantined: {stats['quarantined']}",
         f"size       : {stats['bytes'] / 1024.0:.1f} KiB",
+        f"ledger     : {stats['ledger_lines']} line(s), "
+        f"{stats['ledger_bytes'] / 1024.0:.1f} KiB",
         f"code salt  : {cache.salt[:16]}",
     ])
 
 
 def _cmd_list(_args: argparse.Namespace) -> str:
-    lines = []
+    lines = [
+        f"{'name':<10} {'suite':<7} {'funcs':>5} {'blocks':>6} "
+        f"{'insts':>6}  description"
+    ]
     for bm in all_benchmarks():
-        lines.append(f"{bm.name:<10} [{bm.suite}] {bm.description}")
+        program = bm.build(1.0)
+        functions = list(program.functions())
+        blocks = sum(len(list(f.blocks())) for f in functions)
+        lines.append(
+            f"{bm.name:<10} {bm.suite:<7} {len(functions):>5} "
+            f"{blocks:>6} {program.size:>6}  {bm.description}"
+        )
     return "\n".join(lines)
 
 
@@ -472,6 +582,8 @@ _COMMANDS = {
     "centralized": _cmd_centralized,
     "verify": _cmd_verify,
     "bench": _cmd_bench,
+    "trace": _cmd_trace,
+    "report": _cmd_report,
     "profile-sim": _cmd_profile_sim,
     "cache": _cmd_cache,
     "list": _cmd_list,

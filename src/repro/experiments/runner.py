@@ -67,6 +67,9 @@ class RunRecord:
     memory_squashes: int
     mean_window_span_measured: float
     breakdown: CycleBreakdown
+    #: telemetry registry summary (counters + histograms); see
+    #: :func:`repro.telemetry.metrics.run_metrics`
+    metrics: Optional[Dict] = None
 
     @property
     def task_misprediction_percent(self) -> float:
@@ -196,13 +199,16 @@ def run_benchmark(
     profile_input: Optional[str] = None,
     monitor=None,
     fault_plan=None,
+    tracer=None,
 ) -> RunRecord:
     """Run the full pipeline and return the measured record.
 
     ``monitor`` / ``fault_plan`` attach the reliability hooks (see
     :mod:`repro.reliability`) to the timing run: the monitor asserts
     the machine's architectural invariants, the fault plan injects
-    seeded mispredictions and spurious violations.
+    seeded mispredictions and spurious violations.  ``tracer`` attaches
+    a telemetry collector (see :mod:`repro.telemetry`) that records the
+    task-lifecycle event stream for export.
     """
     benchmark = get_benchmark(name)
     compiled = compile_benchmark(
@@ -217,9 +223,12 @@ def run_benchmark(
         monitor,
         fault_plan,
         label=f"{name}/{level.value}/{n_pus}{'ooo' if out_of_order else 'ino'}",
+        tracer=tracer,
     )
     result = machine.run()
     stream = compiled.stream
+    from repro.telemetry.metrics import run_metrics
+
     return RunRecord(
         benchmark=name,
         suite=benchmark.suite,
@@ -239,4 +248,5 @@ def run_benchmark(
         memory_squashes=result.memory_squashes,
         mean_window_span_measured=result.mean_window_span,
         breakdown=result.breakdown,
+        metrics=run_metrics(result, stream),
     )

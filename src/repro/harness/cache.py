@@ -212,6 +212,13 @@ class ArtifactCache:
             out["quarantined"] = sum(
                 1 for p in self.quarantine_dir.iterdir() if p.is_file()
             )
+        out["ledger_lines"] = 0
+        out["ledger_bytes"] = 0
+        if self.ledger_path.is_file():
+            with open(self.ledger_path, "rb") as handle:
+                data = handle.read()
+            out["ledger_lines"] = data.count(b"\n")
+            out["ledger_bytes"] = len(data)
         return out
 
     def doctor(self) -> Dict[str, int]:

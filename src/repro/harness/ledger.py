@@ -4,19 +4,29 @@ Every job the scheduler finishes — cache hit or fresh execution,
 success or failure — appends one JSON object to a ``ledger.jsonl``
 file::
 
-    {"ts": 1699.2, "schema_version": 2, "spec_hash": "ab12..",
+    {"ts": 1699.2, "schema_version": 3, "seq": 17,
+     "spec_hash": "ab12..",
      "job": "compress/...", "benchmark": "compress",
      "level": "control_flow", "n_pus": 4, "out_of_order": true,
      "cache": "hit"|"miss"|"resume", "retries": 0,
      "outcome": "ok"|"error"|"timeout", "wall_seconds": 0.42,
-     "error": null}
+     "error": null, "metrics": {"counters": ..., "histograms": ...}}
+
+``seq`` (schema 3) is a monotonic per-file record number: it starts
+one past the highest ``seq`` already in the file, so interleaved and
+resumed runs stay totally ordered even when wall-clock timestamps
+collide.  ``metrics`` (schema 3) carries the run's telemetry registry
+summary (see :func:`repro.telemetry.metrics.run_metrics`); ``repro
+report`` diffs ledgers through it.
 
 Harness lifecycle *events* (e.g. a worker pool dying) are interleaved
-as ``{"ts": ..., "schema_version": 2, "event": "pool_broken", ...}``
-lines.  Readers are tolerant by contract: unknown fields and unknown
-line shapes are preserved (``read_ledger``) or ignored
-(``LedgerEntry.from_dict``), so ``--resume`` survives future ledger
-format growth in either direction.
+as ``{"ts": ..., "schema_version": 3, "seq": ..., "event":
+"pool_broken", ...}`` lines.  Readers are tolerant by contract:
+unknown fields and unknown line shapes are preserved
+(``read_ledger``) or ignored (``LedgerEntry.from_dict``), so
+``--resume`` survives future ledger format growth in either
+direction — and schema-2 ledgers (no ``seq``, no ``metrics``) still
+parse.
 
 The ledger is the audit trail for sweeps: it answers "what actually
 ran, how long did it take, and what came from the cache" without
@@ -37,7 +47,7 @@ from typing import IO, List, Optional
 from repro.harness.spec import RunSpec
 
 #: current on-disk schema; bump when the entry shape changes
-LEDGER_SCHEMA_VERSION = 2
+LEDGER_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -55,11 +65,13 @@ class LedgerEntry:
     outcome: str  # "ok" | "error" | "timeout"
     wall_seconds: float
     error: Optional[str] = None
+    metrics: Optional[dict] = None
 
     @classmethod
     def for_spec(cls, spec: RunSpec, spec_hash: str, *, cache: str,
                  retries: int, outcome: str, wall_seconds: float,
-                 error: Optional[str] = None) -> "LedgerEntry":
+                 error: Optional[str] = None,
+                 metrics: Optional[dict] = None) -> "LedgerEntry":
         return cls(
             spec_hash=spec_hash,
             job=spec.describe(),
@@ -72,6 +84,7 @@ class LedgerEntry:
             outcome=outcome,
             wall_seconds=round(wall_seconds, 6),
             error=error,
+            metrics=metrics,
         )
 
     @classmethod
@@ -108,6 +121,9 @@ class RunLedger:
         self.progress = progress
         self._total = 0
         self._done = 0
+        #: next record number; None until the first append scans the
+        #: existing file so resumed runs continue the sequence
+        self._next_seq: Optional[int] = None
 
     def open_run(self, total: int) -> None:
         """Reset the progress counter for a new submission of ``total`` jobs."""
@@ -135,7 +151,21 @@ class RunLedger:
         payload.update(detail)
         self._append(payload)
 
+    def _take_seq(self) -> int:
+        """Next monotonic record number (total order within the file)."""
+        if self._next_seq is None:
+            highest = -1
+            for entry in read_ledger(self.path):
+                seq = entry.get("seq")
+                if isinstance(seq, int) and seq > highest:
+                    highest = seq
+            self._next_seq = highest + 1
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        return seq
+
     def _append(self, payload: dict) -> None:
+        payload["seq"] = self._take_seq()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(payload) + "\n")

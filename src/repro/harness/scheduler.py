@@ -218,6 +218,7 @@ def run_specs(
                 ledger.record(LedgerEntry.for_spec(
                     spec, hashes[i], cache=status, retries=0,
                     outcome="ok", wall_seconds=0.0,
+                    metrics=getattr(record, "metrics", None),
                 ))
         else:
             pending.append((i, spec))
@@ -235,6 +236,7 @@ def run_specs(
                 ledger.record(LedgerEntry.for_spec(
                     spec, hashes[i], cache="miss", retries=attempts,
                     outcome="ok", wall_seconds=wall,
+                    metrics=getattr(record, "metrics", None),
                 ))
 
     def _fail(group: List[Tuple[int, RunSpec]], attempts: int,

@@ -40,6 +40,7 @@ def record_to_dict(record: RunRecord) -> Dict:
         ),
         "window_span_formula": record.window_span_formula,
         "breakdown": record.breakdown.as_dict(),
+        "metrics": getattr(record, "metrics", None),
     }
 
 

@@ -31,6 +31,19 @@ from repro.compiler import HeuristicLevel, SelectionConfig
 from repro.sim import SimConfig
 
 
+def cell_label(benchmark: str, level, n_pus: int,
+               out_of_order: bool) -> str:
+    """The canonical short label for one experiment cell.
+
+    ``repro report`` keys its comparison table on this string, so the
+    harness (:meth:`RunSpec.describe`) and every loader that
+    reconstructs labels from serialized records must agree on it.
+    """
+    level_name = getattr(level, "value", level)
+    mode = "ooo" if out_of_order else "ino"
+    return f"{benchmark}/{level_name}@{n_pus}pu-{mode}"
+
+
 def canonical(value):
     """Deterministic, hash-stable encoding of a config value tree.
 
@@ -120,5 +133,6 @@ class RunSpec:
 
     def describe(self) -> str:
         """Short human label for progress lines and errors."""
-        mode = "ooo" if self.out_of_order else "ino"
-        return f"{self.benchmark}/{self.level.value}@{self.n_pus}pu-{mode}"
+        return cell_label(
+            self.benchmark, self.level, self.n_pus, self.out_of_order
+        )

@@ -91,6 +91,34 @@ class CycleBreakdown:
         out["memory_misspeculation"] = self.memory_misspeculation
         return out
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "CycleBreakdown":
+        """Rebuild from an :meth:`as_dict` mapping (tolerant reader).
+
+        Unknown keys are ignored and missing ones default to zero, so
+        serialized breakdowns from other schema versions still load.
+        """
+        result = cls()
+        for reason in StallReason:
+            result.per_reason[reason] = int(data.get(reason.value, 0))
+        result.control_misspeculation = int(
+            data.get("control_misspeculation", 0)
+        )
+        result.memory_misspeculation = int(
+            data.get("memory_misspeculation", 0)
+        )
+        return result
+
+    def diff(self, other: "CycleBreakdown") -> Dict[str, int]:
+        """Categories where ``other`` differs, as ``other - self``."""
+        mine = self.as_dict()
+        theirs = other.as_dict()
+        return {
+            name: theirs[name] - mine[name]
+            for name in mine
+            if theirs[name] != mine[name]
+        }
+
     def merged(self, other: "CycleBreakdown") -> "CycleBreakdown":
         """Element-wise sum (for aggregating across runs)."""
         result = CycleBreakdown()

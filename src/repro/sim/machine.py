@@ -88,6 +88,9 @@ class SimResult:
     mean_window_span: float
     breakdown: CycleBreakdown
     cache_stats: Dict[str, float] = field(default_factory=dict)
+    #: in-flight tasks thrown away per squash event, in squash order
+    #: (feeds the telemetry squash-depth histogram)
+    squash_depths: List[int] = field(default_factory=list)
 
     @property
     def ipc(self) -> float:
@@ -124,6 +127,7 @@ class MultiscalarMachine:
         monitor=None,
         faults=None,
         label: Optional[str] = None,
+        tracer=None,
     ) -> None:
         self.config = config or SimConfig()
         self.stream = stream
@@ -186,10 +190,20 @@ class MultiscalarMachine:
         # mispredictions and spurious memory violations.
         self.monitor = monitor
         self.faults = faults
+        #: tasks thrown away per squash event (len(victims) each time)
+        self.squash_depths: List[int] = []
+        # Optional telemetry collector (duck-typed; see repro.telemetry).
+        # Same contract as the monitor: the simulator never imports the
+        # telemetry package and every hook site costs one None test.
+        self.tracer = tracer
         if faults is not None:
             faults.bind(len(stream.tasks))
         if monitor is not None:
             monitor.attach(self)
+        if tracer is not None:
+            tracer.attach(self)
+            for pu in self.pus:
+                pu.tracer = tracer
 
     # ------------------------------------------------------------- services
 
@@ -229,6 +243,8 @@ class MultiscalarMachine:
         """Squash every in-flight real task with seq >= ``first_seq``."""
         self._mut_version += 1
         victims = sorted(s for s in self.in_flight if s >= first_seq)
+        if victims:
+            self.squash_depths.append(len(victims))
         if (
             self._retiring_pu is not None
             and self._retiring_pu.seq >= first_seq
@@ -245,6 +261,10 @@ class MultiscalarMachine:
             if self.monitor is not None:
                 self.monitor.on_squash_victim(
                     seq, pu.index, cycle, penalty, memory
+                )
+            if self.tracer is not None:
+                self.tracer.on_squash(
+                    seq, pu.index, cycle, penalty, memory, pu.first_issue
                 )
             self._active_span -= self.stream.tasks[seq].length
             self.state.clear_span(seq)
@@ -270,6 +290,8 @@ class MultiscalarMachine:
                 self.breakdown.charge_control_squash(penalty)
                 if self.monitor is not None:
                     self.monitor.on_wrong_squash(pu.index, cycle, penalty)
+                if self.tracer is not None:
+                    self.tracer.on_wrong_squash(pu.index, cycle, penalty)
                 pu.reset_idle()
 
     def _check_store_violation(self, store_idx: int, cycle: int) -> None:
@@ -293,6 +315,8 @@ class MultiscalarMachine:
         self.memory_squashes += 1
         if self.monitor is not None:
             self.monitor.on_memory_violation(victim_seq)
+        if self.tracer is not None:
+            self.tracer.on_arb_violation(victim_seq, cycle)
         self._learn_sync(store_idx, victim_load)
         self._squash_from(victim_seq, cycle, memory=True)
 
@@ -304,6 +328,8 @@ class MultiscalarMachine:
         self.memory_squashes += 1
         if self.monitor is not None:
             self.monitor.on_memory_violation(victim, injected=True)
+        if self.tracer is not None:
+            self.tracer.on_arb_violation(victim, cycle, injected=True)
         self._squash_from(victim, cycle, memory=True)
 
     # --------------------------------------------------------------- assign
@@ -316,7 +342,7 @@ class MultiscalarMachine:
         assert blk.fallthrough is not None
         return (call_inst.block[0], blk.fallthrough)
 
-    def _predict_successor(self, seq: int) -> None:
+    def _predict_successor(self, seq: int, cycle: int) -> None:
         """Predict task ``seq``'s successor; set pending on mispredict."""
         dyn = self.stream.tasks[seq]
         if dyn.target is None:
@@ -343,6 +369,8 @@ class MultiscalarMachine:
             self.control_squashes += 1
             if self.monitor is not None:
                 self.monitor.on_control_mispredict(seq)
+            if self.tracer is not None:
+                self.tracer.on_task_mispredict(seq, cycle)
 
     def _assign(self, cycle: int) -> bool:
         """Phase C; returns True when a PU was occupied this cycle."""
@@ -355,6 +383,8 @@ class MultiscalarMachine:
             pu.assign_wrong(cycle)
             if self.monitor is not None:
                 self.monitor.on_wrong_assign(pu.index, cycle)
+            if self.tracer is not None:
+                self.tracer.on_wrong_assign(pu.index, cycle)
             self.next_assign_pu = (self.next_assign_pu + 1) % self.config.n_pus
             return True
         if self.next_seq >= len(self.stream.tasks):
@@ -370,10 +400,12 @@ class MultiscalarMachine:
         self.in_flight[seq] = pu
         if self.monitor is not None:
             self.monitor.on_assign(seq, pu.index, cycle)
+        if self.tracer is not None:
+            self.tracer.on_assign(seq, pu.index, cycle)
         self._active_span += dyn.length
         self.next_seq += 1
         self.next_assign_pu = (self.next_assign_pu + 1) % self.config.n_pus
-        self._predict_successor(seq)
+        self._predict_successor(seq, cycle)
         return True
 
     # --------------------------------------------------------------- retire
@@ -392,6 +424,11 @@ class MultiscalarMachine:
             seq = pu.seq
             self._active_span -= self.stream.tasks[seq].length
             del self.in_flight[seq]
+            if self.tracer is not None:
+                # Capture per-task state before reset_idle clears it.
+                self.tracer.on_retire(
+                    seq, pu.index, cycle, pu.first_issue, pu.done_cycle
+                )
             pu.reset_idle()
             if self.monitor is not None:
                 self.monitor.on_retire(seq, cycle)
@@ -405,6 +442,8 @@ class MultiscalarMachine:
             pu.retiring = True
             self._retiring_pu = pu
             self._retire_finish = cycle + self.config.task_end_overhead
+            if self.tracer is not None:
+                self.tracer.on_commit_start(pu.seq, pu.index, cycle)
             active = True
         return active
 
@@ -559,6 +598,8 @@ class MultiscalarMachine:
             result = self._result(0)
             if self.monitor is not None:
                 self.monitor.on_finish(self, result)
+            if self.tracer is not None:
+                self.tracer.on_finish(self, result)
             return result
         # The cycle loop allocates only acyclic, reference-counted
         # garbage (tuples, small lists); the cyclic collector just
@@ -578,6 +619,8 @@ class MultiscalarMachine:
         result = self._result(cycles)
         if self.monitor is not None:
             self.monitor.on_finish(self, result)
+        if self.tracer is not None:
+            self.tracer.on_finish(self, result)
         return result
 
     def _run_reference(self) -> int:
@@ -644,6 +687,8 @@ class MultiscalarMachine:
             if wake > max_cycles:
                 wake = max_cycles + 1  # let the guard above raise
             skipped = wake - t
+            if self.tracer is not None:
+                self.tracer.on_cycle_skip(cycle, wake)
             if idle_pus:
                 self._idle_accum += idle_pus * skipped
             for counts, slot in charged:
@@ -683,6 +728,7 @@ class MultiscalarMachine:
             mean_window_span=mean_span,
             breakdown=self.breakdown,
             cache_stats=self.hierarchy.stats(),
+            squash_depths=list(self.squash_depths),
         )
 
 
@@ -693,8 +739,9 @@ def simulate(
     monitor=None,
     faults=None,
     label: Optional[str] = None,
+    tracer=None,
 ) -> SimResult:
     """Convenience: build a machine for ``stream`` and run it."""
     return MultiscalarMachine(
-        stream, config, release, monitor, faults, label=label
+        stream, config, release, monitor, faults, label=label, tracer=tracer
     ).run()

@@ -118,6 +118,9 @@ class ProcessingUnit:
             config.release_lag,
             config.branch_mispredict_penalty,
         )
+        #: optional telemetry collector (set by the machine, survives
+        #: reset_idle; consulted only on the rare mispredict path)
+        self.tracer = None
         self.reset_idle()
 
     # ------------------------------------------------------------ lifecycle
@@ -146,6 +149,8 @@ class ProcessingUnit:
         self.remaining = 0
         self.done = False
         self.done_cycle = -1
+        #: cycle this task's first instruction issued (-1: none yet)
+        self.first_issue = -1
         self.retiring = False
         #: per-task stall accounting, slotted per breakdown.REASONS
         self.local_counts: List[int] = [0] * _N_REASONS
@@ -362,6 +367,10 @@ class ProcessingUnit:
                 # Wrong-path fetch: stall until the branch resolves.
                 self.pending_branch = idx
                 self.fetch_resume = _NEVER
+                if self.tracer is not None:
+                    self.tracer.on_branch_mispredict(
+                        self.seq, idx, cycle, self.index
+                    )
                 break
             if self.fetch_resume > cycle:
                 break
@@ -571,6 +580,8 @@ class ProcessingUnit:
 
         self.issue_wake = issue_wake
         if issued:
+            if self.first_issue < 0:
+                self.first_issue = cycle
             if issued_mem:
                 self.mem_head = mem_head + issued_mem
             for shift, pos in enumerate(issued_pos):

@@ -68,13 +68,41 @@ class TestParser:
         assert args.seed == 7
         assert not args.all
 
+    def test_trace_options(self):
+        args = build_parser().parse_args(
+            ["trace", "compress", "--level", "control_flow",
+             "--engine", "reference", "-o", "out.json"]
+        )
+        assert args.benchmark == "compress"
+        assert args.level == "control_flow"
+        assert args.engine == "reference"
+        assert args.output == "out.json"
+        assert not args.no_engine_events
+        assert build_parser().parse_args(
+            ["trace", "compress"]).output == "trace.json"
+
+    def test_report_options(self):
+        args = build_parser().parse_args(
+            ["report", "a.json", "b.json", "--tolerance", "0.1"]
+        )
+        assert args.a == "a.json"
+        assert args.b == "b.json"
+        assert args.tolerance == 0.1
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "only-one"])
+
 
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "compress" in out and "tomcatv" in out
-        assert "[int]" in out and "[fp]" in out
+        assert "int" in out and "fp" in out
+        # static code counts are part of the listing
+        header, first = out.splitlines()[:2]
+        for column in ("funcs", "blocks", "insts"):
+            assert column in header
+        assert any(token.isdigit() for token in first.split())
 
     def test_run(self, capsys):
         assert main(
@@ -205,3 +233,37 @@ class TestCommands:
     def test_unknown_benchmark_raises(self):
         with pytest.raises(KeyError):
             main(["run", "nonexistent", "--scale", "0.1"])
+
+    def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
+        from repro.telemetry import validate_chrome_trace_file
+
+        path = tmp_path / "trace.json"
+        assert main(
+            ["trace", "compress", "--scale", "0.1", "-o", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "lifecycle event" in out and "perfetto" in out.lower()
+        validate_chrome_trace_file(path)  # must not raise
+        payload = json.loads(path.read_text())
+        assert payload["otherData"]["n_pus"] == 4
+
+    def test_report_ok_and_drift_exit_codes(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(
+            ["figure5", "--benchmarks", "li", "--pus", "4",
+             "--scale", "0.1", "--json", str(a)]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(a.read_text())
+        b.write_text(json.dumps(payload))
+        assert main(["report", str(a), str(b)]) == 0
+        assert "0 drifted" in capsys.readouterr().out
+        payload["records"][0]["cycles"] += 1
+        b.write_text(json.dumps(payload))
+        with pytest.raises(SystemExit, match="DRIFT"):
+            main(["report", str(a), str(b)])
+
+    def test_report_rejects_unreadable_input(self):
+        with pytest.raises(SystemExit, match="repro report"):
+            main(["report", "no-such-file.json", "also-missing.json"])

@@ -91,6 +91,39 @@ def test_fast_matches_reference_forward_policies(policy):
     )
 
 
+@pytest.mark.parametrize("name,level", [
+    ("compress", HeuristicLevel.DATA_DEPENDENCE),
+    ("m88ksim", HeuristicLevel.CONTROL_FLOW),
+    ("tomcatv", HeuristicLevel.TASK_SIZE),
+])
+def test_fast_bulk_charging_sums_per_category(name, level):
+    """Bulk-charged skipped cycles land in the right Figure-2 buckets.
+
+    The fast engine charges a whole skipped span to each PU's current
+    stall category in one addition; this checks the per-category
+    totals — not just the aggregate — against the reference engine's
+    cycle-by-cycle accounting, and that both engines attribute every
+    PU-cycle (categories + squash penalties + idle sum to the same
+    grand total).
+    """
+    fast = run_benchmark(name, level, n_pus=4, scale=SMALL)
+    reference = run_benchmark(
+        name, level, n_pus=4, scale=SMALL,
+        sim=SimConfig(engine="reference"),
+    )
+    fast_dict = fast.breakdown.as_dict()
+    ref_dict = reference.breakdown.as_dict()
+    for category in ref_dict:
+        assert fast_dict[category] == ref_dict[category], (
+            f"{name}/{level.value}: category {category}: "
+            f"fast={fast_dict[category]} reference={ref_dict[category]}"
+        )
+    assert (
+        fast.breakdown.total_pu_cycles
+        == reference.breakdown.total_pu_cycles
+    )
+
+
 def test_fault_sweep_on_fast_engine():
     """Seeded fault injection exercises recovery on the fast path.
 

@@ -212,7 +212,8 @@ class TestQuarantine:
             ArtifactCache(tmp_path, salt="s").get_record(spec)
         cache.clear()
         assert cache.stats() == {
-            "records": 0, "compiled": 0, "quarantined": 0, "bytes": 0
+            "records": 0, "compiled": 0, "quarantined": 0, "bytes": 0,
+            "ledger_lines": 0, "ledger_bytes": 0,
         }
 
 
