@@ -17,7 +17,13 @@ Commands:
   exits non-zero when simulated cycles drifted.
 * ``profile-sim`` — cProfile one simulation, print the hotspots.
 * ``cache`` — inspect, audit (``doctor``), or clear the cache.
-* ``list`` — list the available benchmarks with static code counts.
+* ``list`` — list the available benchmarks with static code counts
+  (``--synth``: the synthetic-generator presets instead).
+* ``gen`` — emit one seeded synthetic program as assembly text.
+* ``fuzz`` — differential fuzzing campaign: N generated programs
+  × all four heuristic levels × both engines, cross-checked with
+  the reliability oracle; ``--minimize`` delta-debugs divergent
+  programs to minimal reproducers.
 
 Grid commands execute through :mod:`repro.harness`: ``--jobs N``
 fans the grid out over N worker processes (0 = one per CPU), the
@@ -286,9 +292,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_p.add_argument("action", choices=["stats", "clear", "doctor"])
 
-    sub.add_parser(
+    list_p = sub.add_parser(
         "list",
         help="list the available benchmarks with static code counts",
+    )
+    list_p.add_argument(
+        "--synth", action="store_true",
+        help="list the synthetic-generator presets instead",
+    )
+
+    gen_p = sub.add_parser(
+        "gen",
+        help="emit one seeded synthetic program as assembly text",
+    )
+    gen_p.add_argument("seed", type=int, help="generator seed")
+    gen_p.add_argument(
+        "--preset", default="default",
+        help="synth parameter preset (see 'repro list --synth')",
+    )
+    gen_p.add_argument(
+        "-o", "--output", default="",
+        help="write the program here instead of stdout",
+    )
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing campaign over generated programs",
+    )
+    fuzz_p.add_argument(
+        "--budget", type=int, required=True,
+        help="number of programs to generate and cross-check",
+    )
+    fuzz_p.add_argument("--seed", type=int, default=1,
+                        help="campaign seed (default 1)")
+    fuzz_p.add_argument(
+        "--preset", default="default",
+        help="synth parameter preset (see 'repro list --synth')",
+    )
+    fuzz_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default 1 = serial in-process; "
+             "0 = one per CPU)",
+    )
+    fuzz_p.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent artifact cache",
+    )
+    fuzz_p.add_argument(
+        "--resume", action="store_true",
+        help="skip cells the run ledger records as already finished",
+    )
+    fuzz_p.add_argument(
+        "--ledger", default="",
+        help="write the campaign ledger to this path (default: the "
+             "artifact cache's ledger; none with --no-cache)",
+    )
+    fuzz_p.add_argument(
+        "--minimize", action="store_true",
+        help="delta-debug each divergent program to a minimal "
+             "reproducer",
     )
     return parser
 
@@ -558,7 +620,86 @@ def _cmd_cache(args: argparse.Namespace) -> str:
     ])
 
 
-def _cmd_list(_args: argparse.Namespace) -> str:
+def _cmd_gen(args: argparse.Namespace) -> str:
+    from repro.ir import program_to_text
+    from repro.synth import PRESETS, generate_program, synth_name
+
+    if args.preset not in PRESETS:
+        raise SystemExit(
+            f"repro gen: unknown preset {args.preset!r} "
+            f"(choose from {', '.join(PRESETS)})"
+        )
+    program = generate_program(args.seed, PRESETS[args.preset])
+    text = program_to_text(program)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        return (
+            f"wrote {synth_name(args.preset, args.seed)} "
+            f"({program.size} instructions) to {args.output}"
+        )
+    return text
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> str:
+    from repro.synth import PRESETS, run_campaign
+    from repro.synth.campaign import CampaignLedger
+
+    if args.preset not in PRESETS:
+        raise SystemExit(
+            f"repro fuzz: unknown preset {args.preset!r} "
+            f"(choose from {', '.join(PRESETS)})"
+        )
+    cache = None if args.no_cache else ArtifactCache()
+    if args.ledger:
+        ledger = CampaignLedger(args.ledger, progress=default_progress())
+    elif cache is not None:
+        ledger = CampaignLedger(cache.ledger_path,
+                                progress=default_progress())
+    else:
+        ledger = None
+    result = run_campaign(
+        budget=args.budget, seed=args.seed, preset=args.preset,
+        jobs=args.jobs, cache=cache, ledger=ledger,
+        resume=args.resume, minimize=args.minimize,
+    )
+    lines = [result.summary()]
+    counters = (result.metrics or {}).get("counters", {})
+    lines.append(
+        "counters: " + ", ".join(
+            f"{name}={value}" for name, value in sorted(counters.items())
+        )
+    )
+    for name, text in result.reduced.items():
+        lines.append(f"--- minimized reproducer for {name} ---")
+        lines.append(text)
+    if not result.ok:
+        raise SystemExit("\n".join(lines))
+    return "\n".join(lines)
+
+
+def _cmd_list(args: argparse.Namespace) -> str:
+    if getattr(args, "synth", False):
+        from repro.synth import PRESETS
+
+        lines = [
+            f"{'preset':<10} {'funcs':>5} {'nest':>4} {'body':>4} "
+            f"{'callee':>6} {'mem':>5} {'fp':>5}  region weights "
+            f"(line/diamond/fanout/loop/call)"
+        ]
+        for name, params in PRESETS.items():
+            weights = "/".join(str(w) for w in params.region_weights())
+            lines.append(
+                f"{name:<10} {params.functions:>5} "
+                f"{params.nest_depth:>4} {params.loop_body_target:>4} "
+                f"{params.callee_target:>6} {params.mem_prob:>5.2f} "
+                f"{params.fp_prob:>5.2f}  {weights}"
+            )
+        lines.append(
+            "use as benchmarks: synth:<preset>:<seed> "
+            "(e.g. 'repro run synth:loops:7')"
+        )
+        return "\n".join(lines)
     lines = [
         f"{'name':<10} {'suite':<7} {'funcs':>5} {'blocks':>6} "
         f"{'insts':>6}  description"
@@ -587,6 +728,8 @@ _COMMANDS = {
     "profile-sim": _cmd_profile_sim,
     "cache": _cmd_cache,
     "list": _cmd_list,
+    "gen": _cmd_gen,
+    "fuzz": _cmd_fuzz,
 }
 
 

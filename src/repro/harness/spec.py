@@ -91,6 +91,13 @@ class RunSpec:
     sim: Optional[SimConfig] = None
     input_set: str = "ref"
     profile_input: Optional[str] = None
+    #: content hash of the workload's IR text, for benchmarks whose
+    #: program is generated rather than registered (``synth:*``).  It
+    #: salts the compile signature so generated programs can never
+    #: alias cached artifacts of a same-named workload produced by a
+    #: different generator version — and fuzz records (which embed
+    #: oracle results) never alias plain run records.
+    source_hash: Optional[str] = None
 
     def resolved_selection(self) -> SelectionConfig:
         """The selection config the runner will actually use."""
@@ -104,16 +111,17 @@ class RunSpec:
 
     def compile_signature(self) -> Tuple:
         """Canonical identity of the compilation products."""
-        return canonical(
-            (
-                "compile",
-                self.benchmark,
-                ("float", repr(self.scale)),
-                self.input_set,
-                self.resolved_profile_input(),
-                self.resolved_selection(),
-            )
+        signature = (
+            "compile",
+            self.benchmark,
+            ("float", repr(self.scale)),
+            self.input_set,
+            self.resolved_profile_input(),
+            self.resolved_selection(),
         )
+        if self.source_hash is not None:
+            signature += (("source", self.source_hash),)
+        return canonical(signature)
 
     def compile_hash(self, salt: str = "") -> str:
         return digest(self.compile_signature(), salt)

@@ -40,6 +40,12 @@ from repro.ir.instructions import (
 )
 from repro.ir.interp import DynInst, ExecutionLimitExceeded, Interpreter, Trace
 from repro.ir.program import Program
+from repro.ir.validate import (
+    WellFormednessError,
+    assert_well_formed,
+    partition_issues,
+    well_formed,
+)
 
 __all__ = [
     "BasicBlock",
@@ -55,10 +61,14 @@ __all__ = [
     "Opcode",
     "Program",
     "Trace",
+    "WellFormednessError",
+    "assert_well_formed",
     "fp_reg",
     "int_reg",
     "is_fp_reg",
     "is_int_reg",
     "parse_program",
+    "partition_issues",
     "program_to_text",
+    "well_formed",
 ]

@@ -35,6 +35,19 @@ class Program:
         self._pcs = None
         return func
 
+    def remove_function(self, name: str) -> None:
+        """Remove the function named ``name`` (must not be ``main``).
+
+        The caller is responsible for first removing every CALL that
+        targets it (the delta-debugging reducer does; ``validate``
+        would fail otherwise).
+        """
+        if name == self.main_name:
+            raise ValueError(f"cannot remove entry function {name!r}")
+        del self._functions[name]
+        self._order.remove(name)
+        self._pcs = None
+
     def function(self, name: str) -> Function:
         """Return the function named ``name``; ``KeyError`` if absent."""
         return self._functions[name]

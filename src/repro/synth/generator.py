@@ -1,0 +1,422 @@
+"""Seeded synthetic program generator.
+
+``generate_program(seed, params)`` emits a valid, halting
+:class:`~repro.ir.program.Program` whose every structural choice is
+drawn from a single ``random.Random(seed)`` stream, so the result is
+fully determined by ``(seed, params)`` — byte-identical assembly text
+across processes, platforms, and ``PYTHONHASHSEED`` values (the
+generator never iterates sets or unordered dicts).
+
+The emitted shapes are the ones the paper's heuristics make decisions
+on:
+
+* **counted loop nests** whose static body sizes are sampled around
+  LOOP_THRESH, flipping the unroll decision from seed to seed;
+* **call DAGs** whose callee dynamic sizes are steered around
+  CALL_THRESH, flipping call absorption;
+* **diamond / hammock reconvergence chains** with fan-out approaching
+  the N = 4 target-tracking limit;
+* **register def-use chains** whose producer distance is tunable
+  (near reuse vs. reads reaching far across blocks and tasks);
+* **memory traffic over a small alias pool** so cross-task load/store
+  conflicts (ARB squashes) actually happen.
+
+Structural guarantees (the campaign and reducer rely on these):
+
+* every loop is counted with a pre-known trip count and a dedicated
+  counter register — programs always halt;
+* the call graph is a DAG — no unbounded recursion;
+* a register is read only where it is *must-defined* (written on
+  every path from the function entry, in callers for ``r4``), so the
+  strict well-formedness validator passes by construction;
+* the program validates and executes within ``params.max_dynamic``
+  dynamic instructions (checked at generation time).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Optional
+
+from repro.ir.builder import IRBuilder
+from repro.ir.interp import ExecutionLimitExceeded, run_program
+from repro.ir.program import Program
+from repro.synth.params import PRESETS, SynthParams
+
+#: condition scratch register (never a temp destination)
+_COND = "r1"
+#: call result register (written by every generated callee)
+_RESULT = "r2"
+#: pointer register, loaded with an alias-pool base at function entry
+_PTR = "r3"
+#: call argument register
+_ARG = "r4"
+#: general destination pool
+_TEMPS = tuple(f"r{i}" for i in range(10, 26))
+#: loop counters by nesting depth (outside the temp pool)
+_COUNTERS = tuple(f"r{i}" for i in range(26, 32))
+#: floating point temp pool
+_FP_TEMPS = tuple(f"f{i}" for i in range(1, 9))
+
+#: region kinds in the fixed weight order of SynthParams
+_KINDS = ("line", "diamond", "fanout", "loop", "call")
+
+_INT_OPS = ("add", "sub", "mul", "and_", "or_", "xor", "slt", "sle",
+            "seq", "sne")
+_INT_IMM_OPS = ("addi", "subi", "muli", "andi", "xori", "shl", "shr",
+                "slti", "remi")
+_FP_OPS = ("fadd", "fsub", "fmul")
+
+
+def synth_name(preset: str, seed: int) -> str:
+    """The registry benchmark name for ``(preset, seed)``."""
+    return f"synth:{preset}:{seed}"
+
+
+def parse_synth_name(name: str):
+    """Split a ``synth:<preset>:<seed>`` name; raises ``ValueError``.
+
+    Returns ``(preset, seed, SynthParams)``.
+    """
+    parts = name.split(":")
+    if len(parts) != 3 or parts[0] != "synth":
+        raise ValueError(
+            f"bad synthetic benchmark name {name!r} "
+            f"(expected synth:<preset>:<seed>)"
+        )
+    _, preset, seed_text = parts
+    if preset not in PRESETS:
+        known = ", ".join(PRESETS)
+        raise ValueError(
+            f"unknown synth preset {preset!r} (known: {known})"
+        )
+    try:
+        seed = int(seed_text)
+    except ValueError:
+        raise ValueError(
+            f"bad synth seed {seed_text!r} in {name!r}"
+        ) from None
+    return preset, seed, PRESETS[preset]
+
+
+def program_source_hash(program: Program) -> str:
+    """SHA-256 of the program's canonical assembly text.
+
+    This is the content hash the fuzzing campaign salts harness cache
+    keys with (``RunSpec.source_hash``), so a generated program can
+    never alias cached artifacts of a same-named workload built by
+    different generator code.
+    """
+    from repro.ir.asmtext import program_to_text
+
+    return hashlib.sha256(
+        program_to_text(program).encode("utf-8")
+    ).hexdigest()
+
+
+class _FuncGen:
+    """Emits one function's body from the shared random stream."""
+
+    def __init__(self, gen: "_ProgramGen", name: str,
+                 callables: List[str], is_main: bool) -> None:
+        self.gen = gen
+        self.b = gen.b
+        self.rng = gen.rng
+        self.params = gen.params
+        self.name = name
+        self.callables = callables
+        self.is_main = is_main
+
+    # -- operand selection ------------------------------------------------
+
+    def _pick(self, avail: List[str]) -> str:
+        """A source register: recent def, or a far-back def."""
+        rng = self.rng
+        if len(avail) > 4 and rng.random() < self.params.far_use_prob:
+            # Oldest third: stretches def-use distance across blocks.
+            return avail[rng.randrange(max(1, len(avail) // 3))]
+        tail = avail[-4:]
+        return tail[rng.randrange(len(tail))]
+
+    def _note(self, avail: List[str], reg: str) -> None:
+        if reg not in avail:
+            avail.append(reg)
+
+    # -- single instructions ----------------------------------------------
+
+    def _emit_mem(self, avail: List[str]) -> None:
+        rng, b = self.rng, self.b
+        base_addr = self.gen.alias_bases[
+            rng.randrange(len(self.gen.alias_bases))
+        ]
+        offset = rng.randrange(self.params.mem_span)
+        if rng.random() < 0.5:
+            base_reg, imm = "r0", base_addr + offset
+        else:
+            base_reg, imm = _PTR, offset
+        if rng.random() < 0.5:
+            b.store(self._pick(avail), base_reg, imm)
+        else:
+            dst = _TEMPS[rng.randrange(len(_TEMPS))]
+            b.load(dst, base_reg, imm)
+            self._note(avail, dst)
+
+    def _emit_fp(self, avail_fp: List[str]) -> None:
+        rng, b = self.rng, self.b
+        dst = _FP_TEMPS[rng.randrange(len(_FP_TEMPS))]
+        op = _FP_OPS[rng.randrange(len(_FP_OPS))]
+        a = avail_fp[rng.randrange(len(avail_fp))]
+        c = avail_fp[rng.randrange(len(avail_fp))]
+        getattr(b, op)(dst, a, c)
+        if dst not in avail_fp:
+            avail_fp.append(dst)
+
+    def _emit_int(self, avail: List[str]) -> None:
+        rng, b = self.rng, self.b
+        dst = _TEMPS[rng.randrange(len(_TEMPS))]
+        if rng.random() < 0.4:
+            op = _INT_IMM_OPS[rng.randrange(len(_INT_IMM_OPS))]
+            imm = rng.randint(2, 9) if op == "remi" else rng.randint(0, 7)
+            getattr(b, op)(dst, self._pick(avail), imm)
+        else:
+            op = _INT_OPS[rng.randrange(len(_INT_OPS))]
+            getattr(b, op)(dst, self._pick(avail), self._pick(avail))
+        self._note(avail, dst)
+
+    def _emit_inst(self, avail: List[str], avail_fp: List[str]) -> None:
+        r = self.rng.random()
+        if r < self.params.mem_prob:
+            self._emit_mem(avail)
+        elif r < self.params.mem_prob + self.params.fp_prob and avail_fp:
+            self._emit_fp(avail_fp)
+        else:
+            self._emit_int(avail)
+
+    def _line(self, count: int, avail: List[str],
+              avail_fp: List[str]) -> None:
+        for _ in range(count):
+            self._emit_inst(avail, avail_fp)
+
+    # -- structured regions -----------------------------------------------
+
+    def _cond(self, avail: List[str]) -> None:
+        """Leave a data-dependent 0/1-ish value in the scratch register."""
+        rng, b = self.rng, self.b
+        src = self._pick(avail)
+        if rng.random() < 0.5:
+            b.remi(_COND, src, rng.randint(2, 5))
+        else:
+            b.slti(_COND, src, rng.randint(0, 9))
+
+    def _diamond(self, depth: int, avail: List[str],
+                 avail_fp: List[str]) -> None:
+        rng, b = self.rng, self.b
+        then_l = b.new_label("then")
+        else_l = b.new_label("else")
+        join_l = b.new_label("join")
+        self._cond(avail)
+        b.bnez(_COND, then_l, fallthrough=else_l)
+        with b.block(then_l):
+            # Arm writes stay local: a register defined on only one
+            # path is not must-defined after the join.
+            arm = list(avail)
+            arm_fp = list(avail_fp)
+            self._line(rng.randint(1, 3), arm, arm_fp)
+            b.jump(join_l)
+        with b.block(else_l):
+            if rng.random() < 0.7:  # else 30%: a pure hammock arm
+                arm = list(avail)
+                arm_fp = list(avail_fp)
+                self._line(rng.randint(1, 3), arm, arm_fp)
+        b.open_block(join_l)
+
+    def _fanout(self, depth: int, avail: List[str],
+                avail_fp: List[str]) -> None:
+        """Chained tiny diamonds: reconvergence with fan-out near N."""
+        for _ in range(self.rng.randint(2, self.params.fanout_chain_max)):
+            self._diamond(depth, avail, avail_fp)
+
+    def _loop(self, depth: int, avail: List[str],
+              avail_fp: List[str]) -> None:
+        rng, b, params = self.rng, self.b, self.params
+        trip = rng.randint(params.trip_min, params.trip_max)
+        counter = _COUNTERS[min(depth, len(_COUNTERS) - 1)]
+        body_size = max(2, params.loop_body_target + rng.randint(
+            -params.loop_body_jitter, params.loop_body_jitter
+        ))
+        head = b.new_label("loop")
+        exit_l = b.new_label("exit")
+        b.li(counter, 0)
+        b.open_block(head)
+        body = list(avail)
+        body_fp = list(avail_fp)
+        self._note(body, counter)
+        nested = (
+            depth + 1 < params.nest_depth
+            and body_size >= 8
+            and rng.random() < 0.4
+        )
+        if nested:
+            inner = rng.random()
+            if inner < 0.5:
+                self._loop(depth + 1, body, body_fp)
+            else:
+                self._diamond(depth + 1, body, body_fp)
+            body_size = max(2, body_size // 2)
+        self._line(body_size, body, body_fp)
+        b.addi(counter, counter, 1)
+        b.slti(_COND, counter, trip)
+        b.bnez(_COND, head, fallthrough=exit_l)
+        b.open_block(exit_l)
+
+    def _call(self, avail: List[str], avail_fp: List[str]) -> None:
+        rng, b = self.rng, self.b
+        callee = self.callables[rng.randrange(len(self.callables))]
+        cont = b.new_label("cont")
+        b.mov(_ARG, self._pick(avail))
+        b.call(callee, fallthrough=cont)
+        b.open_block(cont)
+        dst = _TEMPS[rng.randrange(len(_TEMPS))]
+        b.mov(dst, _RESULT)
+        self._note(avail, dst)
+
+    def _seq(self, regions: int, depth: int, avail: List[str],
+             avail_fp: List[str]) -> None:
+        params, rng = self.params, self.rng
+        weights = list(params.region_weights())
+        if depth >= params.nest_depth:
+            weights[_KINDS.index("diamond")] = 0
+            weights[_KINDS.index("fanout")] = 0
+            weights[_KINDS.index("loop")] = 0
+        if not self.callables:
+            weights[_KINDS.index("call")] = 0
+        if sum(weights) == 0:
+            weights[_KINDS.index("line")] = 1
+        for _ in range(regions):
+            kind = rng.choices(_KINDS, weights=weights, k=1)[0]
+            if kind == "line":
+                self._line(rng.randint(params.line_min, params.line_max),
+                           avail, avail_fp)
+            elif kind == "diamond":
+                self._diamond(depth, avail, avail_fp)
+            elif kind == "fanout":
+                self._fanout(depth, avail, avail_fp)
+            elif kind == "loop":
+                self._loop(depth, avail, avail_fp)
+            else:
+                self._call(avail, avail_fp)
+
+    # -- whole functions --------------------------------------------------
+
+    def _prologue(self) -> tuple:
+        """Seed must-defined registers; returns (avail, avail_fp)."""
+        rng, b = self.rng, self.b
+        avail: List[str] = []
+        avail_fp: List[str] = []
+        if not self.is_main:
+            avail.append(_ARG)  # callers always set r4 before CALL
+        base = self.gen.alias_bases[
+            rng.randrange(len(self.gen.alias_bases))
+        ]
+        b.li(_PTR, base)
+        for i in range(3):
+            reg = _TEMPS[rng.randrange(len(_TEMPS))]
+            b.li(reg, rng.randint(1, 9))
+            self._note(avail, reg)
+        for reg in _FP_TEMPS[:2]:
+            b.fli(reg, float(rng.randint(1, 9)))
+            avail_fp.append(reg)
+        return avail, avail_fp
+
+    def emit_main(self) -> None:
+        rng, params, b = self.rng, self.params, self.b
+        with b.function(self.name):
+            avail, avail_fp = self._prologue()
+            self._seq(rng.randint(params.regions_min, params.regions_max),
+                      0, avail, avail_fp)
+            out = self._pick(avail)
+            b.store(out, "r0", self.gen.alias_bases[0])
+            b.halt()
+
+    def emit_callee(self) -> None:
+        """A helper whose dynamic size straddles CALL_THRESH."""
+        rng, params, b = self.rng, self.params, self.b
+        target = max(4, params.callee_target + rng.randint(
+            -params.callee_jitter, params.callee_jitter
+        ))
+        with b.function(self.name):
+            avail, avail_fp = self._prologue()
+            if self.callables and rng.random() < 0.3:
+                self._call(avail, avail_fp)
+                target = max(4, target // 2)
+            if rng.random() < 0.5:
+                # Straight line: dynamic size == static size.
+                self._line(min(target, 64), avail, avail_fp)
+            else:
+                # One counted loop sized so trip * body ~= target.
+                trip = rng.randint(2, 5)
+                body = max(1, target // trip)
+                counter = _COUNTERS[-1]
+                head = b.new_label("hloop")
+                exit_l = b.new_label("hexit")
+                b.li(counter, 0)
+                b.open_block(head)
+                inner = list(avail)
+                inner_fp = list(avail_fp)
+                self._note(inner, counter)
+                self._line(body, inner, inner_fp)
+                b.addi(counter, counter, 1)
+                b.slti(_COND, counter, trip)
+                b.bnez(_COND, head, fallthrough=exit_l)
+                b.open_block(exit_l)
+            b.mov(_RESULT, self._pick(avail))
+            b.ret()
+
+
+class _ProgramGen:
+    """Drives one whole-program generation from a single RNG stream."""
+
+    def __init__(self, seed: int, params: SynthParams) -> None:
+        self.rng = random.Random(seed)
+        self.params = params
+        self.b = IRBuilder()
+        #: small base-address pool all memory traffic aliases over
+        self.alias_bases = [
+            256 + 16 * i for i in range(max(1, params.alias_pool))
+        ]
+
+    def generate(self) -> Program:
+        params, rng = self.params, self.rng
+        # Callees first, leaf-most last in the callable list; function
+        # i may only call functions generated before it, so the call
+        # graph is a DAG and the program always terminates.
+        callee_names = [f"fn{i}" for i in range(params.functions)]
+        for i, name in enumerate(callee_names):
+            _FuncGen(self, name, callee_names[:i], is_main=False).emit_callee()
+        _FuncGen(self, "main", list(callee_names), is_main=True).emit_main()
+        for i, base in enumerate(self.alias_bases):
+            self.b.program.memory_image[base] = rng.randint(1, 99)
+        return self.b.build()
+
+
+def generate_program(seed: int, params: Optional[SynthParams] = None,
+                     check: bool = True) -> Program:
+    """The program fully determined by ``(seed, params)``.
+
+    With ``check`` (the default) the program is also executed once to
+    prove it halts within ``params.max_dynamic`` dynamic instructions;
+    generation fails loudly rather than handing the campaign an
+    unbounded program.
+    """
+    params = params or SynthParams()
+    program = _ProgramGen(seed, params).generate()
+    if check:
+        try:
+            run_program(program, max_instructions=params.max_dynamic)
+        except ExecutionLimitExceeded:
+            raise ValueError(
+                f"generated program (seed={seed}) exceeded the "
+                f"{params.max_dynamic}-instruction dynamic budget"
+            ) from None
+    return program

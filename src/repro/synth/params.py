@@ -1,0 +1,143 @@
+"""Generation parameters for the seeded synthetic program generator.
+
+A :class:`SynthParams` value, together with a seed, fully determines
+one generated program (see :mod:`repro.synth.generator`): every
+structural choice — region kinds, loop trip counts, callee sizes,
+operand selection — is drawn from one ``random.Random(seed)`` stream
+steered by these knobs.  The dataclass is frozen and hashable through
+the harness's canonical encoding, so parameters participate in cache
+keys and ledger entries like any other configuration.
+
+The presets target the heuristic decision boundaries the paper's task
+selector actually steers on:
+
+* ``loops`` — loop nests whose static body sizes straddle LOOP_THRESH
+  (30), so the task-size heuristic's unroll decision flips per seed;
+* ``calls`` — call trees whose callee dynamic sizes straddle
+  CALL_THRESH (30), flipping the call-absorption decision;
+* ``diamonds`` — chained diamond/hammock reconvergence with fan-out
+  near the N = 4 target-tracking limit;
+* ``memory`` — loads/stores concentrated on a tiny address pool so
+  cross-task aliasing (ARB squashes) is frequent;
+* ``chains`` — register def-use chains that prefer distant producers,
+  stretching cross-task register communication;
+* ``default`` — a balanced mixture of all of the above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class SynthParams:
+    """Knobs of the seeded program generator (all deterministic)."""
+
+    #: helper functions generated besides ``main`` (callees form a DAG)
+    functions: int = 3
+    #: structured regions emitted per function body (uniform range)
+    regions_min: int = 3
+    regions_max: int = 6
+    #: maximum structured nesting depth (loops/diamonds inside loops)
+    nest_depth: int = 2
+    #: counted-loop trip counts (uniform range; loops always terminate)
+    trip_min: int = 2
+    trip_max: int = 5
+    #: loop body static size is sampled from
+    #: ``loop_body_target ± loop_body_jitter`` so bodies straddle the
+    #: task-size heuristic's LOOP_THRESH boundary
+    loop_body_target: int = 30
+    loop_body_jitter: int = 24
+    #: callee dynamic size is steered toward
+    #: ``callee_target ± callee_jitter`` (straddles CALL_THRESH)
+    callee_target: int = 30
+    callee_jitter: int = 24
+    #: chained diamonds per fan-out region (targets approach N = 4)
+    fanout_chain_max: int = 3
+    #: straight-line region length (uniform range)
+    line_min: int = 2
+    line_max: int = 8
+    #: probability an emitted instruction is a LOAD/STORE
+    mem_prob: float = 0.25
+    #: distinct base addresses memory traffic aliases over
+    alias_pool: int = 4
+    #: word offsets used relative to each base address
+    mem_span: int = 8
+    #: probability an emitted ALU instruction is floating point
+    fp_prob: float = 0.15
+    #: probability an operand is drawn from the oldest live defs
+    #: (stretches cross-block / cross-task def-use distance)
+    far_use_prob: float = 0.3
+    #: region-kind weights (line, diamond, fan-out chain, loop, call)
+    w_line: int = 3
+    w_diamond: int = 3
+    w_fanout: int = 1
+    w_loop: int = 3
+    w_call: int = 2
+    #: dynamic instruction budget the generated program must fit in
+    max_dynamic: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.trip_min < 1:
+            raise ValueError("trip_min must be >= 1 (loops must terminate)")
+        if self.trip_max < self.trip_min:
+            raise ValueError("trip_max must be >= trip_min")
+        if self.regions_max < self.regions_min or self.regions_min < 1:
+            raise ValueError("need 1 <= regions_min <= regions_max")
+        if self.line_max < self.line_min or self.line_min < 1:
+            raise ValueError("need 1 <= line_min <= line_max")
+        if self.functions < 0:
+            raise ValueError("functions must be >= 0")
+        if self.nest_depth < 0:
+            raise ValueError("nest_depth must be >= 0")
+        for name in ("mem_prob", "fp_prob", "far_use_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.alias_pool < 1 or self.mem_span < 1:
+            raise ValueError("alias_pool and mem_span must be >= 1")
+
+    def scaled(self, scale: float) -> "SynthParams":
+        """Scale dominant trip counts, like ``Benchmark.build(scale)``.
+
+        Structure (and therefore static code) is unchanged only for
+        ``scale == 1``; the registry contract is merely that the result
+        is deterministic per ``(seed, params, scale)``.
+        """
+        if scale == 1.0:
+            return self
+        trip_max = max(self.trip_min, int(round(self.trip_max * scale)))
+        return replace(self, trip_max=trip_max)
+
+    def region_weights(self) -> Tuple[int, int, int, int, int]:
+        """Weights as a tuple in the generator's fixed region order."""
+        return (self.w_line, self.w_diamond, self.w_fanout,
+                self.w_loop, self.w_call)
+
+
+#: named parameter presets, usable as ``synth:<preset>:<seed>``
+#: benchmark names; insertion order is the display order
+PRESETS: Dict[str, SynthParams] = {
+    "default": SynthParams(),
+    "loops": SynthParams(
+        functions=1, w_line=1, w_diamond=1, w_fanout=0, w_loop=6, w_call=1,
+        nest_depth=2, loop_body_jitter=28,
+    ),
+    "calls": SynthParams(
+        functions=5, w_line=1, w_diamond=1, w_fanout=0, w_loop=1, w_call=6,
+        callee_jitter=28,
+    ),
+    "diamonds": SynthParams(
+        functions=1, w_line=1, w_diamond=4, w_fanout=4, w_loop=1, w_call=0,
+        fanout_chain_max=4,
+    ),
+    "memory": SynthParams(
+        functions=2, mem_prob=0.6, alias_pool=2, mem_span=4,
+        w_line=4, w_diamond=2, w_fanout=0, w_loop=3, w_call=1,
+    ),
+    "chains": SynthParams(
+        functions=2, far_use_prob=0.85, line_max=12,
+        w_line=5, w_diamond=2, w_fanout=0, w_loop=2, w_call=1,
+    ),
+}

@@ -1,0 +1,360 @@
+"""Delta-debugging reducer for divergent generated programs.
+
+Given a program and an *interestingness* predicate (normally "does
+:func:`repro.synth.campaign.check_program` still report a
+divergence?"), :func:`reduce_program` greedily shrinks the program
+while the predicate keeps holding, producing a minimal reproducer a
+human can actually read.
+
+Reduction proceeds in passes, coarsest first, iterated to a fixpoint:
+
+1. **drop functions** — strip every CALL to one callee (execution
+   falls through to the continuation; a second variant replaces the
+   CALL with ``LI``/``FLI reg, 0`` stubs for the callee's written
+   registers so the must-defined lint stays satisfied) and prune the
+   now-uncalled function;
+2. **simplify branches** — turn a conditional branch into a plain
+   fallthrough or an unconditional jump, collapsing one side of every
+   diamond and breaking loops open;
+3. **bypass blocks** — delete a block with a single successor,
+   rerouting all inbound edges straight to that successor;
+4. **drop instructions** — whole block bodies first, then halves,
+   then single instructions (terminators stay; earlier passes own
+   control flow);
+5. **drop memory** — clear the initial memory image (loads of
+   untouched addresses read zero anyway).
+
+Every candidate must stay *viable* before the predicate even runs:
+``Program.validate()`` passes, the well-formedness lint
+(:func:`repro.ir.validate.well_formed`) is clean, and the interpreter
+halts within a bounded instruction budget.  That keeps every reduced
+reproducer a legal corpus program, not just a crash trigger.
+
+Candidates are built by round-tripping through the assembly text
+(:func:`parse_program` / :func:`program_to_text`), so the reducer
+never aliases the caller's IR and the result is serialisable by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.ir.asmtext import parse_program, program_to_text
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.interp import run_program
+from repro.ir.program import Program
+from repro.ir.validate import well_formed
+
+Predicate = Callable[[Program], bool]
+
+
+@dataclass
+class ReduceStats:
+    """Bookkeeping of one reduction: how hard the reducer worked."""
+
+    rounds: int = 0
+    candidates: int = 0
+    accepted: int = 0
+    initial_blocks: int = 0
+    final_blocks: int = 0
+    initial_instructions: int = 0
+    final_instructions: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"reduced {self.initial_blocks} -> {self.final_blocks} blocks, "
+            f"{self.initial_instructions} -> {self.final_instructions} "
+            f"instructions ({self.rounds} round(s), "
+            f"{self.candidates} candidate(s), {self.accepted} accepted)"
+        )
+
+
+def count_blocks(program: Program) -> int:
+    return sum(len(f.labels()) for f in program.functions())
+
+
+def _clone(program: Program) -> Program:
+    return parse_program(program_to_text(program))
+
+
+def _viable(program: Program, max_dynamic: int) -> bool:
+    """Is ``program`` a legal, halting program worth testing?"""
+    try:
+        program.validate()
+    except ValueError:
+        return False
+    if well_formed(program):
+        return False
+    try:
+        run_program(program, max_instructions=max_dynamic)
+    except Exception:
+        return False
+    return True
+
+
+def reduce_program(
+    program: Program,
+    is_interesting: Predicate,
+    max_dynamic: int = 200_000,
+    max_rounds: int = 20,
+    stats: Optional[ReduceStats] = None,
+) -> Program:
+    """Shrink ``program`` while ``is_interesting`` keeps holding.
+
+    Raises ``ValueError`` if the input itself is not interesting (a
+    reduction with a vacuous predicate would "minimise" to anything).
+    Returns a fresh program; the input is never modified.
+    """
+    current = _clone(program)
+    if not is_interesting(current):
+        raise ValueError(
+            "input program is not interesting; nothing to reduce"
+        )
+    if stats is None:
+        stats = ReduceStats()
+    stats.initial_blocks = count_blocks(current)
+    stats.initial_instructions = current.size
+
+    passes = (
+        _drop_function_candidates,
+        _branch_candidates,
+        _bypass_candidates,
+        _instruction_candidates,
+        _memory_candidates,
+    )
+    for _ in range(max_rounds):
+        stats.rounds += 1
+        progress = False
+        for make_candidates in passes:
+            # Re-enumerate after every accepted edit: labels shift.
+            accepted = True
+            while accepted:
+                accepted = False
+                for candidate in make_candidates(current):
+                    stats.candidates += 1
+                    if not _viable(candidate, max_dynamic):
+                        continue
+                    if not is_interesting(candidate):
+                        continue
+                    current = candidate
+                    stats.accepted += 1
+                    progress = True
+                    accepted = True
+                    break
+        if not progress:
+            break
+    stats.final_blocks = count_blocks(current)
+    stats.final_instructions = current.size
+    return current
+
+
+# ------------------------------------------------------------------ passes
+
+
+def _drop_function_candidates(program: Program) -> Iterator[Program]:
+    """Strip all CALLs to one callee, then prune uncalled functions.
+
+    Two variants per victim: a plain strip (execution falls through to
+    the continuation), and — because the caller may read registers
+    only the callee defined, which the must-defined lint rejects — a
+    strip that replaces each CALL with ``LI``/``FLI reg, 0`` stubs for
+    every register the victim's call closure writes.  The stubs keep
+    the candidate well-formed; later instruction passes delete the
+    ones nothing reads.
+    """
+    names = [f.name for f in program.functions() if f.name != program.main_name]
+    for victim in reversed(names):
+        for stub_defs in (False, True):
+            candidate = _clone(program)
+            stubs = (
+                [_stub_define(reg) for reg in
+                 sorted(_written_registers(candidate, victim))]
+                if stub_defs else []
+            )
+            for func in candidate.functions():
+                for blk in func.blocks():
+                    body: List[Instruction] = []
+                    for ins in blk.instructions:
+                        if ins.opcode is Opcode.CALL and ins.target == victim:
+                            body.extend(stubs)
+                        else:
+                            body.append(ins)
+                    blk.instructions = body
+            _prune_uncalled(candidate)
+            if candidate.has_function(victim):
+                continue  # still called from a live function? (cannot happen)
+            candidate.invalidate_layout()
+            yield candidate
+
+
+def _written_registers(program: Program, root: str) -> set:
+    """Registers written anywhere in ``root`` or its transitive callees."""
+    seen = {root}
+    stack = [root]
+    regs: set = set()
+    while stack:
+        func = program.function(stack.pop())
+        for blk in func.blocks():
+            for ins in blk.instructions:
+                if ins.writes is not None:
+                    regs.add(ins.writes)
+        for callee in func.callees():
+            if callee not in seen and program.has_function(callee):
+                seen.add(callee)
+                stack.append(callee)
+    return regs
+
+
+def _stub_define(reg: str) -> Instruction:
+    if reg.startswith("f"):
+        return Instruction(Opcode.FLI, dst=reg, imm=0.0)
+    return Instruction(Opcode.LI, dst=reg, imm=0)
+
+
+def _branch_candidates(program: Program) -> Iterator[Program]:
+    """Fallthrough-only and jump-only versions of every branch."""
+    for fname, label, _ in _blocks_of(program):
+        blk = program.function(fname).block(label)
+        term = blk.terminator
+        if term is None or not term.opcode.is_branch:
+            continue
+        # (a) branch never taken: drop it, keep the fallthrough.
+        candidate = _clone(program)
+        cblk = candidate.function(fname).block(label)
+        cblk.instructions = cblk.instructions[:-1]
+        _cleanup(candidate)
+        yield candidate
+        # (b) branch always taken: unconditional jump, no fallthrough.
+        candidate = _clone(program)
+        cblk = candidate.function(fname).block(label)
+        cblk.instructions = cblk.instructions[:-1] + [
+            Instruction(Opcode.JUMP, target=term.target)
+        ]
+        cblk.fallthrough = None
+        _cleanup(candidate)
+        yield candidate
+
+
+def _bypass_candidates(program: Program) -> Iterator[Program]:
+    """Delete single-successor blocks, rerouting inbound edges."""
+    for fname, label, _ in _blocks_of(program):
+        func = program.function(fname)
+        if label == func.entry_label:
+            continue
+        blk = func.block(label)
+        term = blk.terminator
+        if term is not None and term.opcode not in (Opcode.JUMP,):
+            continue  # CALL / RET / HALT / branch blocks stay put
+        succs = blk.successor_labels()
+        if len(succs) != 1 or succs[0] == label:
+            continue
+        succ = succs[0]
+        candidate = _clone(program)
+        cfunc = candidate.function(fname)
+        for other in cfunc.blocks():
+            if other.label == label:
+                continue
+            if other.fallthrough == label:
+                other.fallthrough = succ
+            oterm = other.terminator
+            if oterm is not None and oterm.opcode.is_control \
+                    and oterm.opcode is not Opcode.CALL \
+                    and oterm.target == label:
+                other.instructions[-1] = dc_replace(oterm, target=succ)
+        cfunc.remove_block(label)
+        _cleanup(candidate)
+        yield candidate
+
+
+def _instruction_candidates(program: Program) -> Iterator[Program]:
+    """Drop non-control instructions: whole bodies, halves, singles."""
+    for fname, label, blk in _blocks_of(program):
+        body = blk.instructions
+        n_drop = len(body)
+        if n_drop and body[-1].opcode.is_control:
+            n_drop -= 1  # the terminator is control flow, not payload
+        if n_drop == 0:
+            continue
+        spans: List[Tuple[int, int]] = [(0, n_drop)]
+        half = n_drop // 2
+        if half and half < n_drop:
+            spans += [(0, half), (half, n_drop)]
+        if n_drop > 1:
+            spans += [(i, i + 1) for i in range(n_drop)]
+        seen = set()
+        for lo, hi in spans:
+            if (lo, hi) in seen or lo >= hi:
+                continue
+            seen.add((lo, hi))
+            candidate = _clone(program)
+            cblk = candidate.function(fname).block(label)
+            cblk.instructions = (
+                cblk.instructions[:lo] + cblk.instructions[hi:]
+            )
+            candidate.invalidate_layout()
+            yield candidate
+
+
+def _memory_candidates(program: Program) -> Iterator[Program]:
+    """Clear the initial memory image (all, then each half)."""
+    if not program.memory_image:
+        return
+    addresses = sorted(program.memory_image)
+    half = len(addresses) // 2
+    keeps = [(), tuple(addresses[:half]), tuple(addresses[half:])]
+    for keep in keeps:
+        if len(keep) == len(addresses):
+            continue
+        candidate = _clone(program)
+        candidate.memory_image = {
+            a: program.memory_image[a] for a in keep
+        }
+        yield candidate
+
+
+# ----------------------------------------------------------------- helpers
+
+
+def _blocks_of(program: Program):
+    """Stable (function, label, block) snapshot to iterate over."""
+    out = []
+    for func in program.functions():
+        for blk in func.blocks():
+            out.append((func.name, blk.label, blk))
+    return out
+
+
+def _prune_unreachable(program: Program) -> None:
+    for func in program.functions():
+        if func.entry_label is None:
+            continue
+        seen = {func.entry_label}
+        stack = [func.entry_label]
+        while stack:
+            for succ in func.block(stack.pop()).successor_labels():
+                if succ not in seen and func.has_block(succ):
+                    seen.add(succ)
+                    stack.append(succ)
+        for label in [l for l in func.labels() if l not in seen]:
+            func.remove_block(label)
+
+
+def _prune_uncalled(program: Program) -> None:
+    live = {program.main_name}
+    stack = [program.main_name]
+    while stack:
+        for callee in program.function(stack.pop()).callees():
+            if callee not in live and program.has_function(callee):
+                live.add(callee)
+                stack.append(callee)
+    for name in [f.name for f in program.functions() if f.name not in live]:
+        program.remove_function(name)
+
+
+def _cleanup(program: Program) -> None:
+    """Re-establish lint invariants after a structural edit."""
+    _prune_unreachable(program)
+    _prune_uncalled(program)
+    program.invalidate_layout()

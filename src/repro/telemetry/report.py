@@ -32,7 +32,8 @@ from repro.harness.spec import cell_label
 from repro.sim.breakdown import CycleBreakdown
 
 #: metrics shown as extra columns when both sides have them
-_SECONDARY = ("ipc", "mean_task_size", "task_misprediction_percent")
+_SECONDARY = ("ipc", "mean_task_size", "task_misprediction_percent",
+              "fuzz_divergences")
 
 #: the paper's Table 1 rows this repo documents (EXPERIMENTS.md §Table 1),
 #: usable as a comparison target: ``repro report run.json paper-table1``
@@ -108,6 +109,14 @@ def _ledger_cells(path: Path) -> Dict[str, Dict]:
                 metrics[name] = counters[name]
         if metrics.get("cycles"):
             metrics["ipc"] = metrics.get("instructions", 0) / metrics["cycles"]
+        fuzz = summary.get("fuzz")
+        if isinstance(fuzz, dict):
+            # Fuzz-campaign ledgers run every cell on both engines;
+            # disambiguate so the two runs don't collapse into one
+            # cell, and surface the per-cell oracle verdict.
+            if fuzz.get("engine"):
+                label = f"{label}#{fuzz['engine']}"
+            metrics["fuzz_divergences"] = len(fuzz.get("divergences") or ())
         # latest successful entry for a cell wins (reruns supersede)
         cells[label] = metrics
     return cells

@@ -132,6 +132,8 @@ def build_swim(scale: float = 1.0) -> Program:
     with b.function("main"):
         b.fli("f14", 0.5)
         b.fli("f15", 0.05)  # dt-ish constant
+        b.fli("f13", 0.0)   # z-field accumulator; the final store reads
+                            # it even when a sweep loop is sized to zero
 
         def sweep(bb: IRBuilder) -> None:
             def row(rb: IRBuilder) -> None:

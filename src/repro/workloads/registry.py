@@ -59,13 +59,41 @@ def register(name: str, suite: str, description: str) -> Callable[[BuilderFn], B
 
 
 def get_benchmark(name: str) -> Benchmark:
-    """Look up a benchmark by name (imports the suite modules lazily)."""
+    """Look up a benchmark by name (imports the suite modules lazily).
+
+    ``synth:<preset>:<seed>`` names resolve to generated benchmarks on
+    the fly (see :mod:`repro.synth`): deterministic per name, never
+    added to the static registry, so every grid driver, the CLI, and
+    worker processes can address fuzzing programs by name alone.
+    """
+    if name.startswith("synth:"):
+        return _synth_benchmark(name)
     _ensure_loaded()
     try:
         return _REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def _synth_benchmark(name: str) -> Benchmark:
+    """A generated benchmark for a ``synth:<preset>:<seed>`` name."""
+    from repro.synth.generator import generate_program, parse_synth_name
+
+    try:
+        preset, seed, params = parse_synth_name(name)
+    except ValueError as exc:
+        raise KeyError(str(exc)) from None
+
+    def builder(scale: float) -> Program:
+        return generate_program(seed, params.scaled(scale))
+
+    return Benchmark(
+        name=name,
+        suite="synth",
+        description=f"generated program (preset={preset}, seed={seed})",
+        builder=builder,
+    )
 
 
 def all_benchmarks() -> List[Benchmark]:

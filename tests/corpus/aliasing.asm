@@ -1,0 +1,19 @@
+; corpus: aliasing — two stores to the aliased address pool
+; minimized from synth:memory:3 (13 -> 3 blocks, 86 -> 9 instructions)
+.main main
+.func main
+entry:
+    li      r3, #256
+    load    r23, [r0 + 273]
+    load    r11, [r3 + 0]
+    fallthrough @join_8
+join_8:
+    sub     r18, r23, #6
+    store   r11, [r3 + 1]
+    load    r15, [r3 + 0]
+    and     r17, r18, r15
+    fallthrough @cont_10
+cont_10:
+    store   r17, [r0 + 256]
+    halt
+

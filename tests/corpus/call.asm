@@ -1,0 +1,14 @@
+; corpus: call — a call with its continuation block
+; minimized from synth:calls:1 (16 -> 4 blocks, 161 -> 4 instructions)
+.main main
+.func fn4
+entry:
+    ret
+.func main
+entry:
+    call    @fn4, @cont_4
+cont_4:
+    call    @fn4, @exit_10
+exit_10:
+    halt
+

@@ -1,0 +1,24 @@
+; corpus: chain — a long dependent def-use chain in one block
+; minimized from synth:chains:2 (14 -> 5 blocks, 67 -> 12 instructions)
+.main main
+.func fn0
+entry:
+    li      r31, #0
+    fallthrough @hexit_2
+hexit_2:
+    ret
+.func main
+entry:
+    li      r3, #272
+    li      r18, #8
+    li      r19, #5
+    li      r23, #5
+    fli     f1, #4.0
+    fli     f2, #8.0
+    mov     r4, r19
+    call    @fn0, @cont_6
+cont_6:
+    call    @fn0, @cont_11
+cont_11:
+    halt
+

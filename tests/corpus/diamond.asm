@@ -1,0 +1,13 @@
+; corpus: diamond — a conditional branch (diamond arm choice)
+; minimized from synth:diamonds:1 (26 -> 3 blocks, 78 -> 4 instructions)
+.main main
+.func main
+entry:
+    li      r24, #1
+    fallthrough @join_21
+join_21:
+    rem     r1, r24, #2
+    bnez    r1, @join_24, @join_24
+join_24:
+    halt
+

@@ -1,0 +1,13 @@
+; corpus: fp — floating point arithmetic
+; minimized from synth:default:4 (19 -> 3 blocks, 127 -> 3 instructions)
+.main main
+.func main
+entry:
+    fli     f1, #4.0
+    fallthrough @loop_13
+loop_13:
+    fadd    f5, f1, f1
+    fallthrough @cont_15
+cont_15:
+    halt
+

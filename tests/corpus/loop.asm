@@ -1,0 +1,14 @@
+; corpus: loop — a counted loop that executes its back edge
+; minimized from synth:loops:2 (14 -> 3 blocks, 169 -> 5 instructions)
+.main main
+.func main
+entry:
+    li      r26, #0
+    fallthrough @loop_11
+loop_11:
+    add     r26, r26, #1
+    slt     r1, r26, #5
+    bnez    r1, @loop_11, @exit_12
+exit_12:
+    halt
+

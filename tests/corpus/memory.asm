@@ -1,0 +1,14 @@
+; corpus: memory — a load and a store on the alias pool
+; minimized from synth:memory:1 (20 -> 3 blocks, 139 -> 4 instructions)
+.main main
+.func main
+entry:
+    li      r16, #7
+    fallthrough @exit_7
+exit_7:
+    load    r11, [r0 + 274]
+    fallthrough @exit_15
+exit_15:
+    store   r11, [r0 + 256]
+    halt
+

@@ -1,0 +1,17 @@
+; corpus: mul — an integer multiply
+; minimized from synth:default:30 (17 -> 4 blocks, 123 -> 6 instructions)
+.main main
+.func fn0
+entry:
+    li      r18, #1
+    mul     r17, r18, #6
+    ret
+.func main
+entry:
+    li      r25, #2
+    fallthrough @join_12
+join_12:
+    call    @fn0, @cont_13
+cont_13:
+    halt
+

@@ -1,0 +1,23 @@
+; corpus: rem — a remainder (condition computation)
+; minimized from synth:loops:1 (15 -> 6 blocks, 74 -> 8 instructions)
+.main main
+.func fn0
+entry:
+    li      r25, #7
+    mov     r2, r25
+    ret
+.func main
+entry:
+    fli     f2, #2.0
+    fallthrough @exit_2
+exit_2:
+    call    @fn0, @cont_6
+cont_6:
+    mov     r11, r2
+    fallthrough @loop_12
+loop_12:
+    rem     r22, r11, #5
+    fallthrough @exit_13
+exit_13:
+    halt
+

@@ -1,0 +1,13 @@
+; corpus: shift — a shift feeding later uses
+; minimized from synth:chains:4 (11 -> 3 blocks, 116 -> 3 instructions)
+.main main
+.func main
+entry:
+    li      r11, #6
+    fallthrough @loop_7
+loop_7:
+    shr     r20, r11, #0
+    fallthrough @exit_8
+exit_8:
+    halt
+

@@ -1,0 +1,12 @@
+; corpus: two_funcs — main plus one live callee
+; minimized from synth:calls:5 (19 -> 3 blocks, 191 -> 3 instructions)
+.main main
+.func fn4
+entry:
+    ret
+.func main
+entry:
+    call    @fn4, @cont_13
+cont_13:
+    halt
+

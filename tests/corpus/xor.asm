@@ -1,0 +1,21 @@
+; corpus: xor — an xor (the planted-fault trigger opcode family)
+; minimized from synth:default:0 (23 -> 3 blocks, 142 -> 11 instructions)
+.main main
+.func main
+entry:
+    li      r16, #3
+    li      r13, #4
+    fallthrough @loop_11
+loop_11:
+    sub     r25, r16, #0
+    load    r20, [r0 + 260]
+    sle     r14, r20, r13
+    and     r12, r13, r14
+    and     r22, r25, r25
+    or      r19, r22, r12
+    sle     r11, r19, r14
+    xor     r14, r11, r12
+    fallthrough @cont_19
+cont_19:
+    halt
+

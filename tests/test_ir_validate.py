@@ -1,0 +1,229 @@
+"""IR well-formedness lint and partition single-entry checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import HeuristicLevel, SelectionConfig
+from repro.compiler.partition import select_tasks
+from repro.ir import (
+    BasicBlock,
+    Function,
+    Instruction,
+    IRBuilder,
+    Opcode,
+    Program,
+    WellFormednessError,
+    assert_well_formed,
+    partition_issues,
+    well_formed,
+)
+from repro.workloads import all_benchmarks, get_benchmark
+
+ALL_LEVELS = tuple(HeuristicLevel)
+
+
+# ------------------------------------------------------- registry sweeps
+
+
+@pytest.mark.parametrize(
+    "name", [bm.name for bm in all_benchmarks()]
+)
+def test_registry_workloads_are_well_formed(name):
+    """Every registered workload passes the whole-program lint.
+
+    This is the satellite guarantee: targets resolve, all blocks are
+    reachable, and no register is read on a path that never defined
+    it (the swim z-field accumulator was exactly such a latent bug).
+    """
+    bm = get_benchmark(name)
+    for input_set in ("ref", "train", "alt"):
+        program = bm.build(1.0, input_set=input_set)
+        assert well_formed(program) == [], (name, input_set)
+
+
+@pytest.mark.parametrize("level", ALL_LEVELS)
+@pytest.mark.parametrize("name", ["compress", "m88ksim"])
+def test_partitions_have_single_entry_regions(name, level):
+    program = get_benchmark(name).build(0.2)
+    partition = select_tasks(program, SelectionConfig(level=level))
+    assert partition_issues(partition.program, partition) == []
+
+
+@pytest.mark.parametrize("level", ALL_LEVELS)
+def test_synth_partitions_have_single_entry_regions(level):
+    from repro.synth import generate_program
+
+    program = generate_program(11)
+    partition = select_tasks(program, SelectionConfig(level=level))
+    assert partition_issues(partition.program, partition) == []
+
+
+# ---------------------------------------------------------- lint negatives
+
+
+def _program_with_blocks(*blocks: BasicBlock) -> Program:
+    program = Program()
+    func = Function("main")
+    for blk in blocks:
+        func.add_block(blk)
+    program.add_function(func)
+    return program
+
+
+def test_clean_program_is_clean(diamond_loop):
+    assert well_formed(diamond_loop) == []
+    assert_well_formed(diamond_loop)
+
+
+def test_missing_entry_function():
+    program = Program()
+    issues = well_formed(program)
+    assert issues and "missing entry function" in issues[0]
+
+
+def test_empty_entry_block_reported():
+    """An empty entry block is invisible to trace-based task
+    construction (no instruction is ever recorded for it), so a CALL
+    into the function cannot be matched to its entry task — found by
+    fuzzing, now a lint rule."""
+    program = _program_with_blocks(
+        BasicBlock("entry", [], fallthrough="body"),
+        BasicBlock("body", [Instruction(Opcode.HALT)]),
+    )
+    issues = well_formed(program)
+    assert any("entry block is empty" in i for i in issues)
+
+
+def test_unknown_branch_target_reported():
+    program = _program_with_blocks(
+        BasicBlock("entry", [Instruction(Opcode.JUMP, target="nowhere")]),
+    )
+    issues = well_formed(program)
+    assert any("unknown block 'nowhere'" in i for i in issues)
+
+
+def test_unreachable_block_reported():
+    program = _program_with_blocks(
+        BasicBlock("entry", [Instruction(Opcode.HALT)]),
+        BasicBlock("island", [Instruction(Opcode.HALT)]),
+    )
+    issues = well_formed(program)
+    assert any("'island' unreachable" in i for i in issues)
+
+
+def test_branch_without_fallthrough_reported():
+    program = _program_with_blocks(
+        BasicBlock("entry", [
+            Instruction(Opcode.LI, dst="r1", imm=0),
+            Instruction(Opcode.BEQZ, srcs=("r1",), target="entry"),
+        ]),
+    )
+    issues = well_formed(program)
+    assert any("without fallthrough" in i for i in issues)
+
+
+def test_call_to_unknown_function_reported():
+    program = _program_with_blocks(
+        BasicBlock("entry", [Instruction(Opcode.CALL, target="ghost")],
+                   fallthrough="done"),
+        BasicBlock("done", [Instruction(Opcode.HALT)]),
+    )
+    issues = well_formed(program)
+    assert any("CALL to unknown function 'ghost'" in i for i in issues)
+
+
+def test_undefined_read_reported():
+    program = _program_with_blocks(
+        BasicBlock("entry", [
+            Instruction(Opcode.ADD, dst="r2", srcs=("r5", "r5")),
+            Instruction(Opcode.HALT),
+        ]),
+    )
+    issues = well_formed(program)
+    assert any("reads r5" in i and "not defined on every path" in i
+               for i in issues)
+
+
+def test_partially_defined_read_reported():
+    """A register defined on only one arm of a diamond is flagged."""
+    b = IRBuilder()
+    with b.function("main"):
+        b.li("r1", 1)
+        then = b.new_label("then")
+        join = b.new_label("join")
+        b.beqz("r1", then, fallthrough=join)
+        with b.block(then):
+            b.li("r7", 5)
+        with b.block(join):
+            b.addi("r2", "r7", 1)  # r7 undefined when branch not taken
+            b.halt()
+    program = b.build()
+    issues = well_formed(program)
+    assert any("reads r7" in i for i in issues)
+
+
+def test_definedness_flows_through_calls():
+    """A value defined only inside a callee satisfies reads after the
+    call site (the register file is global)."""
+    b = IRBuilder()
+    with b.function("helper"):
+        b.li("r9", 3)
+        b.ret()
+    with b.function("main"):
+        cont = b.new_label("cont")
+        b.call("helper", fallthrough=cont)
+        with b.block(cont):
+            b.addi("r2", "r9", 1)
+            b.halt()
+    assert well_formed(b.build()) == []
+
+
+def test_reads_of_r0_are_always_fine():
+    program = _program_with_blocks(
+        BasicBlock("entry", [
+            Instruction(Opcode.ADD, dst="r1", srcs=("r0", "r0")),
+            Instruction(Opcode.HALT),
+        ]),
+    )
+    assert well_formed(program) == []
+
+
+def test_assert_well_formed_raises_with_all_issues():
+    program = _program_with_blocks(
+        BasicBlock("entry", [
+            Instruction(Opcode.ADD, dst="r2", srcs=("r5", "r6")),
+            Instruction(Opcode.HALT),
+        ]),
+    )
+    with pytest.raises(WellFormednessError) as err:
+        assert_well_formed(program, "broken")
+    assert "broken" in str(err.value)
+    assert len(err.value.issues) == 2  # r5 and r6
+
+
+# ------------------------------------------------------ partition negatives
+
+
+def test_partition_side_entry_detected(diamond_loop):
+    """Removing one task's coverage of an edge surfaces a violation."""
+    partition = select_tasks(
+        diamond_loop, SelectionConfig(level=HeuristicLevel.CONTROL_FLOW)
+    )
+    assert partition_issues(partition.program, partition) == []
+    # Break it: drop every task rooted at a loop-body block so the
+    # back edge lands mid-region with no task carrying it.
+    broken = [
+        t for t in partition.tasks()
+        if len(t.internal_edges) == 0 or t.root[1] == "entry"
+    ]
+    if broken != list(partition.tasks()):
+        class Stub:
+            def __init__(self, tasks):
+                self._tasks = tasks
+
+            def tasks(self):
+                return list(self._tasks)
+
+        issues = partition_issues(partition.program, Stub(broken))
+        assert issues

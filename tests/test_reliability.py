@@ -93,6 +93,24 @@ class TestDifferentialOracle:
         assert len(diffs) == 1
         assert "int_reg[r1]" in diffs[0]
 
+    def test_compare_states_treats_nan_as_equal_to_nan(self):
+        """Two executions ending with NaN in the same register agree
+        architecturally even though ``nan != nan`` (found by fuzzing:
+        FP-heavy generated programs produced spurious divergences on
+        byte-identical final states)."""
+        nan = float("nan")
+        a = ArchState(fp_regs={"f1": nan}, memory={8: nan},
+                      retired_instructions=10)
+        b = ArchState(fp_regs={"f1": nan}, memory={8: nan},
+                      retired_instructions=10)
+        assert compare_states(a, b) == []
+        # NaN vs a real number is still a divergence
+        c = ArchState(fp_regs={"f1": 1.0}, memory={8: nan},
+                      retired_instructions=10)
+        diffs = compare_states(a, c)
+        assert len(diffs) == 1
+        assert "fp_reg[f1]" in diffs[0]
+
     def test_verify_grid_covers_requested_cells(self):
         reports = verify_grid(
             ["compress"], levels=(HeuristicLevel.CONTROL_FLOW,), scale=SMALL
