@@ -16,9 +16,20 @@ Commands:
   bench baselines, or the built-in ``paper-table1``) cell by cell;
   exits non-zero when simulated cycles drifted.
 * ``profile-sim`` — cProfile one simulation, print the hotspots.
-* ``cache`` — inspect, audit (``doctor``), or clear the cache.
+* ``cache`` — inspect, audit (``doctor``), clear, or prune
+  (``prune --max-bytes N``: evict least-recently-used artifacts)
+  the cache.
 * ``list`` — list the available benchmarks with static code counts
-  (``--synth``: the synthetic-generator presets instead).
+  (``--synth``: the synthetic-generator presets instead;
+  ``--json``: machine-readable).
+* ``serve`` — run the campaign service: an async job queue sharding
+  grid/fuzz submissions across worker processes behind an HTTP API.
+* ``submit`` — submit a campaign to a running service
+  (``--wait`` polls until the job finishes and prints its report).
+* ``jobs`` — list a service's jobs (``--watch`` polls until the
+  queue drains).
+* ``fetch`` — fetch one cached run record from a service by its
+  spec hash.
 * ``gen`` — emit one seeded synthetic program as assembly text.
 * ``fuzz`` — differential fuzzing campaign: N generated programs
   × all four heuristic levels × both engines, cross-checked with
@@ -288,9 +299,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache_p = sub.add_parser(
         "cache",
-        help="inspect, audit (doctor), or clear the artifact cache",
+        help="inspect, audit (doctor), clear, or prune the artifact "
+             "cache",
     )
-    cache_p.add_argument("action", choices=["stats", "clear", "doctor"])
+    cache_p.add_argument("action",
+                         choices=["stats", "clear", "doctor", "prune"])
+    cache_p.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="prune: evict least-recently-used artifacts until the "
+             "store fits this many bytes (required for prune)",
+    )
 
     list_p = sub.add_parser(
         "list",
@@ -299,6 +317,10 @@ def build_parser() -> argparse.ArgumentParser:
     list_p.add_argument(
         "--synth", action="store_true",
         help="list the synthetic-generator presets instead",
+    )
+    list_p.add_argument(
+        "--json", action="store_true",
+        help="emit the listing as machine-readable JSON",
     )
 
     gen_p = sub.add_parser(
@@ -352,6 +374,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="delta-debug each divergent program to a minimal "
              "reproducer",
     )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the campaign service (async job queue + HTTP API)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8753,
+                         help="HTTP port (default 8753; 0 = ephemeral)")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="shard worker processes (default 2)")
+    serve_p.add_argument(
+        "--journal", default="",
+        help="journal directory (default: <cache root>/service); a "
+             "restarted server resumes unfinished jobs from it",
+    )
+    serve_p.add_argument(
+        "--executor", choices=["process", "thread", "inline"],
+        default="process",
+        help="worker pool flavour (default process)",
+    )
+
+    sub_p = sub.add_parser(
+        "submit",
+        help="submit a campaign to a running service",
+    )
+    sub_p.add_argument(
+        "grid",
+        help="campaign to submit: figure5, table1, breakdown, "
+             "centralized, fuzz, or ablation:<sweep>",
+    )
+    sub_p.add_argument("--url", default="http://127.0.0.1:8753",
+                       help="service base URL")
+    sub_p.add_argument("--benchmarks", default="",
+                       help="comma-separated benchmark names")
+    sub_p.add_argument("--scale", type=float, default=None,
+                       help="workload scale factor")
+    sub_p.add_argument("--levels", default="",
+                       help="comma-separated heuristic levels")
+    sub_p.add_argument("--budget", type=int, default=None,
+                       help="fuzz: number of programs")
+    sub_p.add_argument("--seed", type=int, default=None,
+                       help="fuzz: campaign seed")
+    sub_p.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="extra request parameter (JSON value; repeatable)",
+    )
+    sub_p.add_argument("--wait", action="store_true",
+                       help="poll until the job finishes, print its report")
+    sub_p.add_argument("--timeout", type=float, default=600.0,
+                       help="--wait timeout in seconds (default 600)")
+
+    jobs_p = sub.add_parser("jobs", help="list a service's jobs")
+    jobs_p.add_argument("--url", default="http://127.0.0.1:8753",
+                        help="service base URL")
+    jobs_p.add_argument("--watch", action="store_true",
+                        help="poll until no job is queued or running")
+    jobs_p.add_argument("--timeout", type=float, default=600.0,
+                        help="--watch timeout in seconds (default 600)")
+
+    fetch_p = sub.add_parser(
+        "fetch",
+        help="fetch one cached run record from a service by spec hash",
+    )
+    fetch_p.add_argument("spec_hash", help="RunSpec content hash")
+    fetch_p.add_argument("--url", default="http://127.0.0.1:8753",
+                         help="service base URL")
     return parser
 
 
@@ -607,11 +696,31 @@ def _cmd_cache(args: argparse.Namespace) -> str:
             f"stale      : {report['stale']}",
             f"quarantined: {report['quarantined']}",
         ])
+    if args.action == "prune":
+        if args.max_bytes is None:
+            raise SystemExit(
+                "repro cache prune: --max-bytes is required"
+            )
+        if args.max_bytes < 0:
+            raise SystemExit(
+                "repro cache prune: --max-bytes must be >= 0"
+            )
+        report = cache.prune(args.max_bytes)
+        return "\n".join([
+            f"cache root : {cache.root}",
+            f"removed    : {report['removed']} artifact(s), "
+            f"{report['freed_bytes'] / 1024.0:.1f} KiB freed",
+            f"kept       : {report['kept']} artifact(s), "
+            f"{report['kept_bytes'] / 1024.0:.1f} KiB "
+            f"(limit {args.max_bytes / 1024.0:.1f} KiB)",
+        ])
     stats = cache.stats()
     return "\n".join([
         f"cache root : {cache.root}",
-        f"records    : {stats['records']}",
-        f"compiled   : {stats['compiled']}",
+        f"records    : {stats['records']} "
+        f"({stats['records_bytes'] / 1024.0:.1f} KiB)",
+        f"compiled   : {stats['compiled']} "
+        f"({stats['compiled_bytes'] / 1024.0:.1f} KiB)",
         f"quarantined: {stats['quarantined']}",
         f"size       : {stats['bytes'] / 1024.0:.1f} KiB",
         f"ledger     : {stats['ledger_lines']} line(s), "
@@ -679,6 +788,44 @@ def _cmd_fuzz(args: argparse.Namespace) -> str:
 
 
 def _cmd_list(args: argparse.Namespace) -> str:
+    import json as _json
+
+    if getattr(args, "json", False):
+        if getattr(args, "synth", False):
+            from repro.synth import PRESETS
+
+            payload = {
+                "presets": [
+                    {
+                        "name": name,
+                        "functions": params.functions,
+                        "nest_depth": params.nest_depth,
+                        "loop_body_target": params.loop_body_target,
+                        "callee_target": params.callee_target,
+                        "mem_prob": params.mem_prob,
+                        "fp_prob": params.fp_prob,
+                        "region_weights": list(params.region_weights()),
+                    }
+                    for name, params in PRESETS.items()
+                ],
+            }
+        else:
+            benchmarks = []
+            for bm in all_benchmarks():
+                program = bm.build(1.0)
+                functions = list(program.functions())
+                benchmarks.append({
+                    "name": bm.name,
+                    "suite": bm.suite,
+                    "functions": len(functions),
+                    "blocks": sum(
+                        len(list(f.blocks())) for f in functions
+                    ),
+                    "instructions": program.size,
+                    "description": bm.description,
+                })
+            payload = {"benchmarks": benchmarks}
+        return _json.dumps(payload, indent=2, sort_keys=True)
     if getattr(args, "synth", False):
         from repro.synth import PRESETS
 
@@ -715,6 +862,146 @@ def _cmd_list(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from repro.service import CampaignService
+
+    cache = ArtifactCache()
+    service = CampaignService(
+        cache=cache,
+        journal_root=args.journal or None,
+        host=args.host, port=args.port,
+        workers=args.workers, executor=args.executor,
+    )
+    service.start()
+    print("\n".join([
+        f"campaign service listening on {service.base_url}",
+        f"cache root : {cache.root}",
+        f"journal    : {service.journal.root}",
+        f"workers    : {args.workers} ({args.executor})",
+        f"resumed    : {service.resumed} job(s)",
+        "Ctrl-C to stop (journalled jobs resume on restart)",
+    ]), flush=True)
+    service.serve_forever()
+    return "campaign service stopped"
+
+
+def _submit_params(args: argparse.Namespace) -> dict:
+    import json as _json
+
+    params: dict = {}
+    if args.benchmarks:
+        params["benchmarks"] = [
+            n for n in args.benchmarks.split(",") if n
+        ]
+    if args.scale is not None:
+        params["scale"] = args.scale
+    if args.levels:
+        params["levels"] = [v for v in args.levels.split(",") if v]
+    if args.budget is not None:
+        params["budget"] = args.budget
+    if args.seed is not None:
+        params["seed"] = args.seed
+    for item in args.param:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"repro submit: --param needs KEY=VALUE, got {item!r}"
+            )
+        try:
+            params[key] = _json.loads(value)
+        except ValueError:
+            params[key] = value
+    return params
+
+
+def _format_job_row(job: dict) -> str:
+    cells = job.get("cells") or 0
+    misses = job.get("misses")
+    hits = job.get("hits")
+    tally = ""
+    if misses is not None or hits is not None:
+        tally = f"  ran={misses or 0} cached={hits or 0}"
+    flag = " (resumed)" if job.get("resumed") else ""
+    return (
+        f"{job['job_id']:<36} {job['state']:<10} "
+        f"cells={cells}{tally}{flag}"
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> str:
+    from repro.service import ServiceUnavailable, parse_grid_arg
+    from repro.service.client import ServiceClient, ServiceError
+
+    payload = parse_grid_arg(args.grid)
+    payload["params"].update(_submit_params(args))
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit(payload["kind"], payload["params"])
+    except (ServiceError, ServiceUnavailable) as exc:
+        raise SystemExit(f"repro submit: {exc}")
+    lines = [_format_job_row(job)]
+    if not args.wait:
+        return "\n".join(lines)
+    try:
+        view = client.wait(job["job_id"], timeout=args.timeout)
+    except (TimeoutError, ServiceUnavailable) as exc:
+        raise SystemExit(f"repro submit: {exc}")
+    final = view["job"]
+    lines = [_format_job_row(final)]
+    if final["state"] != "done":
+        detail = final.get("error") or final["state"]
+        raise SystemExit("\n".join(lines + [f"repro submit: {detail}"]))
+    result = view.get("result") or {}
+    if "report" in result:
+        lines.append(result["report"])
+    return "\n".join(lines)
+
+
+def _cmd_jobs(args: argparse.Namespace) -> str:
+    import time as _time
+
+    from repro.service import ServiceUnavailable
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    deadline = _time.monotonic() + args.timeout
+    while True:
+        try:
+            jobs = client.jobs()
+        except ServiceUnavailable as exc:
+            raise SystemExit(f"repro jobs: {exc}")
+        if not args.watch:
+            break
+        active = [
+            j for j in jobs if j["state"] in ("queued", "running")
+        ]
+        if not active:
+            break
+        if _time.monotonic() >= deadline:
+            raise SystemExit(
+                f"repro jobs: {len(active)} job(s) still active "
+                f"after {args.timeout:.0f}s"
+            )
+        _time.sleep(0.2)
+    if not jobs:
+        return "no jobs"
+    return "\n".join(_format_job_row(job) for job in jobs)
+
+
+def _cmd_fetch(args: argparse.Namespace) -> str:
+    import json as _json
+
+    from repro.service import ServiceUnavailable
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        view = client.record(args.spec_hash)
+    except (ServiceError, ServiceUnavailable) as exc:
+        raise SystemExit(f"repro fetch: {exc}")
+    return _json.dumps(view, indent=2, sort_keys=True)
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "figure5": _cmd_figure5,
@@ -730,6 +1017,10 @@ _COMMANDS = {
     "list": _cmd_list,
     "gen": _cmd_gen,
     "fuzz": _cmd_fuzz,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "fetch": _cmd_fetch,
 }
 
 

@@ -14,7 +14,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler import HeuristicLevel, SelectionConfig
 from repro.experiments.runner import RunRecord
@@ -39,17 +39,13 @@ def _sweep(
                                     ledger=ledger, resume=resume)))
 
 
-def sweep_max_targets(
+def max_targets_specs(
     benchmarks: Sequence[str],
     values: Sequence[int] = (1, 2, 4, 8),
     n_pus: int = 4,
     scale: float = 1.0,
-    jobs: int = 1,
-    cache: Optional[ArtifactCache] = None,
-    ledger: Optional[RunLedger] = None,
-    resume: bool = False,
-) -> Dict[Tuple[str, int], RunRecord]:
-    """IPC as a function of the successor limit N."""
+) -> Tuple[List, List[RunSpec]]:
+    """(keys, specs) of the successor-limit sweep."""
     keys, specs = [], []
     for name in benchmarks:
         for n in values:
@@ -63,6 +59,21 @@ def sweep_max_targets(
                     level=HeuristicLevel.DATA_DEPENDENCE, max_targets=n
                 ),
             ))
+    return keys, specs
+
+
+def sweep_max_targets(
+    benchmarks: Sequence[str],
+    values: Sequence[int] = (1, 2, 4, 8),
+    n_pus: int = 4,
+    scale: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    ledger: Optional[RunLedger] = None,
+    resume: bool = False,
+) -> Dict[Tuple[str, int], RunRecord]:
+    """IPC as a function of the successor limit N."""
+    keys, specs = max_targets_specs(benchmarks, values, n_pus, scale)
     return _sweep(keys, specs, jobs, cache, ledger, resume)
 
 
@@ -77,6 +88,17 @@ def sweep_thresholds(
     resume: bool = False,
 ) -> Dict[Tuple[str, int], RunRecord]:
     """IPC as CALL_THRESH = LOOP_THRESH varies (task size heuristic)."""
+    keys, specs = thresholds_specs(benchmarks, values, n_pus, scale)
+    return _sweep(keys, specs, jobs, cache, ledger, resume)
+
+
+def thresholds_specs(
+    benchmarks: Sequence[str],
+    values: Sequence[int] = (10, 30, 100),
+    n_pus: int = 4,
+    scale: float = 1.0,
+) -> Tuple[List, List[RunSpec]]:
+    """(keys, specs) of the CALL_THRESH/LOOP_THRESH sweep."""
     keys, specs = [], []
     for name in benchmarks:
         for thresh in values:
@@ -92,7 +114,7 @@ def sweep_thresholds(
                     loop_thresh=thresh,
                 ),
             ))
-    return _sweep(keys, specs, jobs, cache, ledger, resume)
+    return keys, specs
 
 
 def sweep_sync_table(
@@ -105,6 +127,16 @@ def sweep_sync_table(
     resume: bool = False,
 ) -> Dict[Tuple[str, bool], RunRecord]:
     """Memory squashes and IPC with and without the sync table."""
+    keys, specs = sync_table_specs(benchmarks, n_pus, scale)
+    return _sweep(keys, specs, jobs, cache, ledger, resume)
+
+
+def sync_table_specs(
+    benchmarks: Sequence[str],
+    n_pus: int = 4,
+    scale: float = 1.0,
+) -> Tuple[List, List[RunSpec]]:
+    """(keys, specs) of the sync-table on/off sweep."""
     keys, specs = [], []
     for name in benchmarks:
         for enabled in (True, False):
@@ -116,7 +148,7 @@ def sweep_sync_table(
                 scale=scale,
                 sim=SimConfig(sync_table_size=256 if enabled else 0),
             ))
-    return _sweep(keys, specs, jobs, cache, ledger, resume)
+    return keys, specs
 
 
 def sweep_arb_size(
@@ -135,6 +167,17 @@ def sweep_arb_size(
     speculation resolves; this is one of the paper's arguments for
     bounding task size.
     """
+    keys, specs = arb_size_specs(benchmarks, values, n_pus, scale)
+    return _sweep(keys, specs, jobs, cache, ledger, resume)
+
+
+def arb_size_specs(
+    benchmarks: Sequence[str],
+    values: Sequence[int] = (4, 32, 0),
+    n_pus: int = 4,
+    scale: float = 1.0,
+) -> Tuple[List, List[RunSpec]]:
+    """(keys, specs) of the ARB-capacity sweep."""
     keys, specs = [], []
     for name in benchmarks:
         for entries in values:
@@ -146,7 +189,7 @@ def sweep_arb_size(
                 scale=scale,
                 sim=SimConfig(arb_entries_per_pu=entries),
             ))
-    return _sweep(keys, specs, jobs, cache, ledger, resume)
+    return keys, specs
 
 
 def sweep_forward_policy(
@@ -159,6 +202,16 @@ def sweep_forward_policy(
     resume: bool = False,
 ) -> Dict[Tuple[str, ForwardPolicy], RunRecord]:
     """IPC under schedule / eager / lazy register forwarding."""
+    keys, specs = forward_policy_specs(benchmarks, n_pus, scale)
+    return _sweep(keys, specs, jobs, cache, ledger, resume)
+
+
+def forward_policy_specs(
+    benchmarks: Sequence[str],
+    n_pus: int = 4,
+    scale: float = 1.0,
+) -> Tuple[List, List[RunSpec]]:
+    """(keys, specs) of the register-forwarding-policy sweep."""
     keys, specs = [], []
     for name in benchmarks:
         for policy in ForwardPolicy:
@@ -170,7 +223,7 @@ def sweep_forward_policy(
                 scale=scale,
                 sim=SimConfig(forward_policy=policy),
             ))
-    return _sweep(keys, specs, jobs, cache, ledger, resume)
+    return keys, specs
 
 
 def sweep_profile_input(
@@ -189,6 +242,16 @@ def sweep_profile_input(
     dependence ranks), so a representative train input should produce
     nearly the same partition and IPC.
     """
+    keys, specs = profile_input_specs(benchmarks, n_pus, scale)
+    return _sweep(keys, specs, jobs, cache, ledger, resume)
+
+
+def profile_input_specs(
+    benchmarks: Sequence[str],
+    n_pus: int = 4,
+    scale: float = 1.0,
+) -> Tuple[List, List[RunSpec]]:
+    """(keys, specs) of the profile-input-sensitivity sweep."""
     keys, specs = [], []
     for name in benchmarks:
         keys.append((name, "same-input"))
@@ -206,7 +269,20 @@ def sweep_profile_input(
             scale=scale,
             profile_input="train",
         ))
-    return _sweep(keys, specs, jobs, cache, ledger, resume)
+    return keys, specs
+
+
+#: sweep name -> default-valued (keys, specs) builder taking
+#: ``(benchmarks, n_pus=, scale=)`` — the job-serialization registry
+#: the campaign service submits ablation grids through.
+SWEEPS: Dict[str, Callable[..., Tuple[List, List[RunSpec]]]] = {
+    "max_targets": max_targets_specs,
+    "thresholds": thresholds_specs,
+    "sync_table": sync_table_specs,
+    "arb_size": arb_size_specs,
+    "forward_policy": forward_policy_specs,
+    "profile_input": profile_input_specs,
+}
 
 
 def format_sweep(records: Dict, label: str) -> str:

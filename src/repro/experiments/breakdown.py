@@ -53,6 +53,24 @@ class BreakdownResult:
         return {key: value / total for key, value in flat.items()}
 
 
+def breakdown_specs(
+    benchmarks: Sequence[str],
+    n_pus: int = 4,
+    levels: Sequence[HeuristicLevel] = BREAKDOWN_LEVELS,
+    scale: float = 1.0,
+) -> Tuple[List[Tuple[str, HeuristicLevel]], List[RunSpec]]:
+    """The grid's (keys, specs) — the job-serialization boundary."""
+    keys: List[Tuple[str, HeuristicLevel]] = []
+    specs: List[RunSpec] = []
+    for name in benchmarks:
+        for level in levels:
+            keys.append((name, level))
+            specs.append(RunSpec(
+                benchmark=name, level=level, n_pus=n_pus, scale=scale,
+            ))
+    return keys, specs
+
+
 def run_breakdown(
     benchmarks: Sequence[str],
     n_pus: int = 4,
@@ -64,14 +82,7 @@ def run_breakdown(
     resume: bool = False,
 ) -> BreakdownResult:
     """Measure the cycle breakdown for the selected benchmarks."""
-    keys: List[Tuple[str, HeuristicLevel]] = []
-    specs: List[RunSpec] = []
-    for name in benchmarks:
-        for level in levels:
-            keys.append((name, level))
-            specs.append(RunSpec(
-                benchmark=name, level=level, n_pus=n_pus, scale=scale,
-            ))
+    keys, specs = breakdown_specs(benchmarks, n_pus, levels, scale)
     records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger,
                         resume=resume)
     result = BreakdownResult()

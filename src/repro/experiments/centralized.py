@@ -71,16 +71,12 @@ class CentralizedResult:
         return cent.ipc / dist.ipc
 
 
-def run_centralized_comparison(
+def centralized_specs(
     benchmarks: Sequence[str],
     n_pus: int = 8,
     scale: float = 1.0,
-    jobs: int = 1,
-    cache: Optional[ArtifactCache] = None,
-    ledger: Optional[RunLedger] = None,
-    resume: bool = False,
-) -> CentralizedResult:
-    """Run the distributed vs. centralized grid."""
+) -> Tuple[List[Tuple[str, str]], List[RunSpec]]:
+    """The grid's (keys, specs) — the job-serialization boundary."""
     keys: List[Tuple[str, str]] = []
     specs: List[RunSpec] = []
     for name in benchmarks:
@@ -97,6 +93,20 @@ def run_centralized_comparison(
             scale=scale,
             sim=centralized_config(n_pus),
         ))
+    return keys, specs
+
+
+def run_centralized_comparison(
+    benchmarks: Sequence[str],
+    n_pus: int = 8,
+    scale: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    ledger: Optional[RunLedger] = None,
+    resume: bool = False,
+) -> CentralizedResult:
+    """Run the distributed vs. centralized grid."""
+    keys, specs = centralized_specs(benchmarks, n_pus, scale)
     records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger,
                         resume=resume)
     result = CentralizedResult(n_pus=n_pus)

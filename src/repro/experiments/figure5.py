@@ -95,6 +95,38 @@ class Figure5Result:
         return geometric_mean(ratios)
 
 
+def figure5_specs(
+    benchmarks: Sequence[str] = (),
+    configs: Sequence[ConfigKey] = DEFAULT_CONFIGS,
+    levels: Sequence[HeuristicLevel] = LEVELS,
+    scale: float = 1.0,
+    engine: str = "fast",
+) -> Tuple[List[Tuple[str, HeuristicLevel, ConfigKey]], List[RunSpec]]:
+    """The grid's (keys, specs), in the canonical submission order.
+
+    This is the serialization boundary the campaign service shards
+    jobs on: the specs here *are* the grid, so any dispatcher that
+    executes them (in any order) and reads the records back by
+    content hash reconstructs exactly the grid ``run_figure5``
+    returns.
+    """
+    from repro.sim import SimConfig
+
+    sim = None if engine == "fast" else SimConfig(engine=engine)
+    names = list(benchmarks) or [bm.name for bm in all_benchmarks()]
+    keys: List[Tuple[str, HeuristicLevel, ConfigKey]] = []
+    specs: List[RunSpec] = []
+    for name in names:
+        for level in levels:
+            for n_pus, ooo in configs:
+                keys.append((name, level, (n_pus, ooo)))
+                specs.append(RunSpec(
+                    benchmark=name, level=level, n_pus=n_pus,
+                    out_of_order=ooo, scale=scale, sim=sim,
+                ))
+    return keys, specs
+
+
 def run_figure5(
     benchmarks: Sequence[str] = (),
     configs: Sequence[ConfigKey] = DEFAULT_CONFIGS,
@@ -115,20 +147,7 @@ def run_figure5(
     two are bit-identical, so this only affects wall-clock time — and
     the cache key, which covers every ``SimConfig`` field.
     """
-    from repro.sim import SimConfig
-
-    sim = None if engine == "fast" else SimConfig(engine=engine)
-    names = list(benchmarks) or [bm.name for bm in all_benchmarks()]
-    keys: List[Tuple[str, HeuristicLevel, ConfigKey]] = []
-    specs: List[RunSpec] = []
-    for name in names:
-        for level in levels:
-            for n_pus, ooo in configs:
-                keys.append((name, level, (n_pus, ooo)))
-                specs.append(RunSpec(
-                    benchmark=name, level=level, n_pus=n_pus,
-                    out_of_order=ooo, scale=scale, sim=sim,
-                ))
+    keys, specs = figure5_specs(benchmarks, configs, levels, scale, engine)
     records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger,
                         resume=resume)
     result = Figure5Result()

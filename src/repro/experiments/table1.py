@@ -50,16 +50,12 @@ class Table1Result:
         return self.records[(benchmark, level)]
 
 
-def run_table1(
+def table1_specs(
     benchmarks: Sequence[str] = (),
     n_pus: int = 8,
     scale: float = 1.0,
-    jobs: int = 1,
-    cache: Optional[ArtifactCache] = None,
-    ledger: Optional[RunLedger] = None,
-    resume: bool = False,
-) -> Table1Result:
-    """Measure every Table 1 column for the selected benchmarks."""
+) -> Tuple[List[Tuple[str, HeuristicLevel]], List[RunSpec]]:
+    """The grid's (keys, specs) — the job-serialization boundary."""
     names = list(benchmarks) or [bm.name for bm in all_benchmarks()]
     keys: List[Tuple[str, HeuristicLevel]] = []
     specs: List[RunSpec] = []
@@ -70,6 +66,20 @@ def run_table1(
                 benchmark=name, level=level, n_pus=n_pus,
                 out_of_order=True, scale=scale,
             ))
+    return keys, specs
+
+
+def run_table1(
+    benchmarks: Sequence[str] = (),
+    n_pus: int = 8,
+    scale: float = 1.0,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    ledger: Optional[RunLedger] = None,
+    resume: bool = False,
+) -> Table1Result:
+    """Measure every Table 1 column for the selected benchmarks."""
+    keys, specs = table1_specs(benchmarks, n_pus, scale)
     records = run_specs(specs, jobs=jobs, cache=cache, ledger=ledger,
                         resume=resume)
     result = Table1Result()

@@ -21,6 +21,7 @@ from repro.harness.ledger import (
     LEDGER_SCHEMA_VERSION,
     LedgerEntry,
     RunLedger,
+    append_jsonl_line,
     completed_spec_hashes,
     read_ledger,
 )
@@ -29,6 +30,7 @@ from repro.harness.scheduler import (
     backoff_delay,
     execute_spec,
     run_specs,
+    shard_specs,
 )
 from repro.harness.serialize import (
     grid_records,
@@ -45,6 +47,7 @@ __all__ = [
     "LedgerEntry",
     "RunLedger",
     "RunSpec",
+    "append_jsonl_line",
     "backoff_delay",
     "canonical",
     "code_version",
@@ -57,5 +60,6 @@ __all__ = [
     "record_to_dict",
     "records_to_json",
     "run_specs",
+    "shard_specs",
     "write_records_json",
 ]

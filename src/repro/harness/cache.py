@@ -65,6 +65,13 @@ def code_version() -> str:
     return _code_version_cache
 
 
+def _is_hex_hash(value: str) -> bool:
+    """True for a plausible lowercase-hex content hash (8..64 chars)."""
+    if not isinstance(value, str) or not 8 <= len(value) <= 64:
+        return False
+    return all(c in "0123456789abcdef" for c in value)
+
+
 def default_cache_root() -> Path:
     """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -149,17 +156,30 @@ class ArtifactCache:
                 return None
             payload = raw[len(_MAGIC) + _DIGEST_BYTES:]
             try:
-                return pickle.loads(payload)
+                obj = pickle.loads(payload)
             except _UNPICKLE_ERRORS:
                 # Checksum fine but classes moved on: stale, not torn.
                 return None
+            self._touch(path)
+            return obj
         # Legacy (pre-checksum) entry: readable -> miss-free load;
         # unreadable -> corruption, quarantined.
         try:
-            return pickle.loads(raw)
+            obj = pickle.loads(raw)
         except _UNPICKLE_ERRORS:
             self._quarantine(path, "unreadable legacy entry")
             return None
+        self._touch(path)
+        return obj
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh mtime on a hit, so ``prune`` evicts by recency of
+        *use* rather than recency of creation."""
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass  # pruned or quarantined concurrently: still a hit
 
     def _store(self, path: Path, obj) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -176,6 +196,18 @@ class ArtifactCache:
 
     def get_record(self, spec: RunSpec):
         return self._load(self.records_dir / f"{spec.spec_hash(self.salt)}.pkl")
+
+    def get_record_by_hash(self, spec_hash: str):
+        """Load a finished record by its spec hash alone.
+
+        This is the service's read path: ``GET /records/<spec_hash>``
+        answers from the content-addressed store without rebuilding
+        the spec.  The hash is validated as lowercase hex so request
+        strings can never traverse outside ``records/``.
+        """
+        if not _is_hex_hash(spec_hash):
+            return None
+        return self._load(self.records_dir / f"{spec_hash}.pkl")
 
     def put_record(self, spec: RunSpec, record) -> None:
         self._store(
@@ -198,7 +230,8 @@ class ArtifactCache:
 
     def stats(self) -> Dict[str, int]:
         """Entry counts and total size (for ``repro cache stats``)."""
-        out = {"records": 0, "compiled": 0, "quarantined": 0, "bytes": 0}
+        out = {"records": 0, "compiled": 0, "quarantined": 0, "bytes": 0,
+               "records_bytes": 0, "compiled_bytes": 0}
         for kind, directory in (
             ("records", self.records_dir),
             ("compiled", self.compiled_dir),
@@ -206,8 +239,10 @@ class ArtifactCache:
             if not directory.is_dir():
                 continue
             for path in directory.glob("*.pkl"):
+                size = path.stat().st_size
                 out[kind] += 1
-                out["bytes"] += path.stat().st_size
+                out[f"{kind}_bytes"] += size
+                out["bytes"] += size
         if self.quarantine_dir.is_dir():
             out["quarantined"] = sum(
                 1 for p in self.quarantine_dir.iterdir() if p.is_file()
@@ -262,6 +297,51 @@ class ArtifactCache:
                     continue
                 self._store(path, obj)
                 out["upgraded"] += 1
+        return out
+
+    def prune(self, max_bytes: int) -> Dict[str, int]:
+        """Evict least-recently-used artifacts until the store fits.
+
+        A long-running campaign server accretes records without bound;
+        ``prune`` caps the ``records/`` + ``compiled/`` payload at
+        ``max_bytes``, evicting by ``st_mtime`` (oldest first — every
+        cache *write* refreshes mtime via ``os.replace``, and hits on
+        a served record touch it through :meth:`_load`'s caller, so
+        mtime approximates recency of use).  Quarantined entries and
+        the ledger are never candidates: quarantine is evidence, not
+        cache, and the ledger is the audit trail.
+
+        Returns ``{"removed", "freed_bytes", "kept", "kept_bytes"}``.
+        """
+        entries = []
+        for directory in (self.records_dir, self.compiled_dir):
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.pkl"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        out = {"removed": 0, "freed_bytes": 0, "kept": len(entries),
+               "kept_bytes": total}
+        if max_bytes < 0:
+            raise ValueError("prune needs max_bytes >= 0")
+        entries.sort(key=lambda e: (e[0], e[2].name))
+        index = 0
+        while total > max_bytes and index < len(entries):
+            _, size, path = entries[index]
+            index += 1
+            try:
+                path.unlink()
+            except OSError:
+                continue  # a concurrent worker got there first
+            total -= size
+            out["removed"] += 1
+            out["freed_bytes"] += size
+            out["kept"] -= 1
+            out["kept_bytes"] -= size
         return out
 
     def clear(self) -> int:

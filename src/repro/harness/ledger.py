@@ -28,6 +28,14 @@ unknown fields and unknown line shapes are preserved
 direction — and schema-2 ledgers (no ``seq``, no ``metrics``) still
 parse.
 
+Appends are **single-write**: each line is encoded once and written
+with one ``os.write`` on an ``O_APPEND`` descriptor, so concurrent
+writers (the campaign service's shard workers share one per-job
+ledger file) never interleave partial JSON lines.  A reader racing a
+writer can still observe a torn *tail* (the final line mid-write);
+``read_ledger`` skips unparseable lines, so torn tails degrade to
+"not yet visible" instead of crashing ``--resume``.
+
 The ledger is the audit trail for sweeps: it answers "what actually
 ran, how long did it take, and what came from the cache" without
 re-running anything; the tests use it to prove warm-cache runs never
@@ -38,6 +46,7 @@ completed cells after an interrupted grid.
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from dataclasses import asdict, dataclass, fields
@@ -48,6 +57,26 @@ from repro.harness.spec import RunSpec
 
 #: current on-disk schema; bump when the entry shape changes
 LEDGER_SCHEMA_VERSION = 3
+
+
+def append_jsonl_line(path, payload: dict) -> None:
+    """Append one JSON line to ``path`` with a single ``write``.
+
+    ``O_APPEND`` + one ``os.write`` of the whole encoded line keeps
+    concurrent appenders from interleaving partial lines: POSIX makes
+    each append-mode write land at the (atomically advanced) end of
+    file, so lines from different writers may be *reordered* but
+    never spliced into each other.  Both the run ledger and the
+    campaign-service journal append through here.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = (json.dumps(payload) + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
 
 
 @dataclass
@@ -166,9 +195,7 @@ class RunLedger:
 
     def _append(self, payload: dict) -> None:
         payload["seq"] = self._take_seq()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(payload) + "\n")
+        append_jsonl_line(self.path, payload)
 
     def _narrate(self, entry: LedgerEntry) -> None:
         if self.progress is None:

@@ -87,6 +87,28 @@ def execute_spec(spec: RunSpec) -> RunRecord:
     )
 
 
+def shard_specs(
+    specs: Sequence[RunSpec],
+    shards: int,
+    salt: str = "",
+) -> List[List[RunSpec]]:
+    """Partition specs into at most ``shards`` batches by content hash.
+
+    The shard of a spec is a pure function of its ``spec_hash``, so
+    any number of dispatchers (the campaign service's workers, or a
+    future multi-host fleet) agree on the placement without
+    coordination, and a resubmitted grid lands on the same shards —
+    which keeps per-shard ledgers and caches warm.  Empty shards are
+    dropped; order within a shard follows the input order.
+    """
+    if shards <= 0:
+        raise ValueError("shard_specs needs shards >= 1")
+    buckets: List[List[RunSpec]] = [[] for _ in range(shards)]
+    for spec in specs:
+        buckets[int(spec.spec_hash(salt), 16) % shards].append(spec)
+    return [bucket for bucket in buckets if bucket]
+
+
 def backoff_delay(attempt: int, base: float, cap: float = 30.0,
                   rng: Optional[random.Random] = None) -> float:
     """Full-jitter exponential backoff: uniform in [0, base * 2^attempt].

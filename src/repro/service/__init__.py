@@ -1,0 +1,75 @@
+"""Campaign service: async job queue, worker sharding, HTTP API.
+
+This package turns the batch harness into a long-running server.
+Submissions (``figure5``, ``table1``, ``breakdown``, ``centralized``,
+``ablation``, ``fuzz``) become jobs; each job's grid expands to
+:class:`~repro.harness.spec.RunSpec` cells, shards across a worker
+pool by content hash, executes through the existing scheduler
+(retry, backoff, cache, ledger semantics intact), and assembles its
+result by replaying the original driver against the now-warm cache —
+so a job's output is byte-identical to the equivalent direct
+``repro <grid> --jobs 1`` invocation, and resubmitting a finished
+grid completes with zero new simulations.
+
+Layers, bottom up:
+
+* :mod:`~repro.service.jobs` — request validation, grid expansion,
+  the job state machine, result assembly;
+* :mod:`~repro.service.journal` — crash-safe JSONL journal +
+  per-job ledgers/results on disk; replay = service-level --resume;
+* :mod:`~repro.service.queue` — the asyncio queue, dispatcher and
+  worker pools (process / thread / inline);
+* :mod:`~repro.service.api` — stdlib ``ThreadingHTTPServer`` routes;
+* :mod:`~repro.service.server` — :class:`CampaignService`, the
+  process that ties the loop thread and HTTP thread together;
+* :mod:`~repro.service.client` — :class:`ServiceClient`, the urllib
+  client the CLI and tests speak.
+"""
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    parse_grid_arg,
+)
+from repro.service.jobs import (
+    JOB_KINDS,
+    JOB_STATES,
+    TERMINAL_STATES,
+    Job,
+    JobError,
+    JobRequest,
+    assemble_result,
+    expand_specs,
+)
+from repro.service.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalReplay,
+    ServiceJournal,
+    replay_journal,
+)
+from repro.service.queue import EXECUTOR_KINDS, JobQueue
+from repro.service.server import CampaignService, default_journal_root
+
+__all__ = [
+    "CampaignService",
+    "EXECUTOR_KINDS",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "JOURNAL_SCHEMA_VERSION",
+    "Job",
+    "JobError",
+    "JobQueue",
+    "JobRequest",
+    "JournalReplay",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceJournal",
+    "ServiceUnavailable",
+    "TERMINAL_STATES",
+    "assemble_result",
+    "default_journal_root",
+    "expand_specs",
+    "parse_grid_arg",
+    "replay_journal",
+]

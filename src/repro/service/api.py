@@ -1,0 +1,217 @@
+"""The campaign service's HTTP API (stdlib only, no new deps).
+
+Endpoints::
+
+    POST /jobs                submit {"kind": ..., "params": {...}}
+                              -> 202 {"job": {...}}
+    GET  /jobs                -> {"jobs": [...]} submission-ordered
+    GET  /jobs/<id>           -> {"job": {...}, "result": {...}|null}
+    GET  /jobs/<id>/ledger    -> the per-job run ledger, raw JSONL
+    POST /jobs/<id>/cancel    -> {"cancelled": true|false}
+    GET  /records/<spec_hash> -> one cached RunRecord as JSON
+    GET  /metrics             -> service counters/gauges + cache stats
+    GET  /healthz             -> {"status": "ok", ...}
+
+``GET /records/<spec_hash>`` is the "answers from cache in
+milliseconds" path: it reads the content-addressed store directly —
+no queue, no simulation — so any client that knows a spec hash (from
+a ledger, a records JSON, or a previous submission) gets the full
+record of that cell straight from disk.
+
+The server is a ``ThreadingHTTPServer``: handler threads serve reads
+from queue snapshots and files, and funnel mutations (submit/cancel)
+onto the event loop with ``run_coroutine_threadsafe`` — the queue's
+state machine itself only ever runs on the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.harness.serialize import record_to_dict
+from repro.service.jobs import JobError, JobRequest
+
+#: bound on request bodies (a submission is a small JSON object)
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceAPI:
+    """Glue between HTTP handlers, the queue, and its event loop."""
+
+    def __init__(self, queue, loop: asyncio.AbstractEventLoop) -> None:
+        self.queue = queue
+        self.loop = loop
+
+    def _call(self, coro, timeout: float = 30.0):
+        """Run a queue coroutine from a handler thread."""
+        return asyncio.run_coroutine_threadsafe(
+            coro, self.loop
+        ).result(timeout)
+
+    def submit(self, payload: dict) -> dict:
+        request = JobRequest.from_payload(payload)
+        job = self._call(self.queue.submit(request))
+        return job.as_dict()
+
+    def cancel(self, job_id: str) -> bool:
+        return self._call(self.queue.cancel(job_id))
+
+    def job_view(self, job_id: str) -> Optional[dict]:
+        job = self.queue.jobs.get(job_id)
+        if job is None:
+            return None
+        view = {"job": job.as_dict(), "result": None}
+        if job.state == "done":
+            view["result"] = self.queue.journal.read_result(job_id)
+        return view
+
+    def jobs_view(self) -> dict:
+        return {"jobs": self.queue.snapshot()}
+
+    def ledger_text(self, job_id: str) -> Optional[str]:
+        if self.queue.jobs.get(job_id) is None:
+            return None
+        path = self.queue.journal.ledger_path(job_id)
+        try:
+            return path.read_text(encoding="utf-8")
+        except OSError:
+            return ""  # job exists but has not executed a cell yet
+
+    def record_view(self, spec_hash: str) -> Optional[dict]:
+        record = self.queue.cache.get_record_by_hash(spec_hash)
+        if record is None:
+            return None
+        return {"spec_hash": spec_hash, "record": record_to_dict(record)}
+
+    def metrics_view(self) -> dict:
+        summary = self.queue.metrics_summary()
+        summary["cache"] = self.queue.cache.stats()
+        return summary
+
+    def health_view(self) -> dict:
+        return {
+            "status": "ok",
+            "jobs": len(self.queue.jobs),
+            "queue_depth": self.queue.queue_depth(),
+            "workers": self.queue.workers,
+            "executor": self.queue.executor_kind,
+        }
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the :class:`ServiceAPI` attached to the
+    server.  Silent by default: the service narrates through its
+    journal and metrics, not an access log."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass
+
+    @property
+    def api(self) -> ServiceAPI:
+        return self.server.api  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
+            "utf-8"
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "application/x-ndjson") -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Optional[dict]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            return None
+        if not 0 < length <= MAX_BODY_BYTES:
+            return None
+        try:
+            return json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+
+    def _route(self) -> Tuple[str, ...]:
+        path = self.path.split("?", 1)[0]
+        return tuple(part for part in path.split("/") if part)
+
+    # -- verbs ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        route = self._route()
+        try:
+            if route == ("healthz",):
+                return self._send_json(200, self.api.health_view())
+            if route == ("metrics",):
+                return self._send_json(200, self.api.metrics_view())
+            if route == ("jobs",):
+                return self._send_json(200, self.api.jobs_view())
+            if len(route) == 2 and route[0] == "jobs":
+                view = self.api.job_view(route[1])
+                if view is None:
+                    return self._error(404, f"no job {route[1]!r}")
+                return self._send_json(200, view)
+            if len(route) == 3 and route[0] == "jobs" and route[2] == "ledger":
+                text = self.api.ledger_text(route[1])
+                if text is None:
+                    return self._error(404, f"no job {route[1]!r}")
+                return self._send_text(200, text)
+            if len(route) == 2 and route[0] == "records":
+                view = self.api.record_view(route[1])
+                if view is None:
+                    return self._error(404, f"no record {route[1]!r}")
+                return self._send_json(200, view)
+            return self._error(404, f"no route for GET {self.path}")
+        except Exception as exc:  # noqa: BLE001 — a handler must answer
+            return self._error(500, repr(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        route = self._route()
+        try:
+            if route == ("jobs",):
+                payload = self._read_body()
+                if payload is None:
+                    return self._error(400, "request body must be JSON")
+                try:
+                    job = self.api.submit(payload)
+                except JobError as exc:
+                    return self._error(400, str(exc))
+                return self._send_json(202, {"job": job})
+            if (len(route) == 3 and route[0] == "jobs"
+                    and route[2] == "cancel"):
+                if self.api.queue.jobs.get(route[1]) is None:
+                    return self._error(404, f"no job {route[1]!r}")
+                cancelled = self.api.cancel(route[1])
+                return self._send_json(200, {"cancelled": cancelled})
+            return self._error(404, f"no route for POST {self.path}")
+        except Exception as exc:  # noqa: BLE001 — a handler must answer
+            return self._error(500, repr(exc))
+
+
+def make_http_server(host: str, port: int, api: ServiceAPI) -> ThreadingHTTPServer:
+    """Bind the threading HTTP server (port 0 picks a free port)."""
+    server = ThreadingHTTPServer((host, port), ServiceRequestHandler)
+    server.daemon_threads = True
+    server.api = api  # type: ignore[attr-defined]
+    return server

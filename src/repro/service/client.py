@@ -1,0 +1,143 @@
+"""Thin stdlib HTTP client for the campaign service.
+
+``ServiceClient`` is what ``repro submit`` / ``repro jobs`` /
+``repro fetch`` speak, and what tests use to drive an in-process
+server.  It is deliberately dumb: JSON in, JSON out, no retries —
+the service itself owns retry semantics for simulation work, and a
+dead server should surface immediately as ``ServiceUnavailable``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+
+class ServiceUnavailable(RuntimeError):
+    """The server could not be reached at all."""
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talks to one campaign server at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> tuple:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.status, resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read().decode("utf-8")
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceUnavailable(
+                f"cannot reach campaign service at {self.base_url}: {exc}"
+            ) from exc
+
+    def _json(self, method: str, path: str,
+              body: Optional[dict] = None) -> dict:
+        status, text = self._request(method, path, body)
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            payload = {"error": text.strip() or f"HTTP {status}"}
+        if status >= 400:
+            raise ServiceError(
+                status, payload.get("error", f"HTTP {status}")
+            )
+        return payload
+
+    # -- API surface ---------------------------------------------------
+
+    def submit(self, kind: str, params: Optional[dict] = None) -> dict:
+        payload = {"kind": kind, "params": params or {}}
+        return self._json("POST", "/jobs", payload)["job"]
+
+    def jobs(self) -> List[dict]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> bool:
+        return self._json("POST", f"/jobs/{job_id}/cancel")["cancelled"]
+
+    def ledger_lines(self, job_id: str) -> List[dict]:
+        status, text = self._request("GET", f"/jobs/{job_id}/ledger")
+        if status >= 400:
+            raise ServiceError(status, text.strip())
+        lines = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                lines.append(json.loads(line))
+            except ValueError:
+                continue  # torn tail: same tolerance as read_ledger
+        return lines
+
+    def record(self, spec_hash: str) -> dict:
+        return self._json("GET", f"/records/{spec_hash}")
+
+    def metrics(self) -> dict:
+        return self._json("GET", "/metrics")
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.2) -> dict:
+        """Poll until the job reaches a terminal state.
+
+        Returns the final ``GET /jobs/<id>`` view (job + result).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view["job"]["state"] in ("done", "failed", "cancelled"):
+                return view
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {view['job']['state']!r} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+
+def parse_grid_arg(grid: str) -> Dict[str, object]:
+    """Turn a CLI grid argument into a submission payload.
+
+    Accepts the campaign names the CLI already uses — ``figure5``,
+    ``table1``, ``breakdown``, ``centralized``, ``fuzz`` — plus
+    ``ablation:<sweep>`` for the six ablation sweeps.
+    """
+    grid = grid.strip()
+    if grid.startswith("ablation:"):
+        sweep = grid.split(":", 1)[1]
+        return {"kind": "ablation", "params": {"sweep": sweep}}
+    return {"kind": grid, "params": {}}

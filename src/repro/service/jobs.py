@@ -1,0 +1,419 @@
+"""The campaign service's job model: grids as serializable jobs.
+
+A :class:`JobRequest` names one submittable campaign — any of the
+paper-artefact grids (``figure5``, ``table1``, ``breakdown``,
+``centralized``, ``ablation``) or a synth fuzzing campaign
+(``fuzz``) — as a plain JSON-able ``(kind, params)`` pair.  Two
+functions give it meaning:
+
+* :func:`expand_specs` turns a request into the exact
+  :class:`~repro.harness.spec.RunSpec` list the corresponding driver
+  would submit, in the driver's canonical order — this is what the
+  queue shards across workers;
+* :func:`assemble_result` re-invokes the *original* driver with
+  ``jobs=1`` against the artifact cache after every shard finished.
+  Every cell is a cache hit by then, so assembly re-simulates
+  nothing, and the job's result is **byte-identical** to a direct
+  single-process invocation — the service can never drift from the
+  paper pipeline, because it *is* the paper pipeline behind a queue.
+
+A :class:`Job` wraps a request with its queue lifecycle::
+
+    queued ──> running ──> done
+       │          ├──────> failed
+       └──────────┴──────> cancelled
+
+Transitions are validated (:meth:`Job.transition`); every transition
+is journalled, so a restarted server reconstructs the same state
+machine (see :mod:`repro.service.journal`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler import HeuristicLevel
+from repro.harness.spec import RunSpec, digest
+
+#: states a job can be in; terminal states never transition again
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: legal state-machine edges
+_TRANSITIONS = {
+    "queued": {"running", "cancelled", "failed"},
+    "running": {"done", "failed", "cancelled"},
+}
+
+_LEVELS = {level.value: level for level in HeuristicLevel}
+
+#: request kinds the service accepts
+JOB_KINDS = (
+    "figure5", "table1", "breakdown", "centralized", "ablation", "fuzz",
+)
+
+
+class JobError(ValueError):
+    """A malformed or unsatisfiable job request (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One submittable campaign, fully determined by (kind, params)."""
+
+    kind: str
+    params: Dict = field(default_factory=dict)
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "JobRequest":
+        """Validate and normalise a client-supplied JSON payload."""
+        if not isinstance(payload, dict):
+            raise JobError("job payload must be a JSON object")
+        kind = payload.get("kind")
+        if kind not in JOB_KINDS:
+            raise JobError(
+                f"unknown job kind {kind!r} (known: {', '.join(JOB_KINDS)})"
+            )
+        params = payload.get("params", {})
+        if not isinstance(params, dict):
+            raise JobError("job params must be a JSON object")
+        request = cls(kind=kind, params=dict(params))
+        expand_specs(request)  # fail loudly before anything is queued
+        return request
+
+    def payload(self) -> Dict:
+        """The JSON shape that round-trips through journal and API."""
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    def content_hash(self) -> str:
+        """Content hash of the request (the job-id prefix)."""
+        return digest(("job", self.kind, _canonical_params(self.params)))
+
+    def describe(self) -> str:
+        parts = [self.kind]
+        for key in sorted(self.params):
+            parts.append(f"{key}={self.params[key]}")
+        return " ".join(parts)
+
+
+def _canonical_params(params: Dict):
+    """Params as a canonicalisable tree (JSON primitives only)."""
+    try:
+        return json.loads(json.dumps(params, sort_keys=True))
+    except (TypeError, ValueError) as exc:
+        raise JobError(f"job params are not JSON-serializable: {exc}")
+
+
+def _levels_param(params: Dict) -> Optional[List[HeuristicLevel]]:
+    raw = params.get("levels")
+    if raw is None:
+        return None
+    try:
+        return [_LEVELS[value] for value in raw]
+    except (KeyError, TypeError):
+        raise JobError(
+            f"unknown heuristic level in {raw!r} "
+            f"(known: {', '.join(sorted(_LEVELS))})"
+        )
+
+
+def _configs_param(params: Dict) -> Optional[List[Tuple[int, bool]]]:
+    raw = params.get("configs")
+    if raw is None:
+        return None
+    configs = []
+    try:
+        for n_pus, ooo in raw:
+            configs.append((int(n_pus), bool(ooo)))
+    except (TypeError, ValueError):
+        raise JobError(
+            f"configs must be [[n_pus, out_of_order], ...], got {raw!r}"
+        )
+    return configs
+
+
+def _benchmarks_param(params: Dict) -> List[str]:
+    raw = params.get("benchmarks", [])
+    if isinstance(raw, str):
+        raw = [name for name in raw.split(",") if name]
+    if not isinstance(raw, list) or not all(isinstance(n, str) for n in raw):
+        raise JobError(f"benchmarks must be a list of names, got {raw!r}")
+    known = {bm.name for bm in _all_benchmarks()}
+    unknown = [name for name in raw if name not in known
+               and not name.startswith("synth:")]
+    if unknown:
+        raise JobError(f"unknown benchmark(s): {', '.join(unknown)}")
+    return raw
+
+
+def _all_benchmarks():
+    from repro.workloads import all_benchmarks
+
+    return all_benchmarks()
+
+
+def expand_specs(request: JobRequest) -> List[RunSpec]:
+    """The specs a request shards into, in driver-canonical order."""
+    params = request.params
+    kind = request.kind
+    scale = float(params.get("scale", 1.0))
+    if kind == "figure5":
+        from repro.experiments.figure5 import (
+            DEFAULT_CONFIGS,
+            LEVELS,
+            figure5_specs,
+        )
+
+        _, specs = figure5_specs(
+            benchmarks=_benchmarks_param(params),
+            configs=_configs_param(params) or list(DEFAULT_CONFIGS),
+            levels=_levels_param(params) or LEVELS,
+            scale=scale,
+            engine=params.get("engine", "fast"),
+        )
+        return specs
+    if kind == "table1":
+        from repro.experiments.table1 import table1_specs
+
+        _, specs = table1_specs(
+            benchmarks=_benchmarks_param(params),
+            n_pus=int(params.get("n_pus", 8)),
+            scale=scale,
+        )
+        return specs
+    if kind == "breakdown":
+        from repro.experiments.breakdown import breakdown_specs
+
+        benchmarks = _benchmarks_param(params) or [
+            "compress", "m88ksim", "tomcatv", "hydro2d",
+        ]
+        _, specs = breakdown_specs(
+            benchmarks, n_pus=int(params.get("n_pus", 4)), scale=scale,
+        )
+        return specs
+    if kind == "centralized":
+        from repro.experiments.centralized import centralized_specs
+
+        benchmarks = _benchmarks_param(params) or [
+            "compress", "m88ksim", "tomcatv", "wave5",
+        ]
+        _, specs = centralized_specs(
+            benchmarks, n_pus=int(params.get("n_pus", 8)), scale=scale,
+        )
+        return specs
+    if kind == "ablation":
+        from repro.experiments.ablations import SWEEPS
+
+        sweep = params.get("sweep")
+        if sweep not in SWEEPS:
+            raise JobError(
+                f"unknown ablation sweep {sweep!r} "
+                f"(known: {', '.join(sorted(SWEEPS))})"
+            )
+        benchmarks = _benchmarks_param(params)
+        if not benchmarks:
+            raise JobError("ablation jobs need explicit benchmarks")
+        _, specs = SWEEPS[sweep](
+            benchmarks,
+            n_pus=int(params.get("n_pus", 4)),
+            scale=scale,
+        )
+        return specs
+    if kind == "fuzz":
+        from repro.synth.campaign import fuzz_specs
+
+        budget = params.get("budget")
+        if not isinstance(budget, int) or budget <= 0:
+            raise JobError("fuzz jobs need an integer budget >= 1")
+        try:
+            specs, _ = fuzz_specs(
+                budget=budget,
+                seed=int(params.get("seed", 1)),
+                preset=params.get("preset", "default"),
+            )
+        except ValueError as exc:
+            raise JobError(str(exc))
+        return specs
+    raise JobError(f"unknown job kind {kind!r}")
+
+
+def shard_worker_kind(request: JobRequest) -> str:
+    """Which harness worker the shards of this request run under."""
+    return "fuzz" if request.kind == "fuzz" else "default"
+
+
+def assemble_result(request: JobRequest, cache) -> Dict:
+    """Build the finished job's result document from the warm cache.
+
+    Called after every shard committed its records; re-runs the
+    original driver serially with the cache attached, so every cell
+    resolves as a hit and the rendered artefacts (records JSON, the
+    paper-style text report) are byte-identical to a direct
+    ``--jobs 1`` invocation.
+    """
+    params = request.params
+    kind = request.kind
+    scale = float(params.get("scale", 1.0))
+    if kind == "figure5":
+        from repro.experiments.figure5 import (
+            DEFAULT_CONFIGS,
+            LEVELS,
+            figure5_specs,
+            format_figure5,
+            run_figure5,
+        )
+        from repro.harness.serialize import grid_records, records_to_json
+
+        configs = _configs_param(params) or list(DEFAULT_CONFIGS)
+        result = run_figure5(
+            benchmarks=_benchmarks_param(params),
+            configs=configs,
+            levels=_levels_param(params) or LEVELS,
+            scale=scale,
+            engine=params.get("engine", "fast"),
+            jobs=1, cache=cache,
+        )
+        return {
+            "records_json": records_to_json(
+                "figure5", grid_records(result.records), scale
+            ),
+            "report": format_figure5(result, configs=configs),
+        }
+    if kind == "table1":
+        from repro.experiments.table1 import format_table1, run_table1
+        from repro.harness.serialize import grid_records, records_to_json
+
+        result = run_table1(
+            benchmarks=_benchmarks_param(params),
+            n_pus=int(params.get("n_pus", 8)), scale=scale,
+            jobs=1, cache=cache,
+        )
+        return {
+            "records_json": records_to_json(
+                "table1", grid_records(result.records), scale
+            ),
+            "report": format_table1(result),
+        }
+    if kind == "breakdown":
+        from repro.experiments.breakdown import (
+            format_breakdown,
+            run_breakdown,
+        )
+        from repro.harness.serialize import grid_records, records_to_json
+
+        benchmarks = _benchmarks_param(params) or [
+            "compress", "m88ksim", "tomcatv", "hydro2d",
+        ]
+        result = run_breakdown(
+            benchmarks, n_pus=int(params.get("n_pus", 4)), scale=scale,
+            jobs=1, cache=cache,
+        )
+        return {
+            "records_json": records_to_json(
+                "breakdown", grid_records(result.records), scale
+            ),
+            "report": format_breakdown(result),
+        }
+    if kind == "centralized":
+        from repro.experiments.centralized import (
+            format_centralized,
+            run_centralized_comparison,
+        )
+        from repro.harness.serialize import grid_records, records_to_json
+
+        benchmarks = _benchmarks_param(params) or [
+            "compress", "m88ksim", "tomcatv", "wave5",
+        ]
+        result = run_centralized_comparison(
+            benchmarks, n_pus=int(params.get("n_pus", 8)), scale=scale,
+            jobs=1, cache=cache,
+        )
+        return {
+            "records_json": records_to_json(
+                "centralized", grid_records(result.records), scale
+            ),
+            "report": format_centralized(result),
+        }
+    if kind == "ablation":
+        from repro.experiments.ablations import SWEEPS, format_sweep
+        from repro.harness.scheduler import run_specs
+
+        sweep = params["sweep"]
+        keys, specs = SWEEPS[sweep](
+            _benchmarks_param(params),
+            n_pus=int(params.get("n_pus", 4)),
+            scale=scale,
+        )
+        records = dict(zip(keys, run_specs(specs, jobs=1, cache=cache)))
+        return {"report": format_sweep(records, sweep)}
+    if kind == "fuzz":
+        from repro.synth.campaign import run_campaign
+
+        result = run_campaign(
+            budget=int(params["budget"]),
+            seed=int(params.get("seed", 1)),
+            preset=params.get("preset", "default"),
+            jobs=1, cache=cache,
+        )
+        return {
+            "report": result.summary(),
+            "ok": result.ok,
+            "divergences": list(result.divergences),
+            "metrics": result.metrics,
+        }
+    raise JobError(f"unknown job kind {kind!r}")
+
+
+@dataclass
+class Job:
+    """One submitted request plus its queue lifecycle."""
+
+    job_id: str
+    request: JobRequest
+    state: str = "queued"
+    cells: int = 0
+    submitted_ts: float = 0.0
+    started_ts: Optional[float] = None
+    finished_ts: Optional[float] = None
+    error: Optional[str] = None
+    #: ledger tally after completion: fresh executions vs cache hits
+    misses: Optional[int] = None
+    hits: Optional[int] = None
+    #: populated when the job was re-enqueued from the journal
+    resumed: bool = False
+
+    def transition(self, state: str) -> None:
+        """Move the state machine; illegal edges are hard errors."""
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        allowed = _TRANSITIONS.get(self.state, frozenset())
+        if state not in allowed:
+            raise ValueError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state!r} -> {state!r}"
+            )
+        self.state = state
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def as_dict(self) -> Dict:
+        """The API's job view (no result payload — that is fetched
+        separately so list endpoints stay small)."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.request.kind,
+            "params": dict(self.request.params),
+            "state": self.state,
+            "cells": self.cells,
+            "submitted_ts": self.submitted_ts,
+            "started_ts": self.started_ts,
+            "finished_ts": self.finished_ts,
+            "error": self.error,
+            "misses": self.misses,
+            "hits": self.hits,
+            "resumed": self.resumed,
+        }

@@ -1,0 +1,195 @@
+"""Crash-safe queue-state persistence for the campaign service.
+
+The journal is to the job queue what the run ledger is to a grid: an
+append-only, schema-versioned JSONL file that records every
+submission and every state transition::
+
+    {"ts": 1699.2, "journal_schema": 1, "event": "submitted",
+     "job_id": "figure5-ab12cd34ef56-1", "job_seq": 1,
+     "request": {"kind": "figure5", "params": {...}}, "cells": 16}
+    {"ts": ..., "journal_schema": 1, "event": "state",
+     "job_id": "...", "state": "running"}
+    {"ts": ..., "journal_schema": 1, "event": "state",
+     "job_id": "...", "state": "done", "misses": 16, "hits": 0}
+
+Appends go through the harness's single-write
+:func:`~repro.harness.ledger.append_jsonl_line`, so a server killed
+mid-append leaves at worst one torn tail line, which
+:func:`replay_journal` skips — exactly the tolerant-reader contract
+the run ledger already obeys.  Replaying the journal after a restart
+reconstructs every job's final state; jobs that were ``queued`` or
+``running`` when the process died are re-enqueued, and their
+completed cells resolve as artifact-cache hits, so a resumed job
+finishes exactly like ``--resume`` finishes an interrupted grid.
+
+Alongside the journal file the service keeps per-job artefacts under
+the same directory::
+
+    journal.jsonl            the queue journal (this module)
+    ledgers/<job_id>.jsonl   per-job run ledger (shard workers append)
+    results/<job_id>.json    the assembled result document
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.harness.ledger import append_jsonl_line
+from repro.service.jobs import TERMINAL_STATES, Job, JobRequest
+
+#: current journal schema; bump when the event shape changes
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class ServiceJournal:
+    """Appends queue events under a journal directory."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    # -- paths ---------------------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        return self.root / "journal.jsonl"
+
+    def ledger_path(self, job_id: str) -> Path:
+        return self.root / "ledgers" / f"{job_id}.jsonl"
+
+    def result_path(self, job_id: str) -> Path:
+        return self.root / "results" / f"{job_id}.json"
+
+    # -- writes --------------------------------------------------------
+
+    def _append(self, event: str, **detail) -> None:
+        payload = {
+            "ts": round(time.time(), 3),
+            "journal_schema": JOURNAL_SCHEMA_VERSION,
+            "event": event,
+        }
+        payload.update(detail)
+        append_jsonl_line(self.path, payload)
+
+    def submitted(self, job: Job, job_seq: int) -> None:
+        self._append(
+            "submitted",
+            job_id=job.job_id,
+            job_seq=job_seq,
+            request=job.request.payload(),
+            cells=job.cells,
+        )
+
+    def state(self, job: Job, **detail) -> None:
+        self._append("state", job_id=job.job_id, state=job.state, **detail)
+
+    def write_result(self, job_id: str, result: Dict) -> None:
+        """Persist the assembled result document (atomic enough: the
+        journal's ``done`` event is only appended afterwards, so a
+        crash between the two re-runs assembly on resume)."""
+        path = self.result_path(job_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def read_result(self, job_id: str) -> Optional[Dict]:
+        path = self.result_path(job_id)
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+
+
+@dataclass
+class JournalReplay:
+    """Everything :func:`replay_journal` reconstructs."""
+
+    #: job_id -> Job, with final journalled state
+    jobs: Dict[str, Job] = field(default_factory=dict)
+    #: submission order of every job (job_ids)
+    order: List[str] = field(default_factory=list)
+    #: highest job_seq seen (the next submission continues from here)
+    last_seq: int = 0
+
+    @property
+    def unfinished(self) -> List[Job]:
+        """Jobs to re-enqueue, in their original submission order."""
+        return [
+            self.jobs[job_id] for job_id in self.order
+            if not self.jobs[job_id].terminal
+        ]
+
+
+def replay_journal(path) -> JournalReplay:
+    """Reconstruct queue state from a journal file.
+
+    Torn or malformed lines are skipped (single-write appends mean
+    only the tail can tear); unknown events and unknown fields are
+    ignored, so old servers read journals written by newer ones.
+    State transitions are applied through the same
+    :meth:`~repro.service.jobs.Job.transition` state machine the live
+    queue uses — an illegal edge in a (hand-edited or truncated)
+    journal degrades to keeping the last legal state rather than
+    crashing the server at startup.
+    """
+    replay = JournalReplay()
+    path = Path(path)
+    if not path.exists():
+        return replay
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail
+            if not isinstance(entry, dict):
+                continue
+            event = entry.get("event")
+            job_id = entry.get("job_id")
+            if not job_id:
+                continue
+            if event == "submitted":
+                request = entry.get("request") or {}
+                try:
+                    job = Job(
+                        job_id=job_id,
+                        request=JobRequest(
+                            kind=request.get("kind", ""),
+                            params=dict(request.get("params", {})),
+                        ),
+                        cells=int(entry.get("cells", 0)),
+                        submitted_ts=float(entry.get("ts", 0.0)),
+                    )
+                except (TypeError, ValueError):
+                    continue
+                replay.jobs[job_id] = job
+                if job_id not in replay.order:
+                    replay.order.append(job_id)
+                seq = entry.get("job_seq")
+                if isinstance(seq, int) and seq > replay.last_seq:
+                    replay.last_seq = seq
+            elif event == "state":
+                job = replay.jobs.get(job_id)
+                state = entry.get("state")
+                if job is None or not isinstance(state, str):
+                    continue
+                try:
+                    job.transition(state)
+                except ValueError:
+                    continue
+                if state == "running":
+                    job.started_ts = entry.get("ts")
+                if state in TERMINAL_STATES:
+                    job.finished_ts = entry.get("ts")
+                    job.error = entry.get("error")
+                    job.misses = entry.get("misses")
+                    job.hits = entry.get("hits")
+    return replay

@@ -1,0 +1,331 @@
+"""Asyncio job queue with content-hash worker sharding.
+
+The queue is the service's engine room.  Submissions become
+:class:`~repro.service.jobs.Job` objects; a single dispatcher task
+drains them FIFO (deterministic, and cells within a job already
+saturate the workers); each job is:
+
+1. expanded to its :class:`~repro.harness.spec.RunSpec` list
+   (:func:`~repro.service.jobs.expand_specs`),
+2. sharded by **content hash**
+   (:func:`~repro.harness.scheduler.shard_specs`) into at most
+   ``workers`` batches — placement is a pure function of the spec
+   hash, so resubmissions and restarts land cells on the same shard,
+3. dispatched to the worker pool; every shard executes through the
+   existing harness (:func:`~repro.harness.scheduler.run_specs` with
+   its retry + full-jitter backoff), appending to the job's private
+   run ledger and committing records to the shared artifact cache,
+4. assembled: the original driver re-runs serially against the now
+   warm cache (zero simulation) and the result document is persisted
+   before the journal's terminal ``done`` event.
+
+Worker pools come in three flavours: ``"process"`` (the real thing —
+one OS process per shard slot), ``"thread"`` (tests, and cache-bound
+servers), ``"inline"`` (a single-thread executor — deterministic
+unit tests).  Everything that mutates queue state runs on the event
+loop; the HTTP layer reads snapshots and submits mutations through
+``asyncio.run_coroutine_threadsafe``.
+
+Crash safety: every transition is journalled *before* the work it
+announces begins (submitted before enqueue, running before dispatch,
+done only after the result document is on disk), so replaying the
+journal after a crash re-enqueues exactly the unfinished jobs, whose
+completed cells then resolve as cache hits — the service-level
+equivalent of ``--resume``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from repro.harness.cache import ArtifactCache
+from repro.harness.ledger import RunLedger, read_ledger
+from repro.harness.scheduler import run_specs, shard_specs
+from repro.harness.spec import RunSpec
+from repro.service.jobs import (
+    Job,
+    JobError,
+    JobRequest,
+    assemble_result,
+    expand_specs,
+    shard_worker_kind,
+)
+from repro.service.journal import ServiceJournal
+from repro.telemetry.metrics import MetricsRegistry
+
+#: executor flavours the queue can dispatch shards to
+EXECUTOR_KINDS = ("process", "thread", "inline")
+
+
+def _execute_shard(
+    specs: List[RunSpec],
+    cache_root: str,
+    salt: str,
+    ledger_path: str,
+    worker_kind: str,
+    retries: int,
+    backoff: float,
+) -> int:
+    """One shard, run inside a worker (process or thread).
+
+    Rebuilds the cache handle from (root, salt) so the call is
+    picklable, appends to the job's shared ledger file (safe under
+    concurrent shard writers — see ``append_jsonl_line``), and leans
+    on ``run_specs`` for per-group retry with full-jitter backoff.
+    Returns the number of cells committed; records themselves stay in
+    the content-addressed store rather than crossing the process
+    boundary.
+    """
+    cache = ArtifactCache(root=cache_root, salt=salt)
+    ledger = RunLedger(ledger_path, progress=None)
+    worker = None
+    if worker_kind == "fuzz":
+        from repro.synth.campaign import execute_fuzz_spec
+
+        worker = execute_fuzz_spec
+    records = run_specs(
+        specs, jobs=1, cache=cache, ledger=ledger,
+        retries=retries, backoff=backoff, worker=worker,
+    )
+    return len(records)
+
+
+class JobQueue:
+    """The service's asyncio queue + job table + worker pool."""
+
+    def __init__(
+        self,
+        cache: ArtifactCache,
+        journal: ServiceJournal,
+        workers: int = 2,
+        executor: str = "process",
+        retries: int = 1,
+        backoff: float = 0.05,
+    ) -> None:
+        if executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {executor!r} "
+                f"(known: {', '.join(EXECUTOR_KINDS)})"
+            )
+        if workers < 1:
+            raise ValueError("JobQueue needs workers >= 1")
+        self.cache = cache
+        self.journal = journal
+        self.workers = workers
+        self.executor_kind = executor
+        self.retries = retries
+        self.backoff = backoff
+        self.jobs: Dict[str, Job] = {}
+        self.order: List[str] = []
+        self.registry = MetricsRegistry()
+        self.started_at = time.time()
+        self._queue: "asyncio.Queue[str]" = asyncio.Queue()
+        self._done_events: Dict[str, asyncio.Event] = {}
+        self._cancel_requested: set = set()
+        self._job_seq = 0
+        self._pool: Optional[Executor] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._draining = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _make_pool(self) -> Executor:
+        if self.executor_kind == "process":
+            return ProcessPoolExecutor(max_workers=self.workers)
+        if self.executor_kind == "thread":
+            return ThreadPoolExecutor(max_workers=self.workers)
+        return ThreadPoolExecutor(max_workers=1)
+
+    async def start(self) -> int:
+        """Replay the journal, re-enqueue unfinished jobs, start the
+        dispatcher.  Returns the number of resumed jobs."""
+        from repro.service.journal import replay_journal
+
+        replay = replay_journal(self.journal.path)
+        self._job_seq = replay.last_seq
+        resumed = 0
+        for job_id in replay.order:
+            job = replay.jobs[job_id]
+            self.jobs[job_id] = job
+            self.order.append(job_id)
+            self._done_events[job_id] = asyncio.Event()
+            if job.terminal:
+                self._done_events[job_id].set()
+            else:
+                # A job journalled as running died mid-flight; its
+                # completed cells are cache hits, so re-running it is
+                # exactly the remainder.  Reset the state machine to
+                # queued via a fresh Job rather than a back-edge.
+                if job.state == "running":
+                    job.state = "queued"
+                    job.started_ts = None
+                job.resumed = True
+                resumed += 1
+                self.journal.state(job, resumed=True)
+                await self._queue.put(job_id)
+        self.registry.counter("service.jobs_resumed").inc(resumed)
+        self._pool = self._make_pool()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return resumed
+
+    async def close(self) -> None:
+        """Stop dispatching and tear the pool down (jobs stay journalled)."""
+        self._draining = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -- submission + queries ------------------------------------------
+
+    async def submit(self, request: JobRequest) -> Job:
+        """Validate, journal, and enqueue one request."""
+        if self._draining:
+            raise JobError("service is shutting down")
+        specs = expand_specs(request)  # raises JobError on bad requests
+        self._job_seq += 1
+        job_id = (
+            f"{request.kind}-{request.content_hash()[:12]}-{self._job_seq}"
+        )
+        job = Job(
+            job_id=job_id, request=request, cells=len(specs),
+            submitted_ts=round(time.time(), 3),
+        )
+        self.jobs[job_id] = job
+        self.order.append(job_id)
+        self._done_events[job_id] = asyncio.Event()
+        self.journal.submitted(job, self._job_seq)
+        self.registry.counter("service.jobs_submitted").inc()
+        self.registry.counter("service.cells_submitted").inc(len(specs))
+        await self._queue.put(job_id)
+        return job
+
+    async def cancel(self, job_id: str) -> bool:
+        """Request cancellation; True if the job can still honour it."""
+        job = self.jobs.get(job_id)
+        if job is None or job.terminal:
+            return False
+        self._cancel_requested.add(job_id)
+        if job.state == "queued":
+            # The dispatcher also checks, but cancelling eagerly makes
+            # the state visible to clients immediately.
+            self._finish(job, "cancelled")
+        return True
+
+    async def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        event = self._done_events[job_id]
+        await asyncio.wait_for(event.wait(), timeout)
+        return self.jobs[job_id]
+
+    def snapshot(self) -> List[Dict]:
+        """All jobs, submission-ordered (read-only; any thread)."""
+        return [self.jobs[job_id].as_dict() for job_id in self.order]
+
+    def queue_depth(self) -> int:
+        return sum(
+            1 for job in self.jobs.values() if job.state == "queued"
+        )
+
+    def running_count(self) -> int:
+        return sum(
+            1 for job in self.jobs.values() if job.state == "running"
+        )
+
+    def metrics_summary(self) -> Dict:
+        """Counters plus freshly sampled gauges (the /metrics body)."""
+        self.registry.gauge("service.queue_depth").set(self.queue_depth())
+        self.registry.gauge("service.jobs_running").set(self.running_count())
+        self.registry.gauge("service.workers").set(self.workers)
+        self.registry.gauge("service.uptime_seconds").set(
+            round(time.time() - self.started_at, 3)
+        )
+        return self.registry.summary()
+
+    # -- execution -----------------------------------------------------
+
+    def _finish(self, job: Job, state: str, **detail) -> None:
+        job.transition(state)
+        job.finished_ts = round(time.time(), 3)
+        if "error" in detail:
+            job.error = detail["error"]
+        self.journal.state(job, **detail)
+        self.registry.counter(f"service.jobs_{state}").inc()
+        self._done_events[job.job_id].set()
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            job_id = await self._queue.get()
+            job = self.jobs.get(job_id)
+            if job is None or job.terminal:
+                continue  # cancelled while queued
+            if job_id in self._cancel_requested:
+                if not job.terminal:
+                    self._finish(job, "cancelled")
+                continue
+            try:
+                await self._run_job(job)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — journalled below
+                if not job.terminal:
+                    self._finish(job, "failed", error=repr(exc))
+
+    async def _run_job(self, job: Job) -> None:
+        job.started_ts = round(time.time(), 3)
+        job.transition("running")
+        self.journal.state(job)
+        specs = expand_specs(job.request)
+        shards = shard_specs(specs, self.workers, self.cache.salt)
+        ledger_path = self.journal.ledger_path(job.job_id)
+        loop = asyncio.get_running_loop()
+        futures = [
+            loop.run_in_executor(
+                self._pool, _execute_shard,
+                shard, str(self.cache.root), self.cache.salt,
+                str(ledger_path), shard_worker_kind(job.request),
+                self.retries, self.backoff,
+            )
+            for shard in shards
+        ]
+        outcomes = await asyncio.gather(*futures, return_exceptions=True)
+        errors = [o for o in outcomes if isinstance(o, BaseException)]
+        if job.job_id in self._cancel_requested:
+            self._finish(job, "cancelled")
+            return
+        if errors:
+            self._finish(job, "failed", error=repr(errors[0]))
+            return
+        misses, hits = _ledger_tally(ledger_path)
+        job.misses, job.hits = misses, hits
+        self.registry.counter("service.cells_executed").inc(misses)
+        self.registry.counter("service.cells_cached").inc(hits)
+        # Assembly replays the driver against the warm cache (pure
+        # hits, no simulation) — run it off-loop so a large grid's
+        # JSON rendering never stalls the dispatcher.
+        result = await loop.run_in_executor(
+            None, assemble_result, job.request, self.cache
+        )
+        self.journal.write_result(job.job_id, result)
+        self._finish(job, "done", misses=misses, hits=hits)
+
+
+def _ledger_tally(ledger_path) -> tuple:
+    """(fresh executions, cache hits) recorded in a per-job ledger."""
+    misses = hits = 0
+    for entry in read_ledger(ledger_path):
+        if entry.get("outcome") != "ok" or "spec_hash" not in entry:
+            continue
+        if entry.get("cache") == "miss":
+            misses += 1
+        else:
+            hits += 1
+    return misses, hits

@@ -1,0 +1,146 @@
+"""The campaign service process: event loop + queue + HTTP server.
+
+``CampaignService`` owns the three moving parts and their threads:
+
+* an asyncio event loop running in a daemon thread — the only place
+  queue state mutates;
+* the :class:`~repro.service.queue.JobQueue` with its worker pool;
+* a ``ThreadingHTTPServer`` in a second daemon thread, serving the
+  API in :mod:`repro.service.api`.
+
+``start()`` replays the journal (resuming any jobs that were in
+flight when the previous process died) and binds the port;
+``stop()`` tears everything down in reverse.  Tests run the whole
+service in-process on port 0 with the ``"thread"`` executor; the CLI
+(``repro serve``) runs it in the foreground with process workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from pathlib import Path
+from typing import Optional
+
+from repro.harness.cache import ArtifactCache
+from repro.service.api import ServiceAPI, make_http_server
+from repro.service.journal import ServiceJournal
+from repro.service.queue import JobQueue
+
+#: default journal directory, relative to the cache root
+DEFAULT_JOURNAL_DIRNAME = "service"
+
+
+def default_journal_root(cache: ArtifactCache) -> Path:
+    return Path(cache.root) / DEFAULT_JOURNAL_DIRNAME
+
+
+class CampaignService:
+    """One running campaign server (loop thread + HTTP thread)."""
+
+    def __init__(
+        self,
+        cache: Optional[ArtifactCache] = None,
+        journal_root=None,
+        host: str = "127.0.0.1",
+        port: int = 8753,
+        workers: int = 2,
+        executor: str = "process",
+        retries: int = 1,
+        backoff: float = 0.05,
+    ) -> None:
+        self.cache = cache if cache is not None else ArtifactCache()
+        root = (
+            Path(journal_root) if journal_root is not None
+            else default_journal_root(self.cache)
+        )
+        self.journal = ServiceJournal(root)
+        self.queue = JobQueue(
+            self.cache, self.journal,
+            workers=workers, executor=executor,
+            retries=retries, backoff=backoff,
+        )
+        self.host = host
+        self.port = port
+        self.resumed = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._http = None
+        self._http_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Spin up the loop, replay the journal, bind the port."""
+        if self._loop is not None:
+            raise RuntimeError("service already started")
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run_loop() -> None:
+            asyncio.set_event_loop(self._loop)
+            started.set()
+            self._loop.run_forever()
+
+        self._loop_thread = threading.Thread(
+            target=run_loop, name="repro-service-loop", daemon=True
+        )
+        self._loop_thread.start()
+        started.wait()
+        self.resumed = asyncio.run_coroutine_threadsafe(
+            self.queue.start(), self._loop
+        ).result(60)
+        api = ServiceAPI(self.queue, self._loop)
+        self._http = make_http_server(self.host, self.port, api)
+        self.port = self._http.server_address[1]  # resolve port 0
+        self._http_thread = threading.Thread(
+            target=self._http.serve_forever,
+            name="repro-service-http", daemon=True,
+        )
+        self._http_thread.start()
+
+    def stop(self) -> None:
+        """Stop accepting requests, drain the pool, stop the loop.
+
+        Journal state survives — a later ``start()`` on the same
+        journal root resumes whatever was still in flight.
+        """
+        if self._http is not None:
+            self._http.shutdown()
+            self._http.server_close()
+            self._http = None
+        if self._loop is not None:
+            asyncio.run_coroutine_threadsafe(
+                self.queue.close(), self._loop
+            ).result(60)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._loop_thread is not None:
+                self._loop_thread.join(timeout=10)
+            self._loop.close()
+            self._loop = None
+            self._loop_thread = None
+
+    # -- conveniences (tests, CLI) -------------------------------------
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "CampaignService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def serve_forever(self) -> None:
+        """Block until interrupted (the ``repro serve`` foreground)."""
+        try:
+            while self._http_thread is not None and (
+                self._http_thread.is_alive()
+            ):
+                self._http_thread.join(timeout=1.0)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()

@@ -32,6 +32,7 @@ from repro.telemetry.export import (
 )
 from repro.telemetry.metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     run_metrics,
@@ -45,6 +46,7 @@ from repro.telemetry.report import (
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ReportRow",

@@ -42,6 +42,26 @@ class Counter:
         self.value += amount
 
 
+class Gauge:
+    """A point-in-time value (queue depth, in-flight shards, ...).
+
+    Unlike a :class:`Counter` it moves both ways; the campaign
+    service's ``/metrics`` endpoint samples gauges on every request.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def add(self, amount=1) -> None:
+        self.value += amount
+
+
 class Histogram:
     """Fixed-bucket histogram with an overflow slot.
 
@@ -106,6 +126,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
@@ -114,6 +135,13 @@ class MetricsRegistry:
         if counter is None:
             counter = self._counters[name] = Counter(name)
         return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created at zero on first use)."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
 
     def histogram(self, name: str,
                   bounds: Optional[Sequence[float]] = None) -> Histogram:
@@ -134,8 +162,13 @@ class MetricsRegistry:
         return histogram
 
     def summary(self) -> Dict:
-        """The whole registry as JSON-ready primitives."""
-        return {
+        """The whole registry as JSON-ready primitives.
+
+        ``gauges`` is emitted only when one was registered, so run
+        records and ledgers from before gauges existed byte-compare
+        equal to ones serialized now.
+        """
+        out = {
             "counters": {
                 name: counter.value
                 for name, counter in sorted(self._counters.items())
@@ -145,6 +178,12 @@ class MetricsRegistry:
                 for name, histogram in sorted(self._histograms.items())
             },
         }
+        if self._gauges:
+            out["gauges"] = {
+                name: gauge.value
+                for name, gauge in sorted(self._gauges.items())
+            }
+        return out
 
 
 def task_size_counts(stream) -> List[int]:

@@ -267,3 +267,119 @@ class TestCommands:
     def test_report_rejects_unreadable_input(self):
         with pytest.raises(SystemExit, match="repro report"):
             main(["report", "no-such-file.json", "also-missing.json"])
+
+
+class TestServiceCLI:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8753
+        assert args.workers == 2
+        assert args.journal == ""
+        assert args.executor == "process"
+
+    def test_submit_parser(self):
+        args = build_parser().parse_args(
+            ["submit", "figure5", "--benchmarks", "compress",
+             "--scale", "0.1", "--levels", "basic_block", "--wait",
+             "--param", "engine=\"fast\""]
+        )
+        assert args.grid == "figure5"
+        assert args.benchmarks == "compress"
+        assert args.scale == 0.1
+        assert args.wait
+        assert args.param == ['engine="fast"']
+
+    def test_jobs_and_fetch_parsers(self):
+        args = build_parser().parse_args(["jobs", "--watch"])
+        assert args.watch
+        assert args.url == "http://127.0.0.1:8753"
+        args = build_parser().parse_args(["fetch", "abc123"])
+        assert args.spec_hash == "abc123"
+
+    def test_cache_prune_parser(self):
+        args = build_parser().parse_args(
+            ["cache", "prune", "--max-bytes", "1024"]
+        )
+        assert args.action == "prune"
+        assert args.max_bytes == 1024
+
+    def test_cache_prune_requires_max_bytes(self):
+        with pytest.raises(SystemExit, match="max-bytes"):
+            main(["cache", "prune"])
+
+    def test_cache_prune_rejects_negative(self):
+        with pytest.raises(SystemExit, match="max-bytes"):
+            main(["cache", "prune", "--max-bytes", "-5"])
+
+    def test_cache_prune_evicts(self, capsys, tmp_path):
+        assert main(
+            ["figure5", "--benchmarks", "compress", "--scale", "0.1",
+             "--jobs", "1"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "prune", "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out and "kept" in out
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "records    : 0" in out
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {bm["name"] for bm in payload["benchmarks"]}
+        assert "compress" in names and "tomcatv" in names
+        sample = payload["benchmarks"][0]
+        for key in ("suite", "functions", "blocks", "instructions",
+                    "description"):
+            assert key in sample
+
+    def test_list_json_synth(self, capsys):
+        assert main(["list", "--synth", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {p["name"] for p in payload["presets"]}
+        assert "default" in names
+        sample = payload["presets"][0]
+        assert "region_weights" in sample
+
+    def test_submit_unreachable_service_exits(self):
+        with pytest.raises(SystemExit, match="repro submit"):
+            main(["submit", "figure5", "--url", "http://127.0.0.1:9"])
+
+    def test_jobs_unreachable_service_exits(self):
+        with pytest.raises(SystemExit, match="repro jobs"):
+            main(["jobs", "--url", "http://127.0.0.1:9"])
+
+    def test_submit_and_fetch_against_live_service(self, capsys,
+                                                   tmp_path):
+        from repro.harness.cache import ArtifactCache
+        from repro.service import CampaignService
+
+        service = CampaignService(
+            cache=ArtifactCache(root=tmp_path / "cache"),
+            journal_root=tmp_path / "svc",
+            port=0, workers=2, executor="thread",
+        )
+        with service:
+            url = service.base_url
+            assert main(
+                ["submit", "figure5", "--url", url,
+                 "--benchmarks", "compress", "--scale", "0.05",
+                 "--levels", "basic_block", "--wait"]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "done" in out
+            assert "Figure 5" in out
+            assert main(["jobs", "--url", url, "--watch"]) == 0
+            out = capsys.readouterr().out
+            assert "figure5-" in out and "done" in out
+            # fetch one record by the hash the ledger reports
+            from repro.service.client import ServiceClient
+
+            client = ServiceClient(url)
+            job_id = client.jobs()[0]["job_id"]
+            spec_hash = client.ledger_lines(job_id)[0]["spec_hash"]
+            assert main(["fetch", spec_hash, "--url", url]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["record"]["benchmark"] == "compress"

@@ -213,6 +213,7 @@ class TestQuarantine:
         cache.clear()
         assert cache.stats() == {
             "records": 0, "compiled": 0, "quarantined": 0, "bytes": 0,
+            "records_bytes": 0, "compiled_bytes": 0,
             "ledger_lines": 0, "ledger_bytes": 0,
         }
 

@@ -1,0 +1,342 @@
+"""Campaign service core: requests, expansion, state machine, journal."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.compiler import HeuristicLevel
+from repro.harness.cache import ArtifactCache
+from repro.harness.scheduler import run_specs, shard_specs
+from repro.service import (
+    CampaignService,
+    Job,
+    JobError,
+    JobQueue,
+    JobRequest,
+    ServiceJournal,
+    expand_specs,
+    replay_journal,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+MICRO = {"benchmarks": ["compress"], "scale": 0.05,
+         "levels": ["basic_block"]}
+
+
+# -- requests and expansion -------------------------------------------
+
+
+def test_request_roundtrip_and_hash():
+    req = JobRequest.from_payload({"kind": "figure5", "params": MICRO})
+    assert req.payload() == {"kind": "figure5", "params": MICRO}
+    # content hash ignores key order but not values
+    req2 = JobRequest(kind="figure5", params=dict(reversed(list(
+        MICRO.items()
+    ))))
+    assert req.content_hash() == req2.content_hash()
+    req3 = JobRequest(kind="figure5", params={**MICRO, "scale": 0.1})
+    assert req.content_hash() != req3.content_hash()
+
+
+@pytest.mark.parametrize("payload", [
+    "not a dict",
+    {"kind": "nope"},
+    {"kind": "figure5", "params": "nope"},
+    {"kind": "figure5", "params": {"benchmarks": ["unknown-bm"]}},
+    {"kind": "figure5", "params": {"levels": ["nope"]}},
+    {"kind": "figure5", "params": {"configs": "nope"}},
+    {"kind": "ablation", "params": {"sweep": "nope",
+                                    "benchmarks": ["compress"]}},
+    {"kind": "ablation", "params": {"sweep": "max_targets"}},
+    {"kind": "fuzz", "params": {}},
+    {"kind": "fuzz", "params": {"budget": 0}},
+])
+def test_bad_requests_rejected(payload):
+    with pytest.raises(JobError):
+        JobRequest.from_payload(payload)
+
+
+def test_expansion_matches_figure5_driver():
+    from repro.experiments.figure5 import figure5_specs
+
+    req = JobRequest.from_payload({"kind": "figure5", "params": MICRO})
+    _, direct = figure5_specs(
+        benchmarks=["compress"],
+        levels=[HeuristicLevel.BASIC_BLOCK],
+        scale=0.05,
+    )
+    assert [s.spec_hash() for s in expand_specs(req)] == [
+        s.spec_hash() for s in direct
+    ]
+
+
+def test_expansion_matches_table1_driver():
+    from repro.experiments.table1 import table1_specs
+
+    req = JobRequest.from_payload({
+        "kind": "table1",
+        "params": {"benchmarks": ["compress", "ijpeg"], "scale": 0.05},
+    })
+    _, direct = table1_specs(benchmarks=["compress", "ijpeg"],
+                             scale=0.05)
+    assert [s.spec_hash() for s in expand_specs(req)] == [
+        s.spec_hash() for s in direct
+    ]
+
+
+def test_expansion_matches_fuzz_specs():
+    from repro.synth.campaign import fuzz_specs
+
+    req = JobRequest.from_payload({
+        "kind": "fuzz", "params": {"budget": 2, "seed": 7},
+    })
+    direct, _ = fuzz_specs(budget=2, seed=7)
+    assert [s.spec_hash() for s in expand_specs(req)] == [
+        s.spec_hash() for s in direct
+    ]
+
+
+def test_sharding_partitions_and_is_stable():
+    req = JobRequest.from_payload({"kind": "figure5", "params": {
+        "benchmarks": ["compress", "m88ksim"], "scale": 0.05,
+    }})
+    specs = expand_specs(req)
+    shards = shard_specs(specs, 3)
+    flat = sorted(s.spec_hash() for shard in shards for s in shard)
+    assert flat == sorted(s.spec_hash() for s in specs)
+    # pure function of content hash: same placement on a second call
+    assert [
+        [s.spec_hash() for s in shard] for shard in shard_specs(specs, 3)
+    ] == [[s.spec_hash() for s in shard] for shard in shards]
+    with pytest.raises(ValueError):
+        shard_specs(specs, 0)
+
+
+# -- the job state machine --------------------------------------------
+
+
+def _job(state="queued"):
+    job = Job(job_id="t-1", request=JobRequest(kind="figure5",
+                                               params=dict(MICRO)))
+    job.state = state
+    return job
+
+
+def test_job_transitions_legal_path():
+    job = _job()
+    job.transition("running")
+    job.transition("done")
+    assert job.terminal
+
+
+@pytest.mark.parametrize("start,target", [
+    ("queued", "done"),
+    ("done", "running"),
+    ("failed", "queued"),
+    ("cancelled", "done"),
+    ("running", "queued"),
+    ("running", "bogus"),
+])
+def test_job_transitions_illegal(start, target):
+    with pytest.raises(ValueError):
+        _job(start).transition(target)
+
+
+# -- journal + replay -------------------------------------------------
+
+
+def _submit_events(journal, job_id, seq, state_events=()):
+    job = Job(job_id=job_id,
+              request=JobRequest(kind="figure5", params=dict(MICRO)),
+              cells=4)
+    journal.submitted(job, seq)
+    for state, detail in state_events:
+        job.state = state
+        journal.state(job, **detail)
+    return job
+
+
+def test_journal_replay_reconstructs_states(tmp_path):
+    journal = ServiceJournal(tmp_path / "svc")
+    _submit_events(journal, "a-1", 1, [
+        ("running", {}), ("done", {"misses": 4, "hits": 0}),
+    ])
+    _submit_events(journal, "b-2", 2, [("running", {})])
+    _submit_events(journal, "c-3", 3, [])
+    replay = replay_journal(journal.path)
+    assert replay.order == ["a-1", "b-2", "c-3"]
+    assert replay.last_seq == 3
+    assert replay.jobs["a-1"].state == "done"
+    assert replay.jobs["a-1"].misses == 4
+    assert replay.jobs["b-2"].state == "running"
+    assert replay.jobs["c-3"].state == "queued"
+    assert [job.job_id for job in replay.unfinished] == ["b-2", "c-3"]
+
+
+def test_journal_replay_skips_torn_tail(tmp_path):
+    journal = ServiceJournal(tmp_path / "svc")
+    _submit_events(journal, "a-1", 1, [("running", {})])
+    with open(journal.path, "a", encoding="utf-8") as handle:
+        handle.write('{"event": "state", "job_id": "a-1", "sta')
+    replay = replay_journal(journal.path)
+    assert replay.jobs["a-1"].state == "running"
+
+
+def test_journal_replay_ignores_illegal_edges(tmp_path):
+    journal = ServiceJournal(tmp_path / "svc")
+    _submit_events(journal, "a-1", 1, [
+        ("running", {}), ("done", {}),
+    ])
+    # a (hand-edited) event that would walk back out of a terminal
+    # state must not crash replay nor change the final state
+    from repro.harness.ledger import append_jsonl_line
+
+    append_jsonl_line(journal.path, {
+        "event": "state", "job_id": "a-1", "state": "running",
+    })
+    replay = replay_journal(journal.path)
+    assert replay.jobs["a-1"].state == "done"
+
+
+def test_journal_replay_missing_file(tmp_path):
+    replay = replay_journal(tmp_path / "absent" / "journal.jsonl")
+    assert replay.jobs == {}
+    assert replay.last_seq == 0
+
+
+# -- the queue, driven inline -----------------------------------------
+
+
+def _run(coro):
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        loop.close()
+
+
+def test_queue_runs_job_and_caches_resubmit(tmp_path):
+    async def scenario():
+        cache = ArtifactCache(root=tmp_path / "cache")
+        journal = ServiceJournal(tmp_path / "svc")
+        queue = JobQueue(cache, journal, workers=2, executor="thread")
+        await queue.start()
+        try:
+            req = JobRequest.from_payload(
+                {"kind": "figure5", "params": MICRO}
+            )
+            job = await queue.submit(req)
+            job = await queue.wait(job.job_id, timeout=180)
+            assert job.state == "done"
+            assert job.misses == 4 and job.hits == 0
+            first = journal.read_result(job.job_id)
+            again = await queue.submit(req)
+            again = await queue.wait(again.job_id, timeout=60)
+            assert again.state == "done"
+            assert again.misses == 0 and again.hits == 4
+            assert journal.read_result(again.job_id) == first
+            return first
+        finally:
+            await queue.close()
+
+    result = _run(scenario())
+    assert set(result) == {"records_json", "report"}
+    parsed = json.loads(result["records_json"])
+    assert len(parsed["records"]) == 4
+
+
+def test_queue_cancel_queued_job(tmp_path):
+    async def scenario():
+        cache = ArtifactCache(root=tmp_path / "cache")
+        journal = ServiceJournal(tmp_path / "svc")
+        queue = JobQueue(cache, journal, workers=1, executor="inline")
+        # no dispatcher: submit, cancel before anything runs
+        req = JobRequest.from_payload({"kind": "figure5",
+                                       "params": MICRO})
+        job = await queue.submit(req)
+        assert await queue.cancel(job.job_id) is True
+        assert queue.jobs[job.job_id].state == "cancelled"
+        # a second cancel is a no-op on a terminal job
+        assert await queue.cancel(job.job_id) is False
+        assert await queue.cancel("absent") is False
+
+    _run(scenario())
+
+
+def test_queue_failed_job_reports_error(tmp_path):
+    async def scenario():
+        cache = ArtifactCache(root=tmp_path / "cache")
+        journal = ServiceJournal(tmp_path / "svc")
+        queue = JobQueue(cache, journal, workers=1, executor="thread")
+        await queue.start()
+        try:
+            # a synth benchmark with a bogus preset passes request
+            # validation per-name but fails inside the worker
+            req = JobRequest(kind="figure5", params={
+                "benchmarks": ["synth:nope:1"], "scale": 0.05,
+                "levels": ["basic_block"],
+            })
+            job = await queue.submit(req)
+            job = await queue.wait(job.job_id, timeout=60)
+            assert job.state == "failed"
+            assert job.error
+        finally:
+            await queue.close()
+
+    _run(scenario())
+
+
+def test_service_restart_resumes_unfinished_job(tmp_path):
+    """Kill-restart mid-job: the journal re-enqueues it and completed
+    cells resolve as cache hits — the service-level --resume."""
+    cache_root = tmp_path / "cache"
+    journal_root = tmp_path / "svc"
+    req = JobRequest.from_payload({"kind": "figure5", "params": MICRO})
+
+    # first life: journal the submission and a running transition,
+    # then "crash" (no terminal event, result never written)
+    journal = ServiceJournal(journal_root)
+    cache = ArtifactCache(root=cache_root)
+    job = Job(job_id="figure5-dead-1", request=req, cells=4,
+              submitted_ts=1.0)
+    journal.submitted(job, 1)
+    job.transition("running")
+    journal.state(job)
+    # the crashed run had already executed half the grid
+    specs = expand_specs(req)
+    run_specs(specs[:2], jobs=1, cache=cache)
+
+    # second life: a fresh service over the same journal + cache
+    service = CampaignService(
+        cache=ArtifactCache(root=cache_root),
+        journal_root=journal_root, port=0, workers=2,
+        executor="thread",
+    )
+    with service:
+        assert service.resumed == 1
+        resumed = service.queue.jobs["figure5-dead-1"]
+        assert resumed.resumed is True
+        fut = asyncio.run_coroutine_threadsafe(
+            service.queue.wait("figure5-dead-1", timeout=180),
+            service._loop,
+        )
+        finished = fut.result(200)
+        assert finished.state == "done"
+        # only the two cells the first life missed were executed
+        assert finished.misses == 2
+        assert finished.hits == 2
+        result = service.journal.read_result("figure5-dead-1")
+    assert result is not None
+    assert len(json.loads(result["records_json"])["records"]) == 4
+    # a next submission continues the seq counter past the dead job
+    replay = replay_journal(journal.path)
+    assert replay.last_seq == 1
+    assert replay.jobs["figure5-dead-1"].state == "done"

@@ -1,0 +1,172 @@
+"""End-to-end HTTP tests: a real server on an ephemeral port.
+
+The acceptance bar for the service: a figure5 grid submitted over
+HTTP must come back byte-identical to a direct ``run_figure5``
+``--jobs 1`` invocation, and re-submitting the same grid must
+execute zero new simulations.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.cache import ArtifactCache
+from repro.service import CampaignService, ServiceClient
+from repro.service.client import ServiceError, ServiceUnavailable
+
+MICRO = {"benchmarks": ["compress"], "scale": 0.05,
+         "levels": ["basic_block"]}
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = CampaignService(
+        cache=ArtifactCache(root=tmp_path / "cache"),
+        journal_root=tmp_path / "svc",
+        port=0, workers=2, executor="thread",
+    )
+    with svc:
+        yield svc
+
+
+@pytest.fixture()
+def client(service):
+    return ServiceClient(service.base_url)
+
+
+def test_healthz_and_metrics(client):
+    health = client.healthz()
+    assert health["status"] == "ok"
+    assert health["workers"] == 2
+    metrics = client.metrics()
+    assert "counters" in metrics
+    assert "cache" in metrics
+    assert metrics["gauges"]["service.queue_depth"] == 0
+
+
+def test_submitted_grid_matches_direct_run(client, tmp_path):
+    job = client.submit("figure5", MICRO)
+    assert job["kind"] == "figure5"
+    assert job["cells"] == 4
+    view = client.wait(job["job_id"], timeout=180)
+    assert view["job"]["state"] == "done"
+    assert view["job"]["misses"] == 4
+
+    # byte-identity with the direct driver, in a separate cache so
+    # nothing is shared with the service
+    from repro.compiler import HeuristicLevel
+    from repro.experiments.figure5 import (
+        DEFAULT_CONFIGS,
+        format_figure5,
+        run_figure5,
+    )
+    from repro.harness.serialize import grid_records, records_to_json
+
+    direct = run_figure5(
+        benchmarks=["compress"], levels=[HeuristicLevel.BASIC_BLOCK],
+        scale=0.05, jobs=1,
+        cache=ArtifactCache(root=tmp_path / "direct-cache"),
+    )
+    assert view["result"]["records_json"] == records_to_json(
+        "figure5", grid_records(direct.records), 0.05
+    )
+    assert view["result"]["report"] == format_figure5(
+        direct, configs=list(DEFAULT_CONFIGS)
+    )
+
+
+def test_resubmit_is_pure_cache_hits(client):
+    first = client.submit("figure5", MICRO)
+    view1 = client.wait(first["job_id"], timeout=180)
+    again = client.submit("figure5", MICRO)
+    view2 = client.wait(again["job_id"], timeout=60)
+    assert view2["job"]["misses"] == 0
+    assert view2["job"]["hits"] == 4
+    assert view2["result"] == view1["result"]
+    # the job ids share the request's content-hash prefix
+    assert first["job_id"].rsplit("-", 1)[0] == (
+        again["job_id"].rsplit("-", 1)[0]
+    )
+
+
+def test_ledger_and_record_endpoints(client):
+    job = client.submit("figure5", MICRO)
+    client.wait(job["job_id"], timeout=180)
+    lines = client.ledger_lines(job["job_id"])
+    done = [l for l in lines if l.get("outcome") == "ok"]
+    assert len(done) == 4
+    spec_hash = done[0]["spec_hash"]
+    view = client.record(spec_hash)
+    assert view["spec_hash"] == spec_hash
+    assert view["record"]["benchmark"] == "compress"
+    assert view["record"]["cycles"] > 0
+
+
+def test_jobs_listing_in_submission_order(client):
+    a = client.submit("figure5", MICRO)
+    b = client.submit("table1", {"benchmarks": ["compress"],
+                                 "scale": 0.05})
+    listed = client.jobs()
+    assert [j["job_id"] for j in listed] == [a["job_id"], b["job_id"]]
+    client.wait(a["job_id"], timeout=180)
+    client.wait(b["job_id"], timeout=180)
+
+
+def test_error_statuses(client):
+    with pytest.raises(ServiceError) as err:
+        client.submit("nope", {})
+    assert err.value.status == 400
+    with pytest.raises(ServiceError) as err:
+        client.submit("figure5", {"benchmarks": ["unknown-bm"]})
+    assert err.value.status == 400
+    with pytest.raises(ServiceError) as err:
+        client.job("absent-job")
+    assert err.value.status == 404
+    with pytest.raises(ServiceError) as err:
+        client.ledger_lines("absent-job")
+    assert err.value.status == 404
+    with pytest.raises(ServiceError) as err:
+        client.record("feedfeedfeed")
+    assert err.value.status == 404
+    with pytest.raises(ServiceError) as err:
+        client.record("../../etc/passwd")
+    assert err.value.status == 404
+    with pytest.raises(ServiceError) as err:
+        client._json("GET", "/nope")
+    assert err.value.status == 404
+    with pytest.raises(ServiceError) as err:
+        client.cancel("absent-job")
+    assert err.value.status == 404
+
+
+def test_metrics_count_service_traffic(client):
+    job = client.submit("figure5", MICRO)
+    client.wait(job["job_id"], timeout=180)
+    counters = client.metrics()["counters"]
+    assert counters["service.jobs_submitted"] == 1
+    assert counters["service.jobs_done"] == 1
+    assert counters["service.cells_submitted"] == 4
+    assert counters["service.cells_executed"] == 4
+
+
+def test_client_unreachable_server():
+    client = ServiceClient("http://127.0.0.1:9", timeout=2)
+    with pytest.raises(ServiceUnavailable):
+        client.healthz()
+
+
+def test_fuzz_job_over_http(client):
+    job = client.submit("fuzz", {"budget": 1, "seed": 3})
+    view = client.wait(job["job_id"], timeout=180)
+    assert view["job"]["state"] == "done"
+    result = view["result"]
+    assert result["ok"] is True
+    assert result["divergences"] == []
+    assert "report" in result
