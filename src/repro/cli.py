@@ -23,7 +23,12 @@ Commands:
   (``--synth``: the synthetic-generator presets instead;
   ``--json``: machine-readable).
 * ``serve`` — run the campaign service: an async job queue sharding
-  grid/fuzz submissions across worker processes behind an HTTP API.
+  grid/fuzz submissions across worker processes behind an HTTP API
+  (SIGTERM drains: checkpoint, requeue, resume on restart).
+* ``chaos`` — seeded fault-injection campaign against an in-process
+  service; proves convergence to byte-identical results under
+  killed workers, hung shards, poison specs, journal write errors,
+  and cache corruption.
 * ``submit`` — submit a campaign to a running service
   (``--wait`` polls until the job finishes and prints its report).
 * ``jobs`` — list a service's jobs (``--watch`` polls until the
@@ -395,6 +400,46 @@ def build_parser() -> argparse.ArgumentParser:
         default="process",
         help="worker pool flavour (default process)",
     )
+    serve_p.add_argument(
+        "--max-queue-depth", type=int, default=64,
+        help="queued jobs admitted before POST /jobs answers 429 "
+             "with Retry-After (default 64)",
+    )
+    serve_p.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="seconds an HTTP handler waits on the event loop before "
+             "answering 503 (default 30)",
+    )
+    serve_p.add_argument(
+        "--drain-grace", type=float, default=30.0,
+        help="seconds SIGTERM gives in-flight shards to finish "
+             "before checkpointing and requeueing them (default 30)",
+    )
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="seeded chaos campaign against an in-process service",
+    )
+    chaos_p.add_argument(
+        "--budget", type=int, default=25,
+        help="minimum faults to inject before stopping (default 25)",
+    )
+    chaos_p.add_argument("--seed", type=int, default=1,
+                         help="fault schedule seed (default 1)")
+    chaos_p.add_argument("--workers", type=int, default=2,
+                         help="shard workers (default 2)")
+    chaos_p.add_argument(
+        "--max-rounds", type=int, default=12,
+        help="submission rounds before giving up on the fault "
+             "budget (default 12)",
+    )
+    chaos_p.add_argument(
+        "--root", default="",
+        help="directory for the campaign's cache + journal "
+             "(default: a private temp dir, removed afterwards)",
+    )
+    chaos_p.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
 
     sub_p = sub.add_parser(
         "submit",
@@ -871,18 +916,53 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         journal_root=args.journal or None,
         host=args.host, port=args.port,
         workers=args.workers, executor=args.executor,
+        max_queue_depth=args.max_queue_depth,
+        request_timeout=args.request_timeout,
     )
     service.start()
+    service.install_sigterm_drain(grace=args.drain_grace)
     print("\n".join([
         f"campaign service listening on {service.base_url}",
         f"cache root : {cache.root}",
         f"journal    : {service.journal.root}",
         f"workers    : {args.workers} ({args.executor})",
         f"resumed    : {service.resumed} job(s)",
-        "Ctrl-C to stop (journalled jobs resume on restart)",
+        "Ctrl-C to stop; SIGTERM to drain (journalled jobs resume "
+        "on restart)",
     ]), flush=True)
     service.serve_forever()
     return "campaign service stopped"
+
+
+def _cmd_chaos(args: argparse.Namespace) -> str:
+    import json as _json
+
+    from repro.service.chaos import run_chaos_campaign
+
+    report = run_chaos_campaign(
+        budget=args.budget,
+        seed=args.seed,
+        root=args.root or None,
+        workers=args.workers,
+        max_rounds=args.max_rounds,
+        # progress goes to stderr under --json so stdout stays a
+        # single parseable document even when redirected to a file
+        progress=lambda line: print(
+            f"  {line}", flush=True,
+            file=sys.stderr if args.json else sys.stdout,
+        ),
+    )
+    if args.json:
+        from dataclasses import asdict
+
+        payload = asdict(report)
+        payload["ok"] = report.ok
+        out = _json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        out = report.summary()
+    if not report.ok:
+        raise SystemExit(out)
+    return out
 
 
 def _submit_params(args: argparse.Namespace) -> dict:
@@ -946,6 +1026,13 @@ def _cmd_submit(args: argparse.Namespace) -> str:
         view = client.wait(job["job_id"], timeout=args.timeout)
     except (TimeoutError, ServiceUnavailable) as exc:
         raise SystemExit(f"repro submit: {exc}")
+    except KeyboardInterrupt:
+        # The job keeps running server-side; leaving the wait is not
+        # an error.  Point at the watch command and exit cleanly.
+        return "\n".join(lines + [
+            f"wait interrupted; job {job['job_id']} continues — "
+            f"check it with: repro jobs --url {args.url}",
+        ])
     final = view["job"]
     lines = [_format_job_row(final)]
     if final["state"] != "done":
@@ -965,24 +1052,36 @@ def _cmd_jobs(args: argparse.Namespace) -> str:
 
     client = ServiceClient(args.url)
     deadline = _time.monotonic() + args.timeout
-    while True:
-        try:
-            jobs = client.jobs()
-        except ServiceUnavailable as exc:
-            raise SystemExit(f"repro jobs: {exc}")
-        if not args.watch:
-            break
-        active = [
-            j for j in jobs if j["state"] in ("queued", "running")
-        ]
-        if not active:
-            break
-        if _time.monotonic() >= deadline:
-            raise SystemExit(
-                f"repro jobs: {len(active)} job(s) still active "
-                f"after {args.timeout:.0f}s"
-            )
-        _time.sleep(0.2)
+    jobs: list = []
+    try:
+        while True:
+            try:
+                jobs = client.jobs()
+            except ServiceUnavailable as exc:
+                raise SystemExit(f"repro jobs: {exc}")
+            if not args.watch:
+                break
+            active = [
+                j for j in jobs if j["state"] in ("queued", "running")
+            ]
+            if not active:
+                break
+            if _time.monotonic() >= deadline:
+                raise SystemExit(
+                    f"repro jobs: {len(active)} job(s) still active "
+                    f"after {args.timeout:.0f}s"
+                )
+            _time.sleep(0.2)
+    except KeyboardInterrupt:
+        # Ctrl-C out of --watch is a normal way to stop looking, not
+        # an error: show the last snapshot and exit cleanly.
+        print("", flush=True)
+        if not jobs:
+            return "watch interrupted; no jobs"
+        return "\n".join(
+            ["watch interrupted; last snapshot:"]
+            + [_format_job_row(job) for job in jobs]
+        )
     if not jobs:
         return "no jobs"
     return "\n".join(_format_job_row(job) for job in jobs)
@@ -1018,6 +1117,7 @@ _COMMANDS = {
     "gen": _cmd_gen,
     "fuzz": _cmd_fuzz,
     "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
     "fetch": _cmd_fetch,

@@ -230,6 +230,25 @@ def read_ledger(path) -> List[dict]:
     return entries
 
 
+def ledger_events(path, kind: Optional[str] = None) -> List[dict]:
+    """Lifecycle event lines from a ledger (``pool_broken``,
+    ``spec_quarantined``, ...), optionally filtered by ``kind``.
+
+    Spec entries (lines without an ``event`` field) are skipped; the
+    campaign service and the chaos report both read shard ledgers
+    through here to count what the harness survived.
+    """
+    out = []
+    for entry in read_ledger(path):
+        event = entry.get("event")
+        if not event:
+            continue
+        if kind is not None and event != kind:
+            continue
+        out.append(entry)
+    return out
+
+
 def completed_spec_hashes(path) -> set:
     """Spec hashes the ledger records as successfully finished.
 

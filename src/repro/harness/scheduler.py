@@ -109,6 +109,22 @@ def shard_specs(
     return [bucket for bucket in buckets if bucket]
 
 
+def shard_deadline(n_specs: int, base: float = 30.0,
+                   per_spec: float = 10.0) -> float:
+    """Watchdog deadline (seconds) for a shard of ``n_specs`` cells.
+
+    Scales with the work the shard was handed: a shard that blows
+    past ``base + per_spec * n`` is treated as hung (worker deadlock,
+    OOM thrash, a runaway simulation) and retried on a fresh pool by
+    the campaign service's watchdog.  The linear model is deliberate —
+    cells are independent, so honest wall time grows at most linearly
+    in the shard size.
+    """
+    if n_specs < 0:
+        raise ValueError("shard_deadline needs n_specs >= 0")
+    return base + per_spec * n_specs
+
+
 def backoff_delay(attempt: int, base: float, cap: float = 30.0,
                   rng: Optional[random.Random] = None) -> float:
     """Full-jitter exponential backoff: uniform in [0, base * 2^attempt].

@@ -23,9 +23,24 @@ Layers, bottom up:
 * :mod:`~repro.service.server` — :class:`CampaignService`, the
   process that ties the loop thread and HTTP thread together;
 * :mod:`~repro.service.client` — :class:`ServiceClient`, the urllib
-  client the CLI and tests speak.
+  client the CLI and tests speak;
+* :mod:`~repro.service.chaos` — seeded fault injection
+  (:class:`ChaosPlan`) and the convergence-proving campaign behind
+  ``repro chaos``.
+
+Robustness contract: shard watchdogs retry hung/killed workers on
+fresh pools; persistently failing shards bisect down to quarantined
+poison specs instead of failing jobs; admission control answers 429
+with ``Retry-After`` past ``max_queue_depth``; SIGTERM drains (the
+journal checkpoints and a restarted server resumes byte-identically).
 """
 
+from repro.service.chaos import (
+    ChaosPlan,
+    ChaosReport,
+    PoisonSpecError,
+    run_chaos_campaign,
+)
 from repro.service.client import (
     ServiceClient,
     ServiceError,
@@ -48,11 +63,20 @@ from repro.service.journal import (
     ServiceJournal,
     replay_journal,
 )
-from repro.service.queue import EXECUTOR_KINDS, JobQueue
+from repro.service.queue import (
+    EXECUTOR_KINDS,
+    SERVICE_STATES,
+    JobQueue,
+    ServiceDraining,
+    ServiceSaturated,
+    WorkerKilled,
+)
 from repro.service.server import CampaignService, default_journal_root
 
 __all__ = [
     "CampaignService",
+    "ChaosPlan",
+    "ChaosReport",
     "EXECUTOR_KINDS",
     "JOB_KINDS",
     "JOB_STATES",
@@ -62,14 +86,20 @@ __all__ = [
     "JobQueue",
     "JobRequest",
     "JournalReplay",
+    "PoisonSpecError",
+    "SERVICE_STATES",
     "ServiceClient",
+    "ServiceDraining",
     "ServiceError",
     "ServiceJournal",
+    "ServiceSaturated",
     "ServiceUnavailable",
     "TERMINAL_STATES",
+    "WorkerKilled",
     "assemble_result",
     "default_journal_root",
     "expand_specs",
     "parse_grid_arg",
     "replay_journal",
+    "run_chaos_campaign",
 ]

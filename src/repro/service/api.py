@@ -4,13 +4,17 @@ Endpoints::
 
     POST /jobs                submit {"kind": ..., "params": {...}}
                               -> 202 {"job": {...}}
+                              -> 429 + Retry-After when saturated
+                              -> 503 while draining
+                              -> 413 for oversized bodies
     GET  /jobs                -> {"jobs": [...]} submission-ordered
     GET  /jobs/<id>           -> {"job": {...}, "result": {...}|null}
     GET  /jobs/<id>/ledger    -> the per-job run ledger, raw JSONL
     POST /jobs/<id>/cancel    -> {"cancelled": true|false}
     GET  /records/<spec_hash> -> one cached RunRecord as JSON
     GET  /metrics             -> service counters/gauges + cache stats
-    GET  /healthz             -> {"status": "ok", ...}
+    GET  /healthz             -> {"status": "healthy"|"degraded"
+                                            |"draining", ...}
 
 ``GET /records/<spec_hash>`` is the "answers from cache in
 milliseconds" path: it reads the content-addressed store directly —
@@ -20,36 +24,75 @@ record of that cell straight from disk.
 
 The server is a ``ThreadingHTTPServer``: handler threads serve reads
 from queue snapshots and files, and funnel mutations (submit/cancel)
-onto the event loop with ``run_coroutine_threadsafe`` — the queue's
-state machine itself only ever runs on the loop.
+onto the event loop with ``run_coroutine_threadsafe``.  Loop calls
+are bounded by the server's ``request_timeout``; a loop that cannot
+answer in time yields **503** (the service is overloaded or wedged,
+and saying so beats an opaque 500), and admission-control rejections
+map to **429** with a ``Retry-After`` header carrying the queue's
+own estimate — backpressure a dumb retry loop can obey.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+from concurrent.futures import TimeoutError as FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.harness.serialize import record_to_dict
 from repro.service.jobs import JobError, JobRequest
+from repro.service.queue import ServiceDraining, ServiceSaturated
 
 #: bound on request bodies (a submission is a small JSON object)
 MAX_BODY_BYTES = 1 << 20
 
 
+class ServiceTimeout(RuntimeError):
+    """The event loop did not answer within the request timeout."""
+
+
+class _BadBody(ValueError):
+    """A request body the server refuses (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 class ServiceAPI:
     """Glue between HTTP handlers, the queue, and its event loop."""
 
-    def __init__(self, queue, loop: asyncio.AbstractEventLoop) -> None:
+    def __init__(
+        self,
+        queue,
+        loop: asyncio.AbstractEventLoop,
+        request_timeout: float = 30.0,
+    ) -> None:
         self.queue = queue
         self.loop = loop
+        self.request_timeout = request_timeout
 
-    def _call(self, coro, timeout: float = 30.0):
-        """Run a queue coroutine from a handler thread."""
-        return asyncio.run_coroutine_threadsafe(
-            coro, self.loop
-        ).result(timeout)
+    def _call(self, coro, timeout: Optional[float] = None):
+        """Run a queue coroutine from a handler thread, bounded.
+
+        The bound is the server-configured ``request_timeout`` unless
+        a caller overrides it.  On expiry the pending call is
+        cancelled (so an abandoned submit cannot fire minutes later
+        behind the client's back) and :class:`ServiceTimeout` maps to
+        a 503 — the honest answer when the loop is wedged.
+        """
+        future = asyncio.run_coroutine_threadsafe(coro, self.loop)
+        try:
+            return future.result(
+                self.request_timeout if timeout is None else timeout
+            )
+        except FutureTimeout:
+            future.cancel()
+            raise ServiceTimeout(
+                f"service event loop did not answer within "
+                f"{self.request_timeout:.0f}s"
+            )
 
     def submit(self, payload: dict) -> dict:
         request = JobRequest.from_payload(payload)
@@ -88,14 +131,17 @@ class ServiceAPI:
 
     def metrics_view(self) -> dict:
         summary = self.queue.metrics_summary()
+        summary["state"] = self.queue.service_state()
         summary["cache"] = self.queue.cache.stats()
         return summary
 
     def health_view(self) -> dict:
         return {
-            "status": "ok",
+            "status": self.queue.service_state(),
             "jobs": len(self.queue.jobs),
             "queue_depth": self.queue.queue_depth(),
+            "max_queue_depth": self.queue.max_queue_depth,
+            "journal_pending_events": self.queue.journal.pending_events,
             "workers": self.queue.workers,
             "executor": self.queue.executor_kind,
         }
@@ -118,13 +164,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   headers: Optional[Dict[str, str]] = None) -> None:
         body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
             "utf-8"
         )
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -137,20 +186,35 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _error(self, status: int, message: str,
+               headers: Optional[Dict[str, str]] = None) -> None:
+        self._send_json(status, {"error": message}, headers)
 
-    def _read_body(self) -> Optional[dict]:
+    def _read_body(self) -> dict:
+        """Parse the JSON request body; :class:`_BadBody` on refusal.
+
+        Oversized bodies are 413, not 400 — the client sent valid
+        intent at invalid scale, and the distinction matters to a
+        retry loop (shrink the request, don't resend it)."""
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
-            return None
-        if not 0 < length <= MAX_BODY_BYTES:
-            return None
+            raise _BadBody(400, "Content-Length must be an integer")
+        if length <= 0:
+            raise _BadBody(400, "request body must be JSON")
+        if length > MAX_BODY_BYTES:
+            raise _BadBody(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+            )
         try:
-            return json.loads(self.rfile.read(length).decode("utf-8"))
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
-            return None
+            raise _BadBody(400, "request body must be JSON")
+        if not isinstance(payload, dict):
+            raise _BadBody(400, "request body must be a JSON object")
+        return payload
 
     def _route(self) -> Tuple[str, ...]:
         path = self.path.split("?", 1)[0]
@@ -183,6 +247,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                     return self._error(404, f"no record {route[1]!r}")
                 return self._send_json(200, view)
             return self._error(404, f"no route for GET {self.path}")
+        except ServiceTimeout as exc:
+            return self._error(503, str(exc))
         except Exception as exc:  # noqa: BLE001 — a handler must answer
             return self._error(500, repr(exc))
 
@@ -190,13 +256,24 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         route = self._route()
         try:
             if route == ("jobs",):
-                payload = self._read_body()
-                if payload is None:
-                    return self._error(400, "request body must be JSON")
+                try:
+                    payload = self._read_body()
+                except _BadBody as exc:
+                    return self._error(exc.status, str(exc))
                 try:
                     job = self.api.submit(payload)
                 except JobError as exc:
                     return self._error(400, str(exc))
+                except ServiceSaturated as exc:
+                    retry_after = max(1, int(round(exc.retry_after)))
+                    return self._error(
+                        429, str(exc),
+                        {"Retry-After": str(retry_after)},
+                    )
+                except ServiceDraining as exc:
+                    return self._error(
+                        503, str(exc), {"Retry-After": "5"},
+                    )
                 return self._send_json(202, {"job": job})
             if (len(route) == 3 and route[0] == "jobs"
                     and route[2] == "cancel"):
@@ -205,6 +282,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 cancelled = self.api.cancel(route[1])
                 return self._send_json(200, {"cancelled": cancelled})
             return self._error(404, f"no route for POST {self.path}")
+        except ServiceTimeout as exc:
+            return self._error(503, str(exc))
         except Exception as exc:  # noqa: BLE001 — a handler must answer
             return self._error(500, repr(exc))
 

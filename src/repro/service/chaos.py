@@ -1,0 +1,617 @@
+"""Seeded chaos injection for the campaign service.
+
+The service claims to survive killed workers, hung shards, poison
+specs, a disk that stops taking journal writes, and corrupted cache
+entries — this module is the claim's test harness.  A
+:class:`ChaosPlan` is a **seeded, deterministic** fault schedule:
+every injection decision is a pure hash draw over
+``(seed, site identity)``, so the same seed schedules the same
+faults at the same sites, and a failing campaign replays exactly.
+
+Fault kinds and where they bite:
+
+``kill_worker``
+    The shard's worker dies mid-flight: ``SIGKILL`` to the worker
+    process (process pools — surfaces as ``BrokenProcessPool``) or a
+    raised :class:`~repro.service.queue.WorkerKilled` (thread pools).
+    Exercises pool replacement.
+``shard_exception``
+    The shard raises before running any cell.  Exercises the
+    watchdog's same-pool retry.
+``slow_shard``
+    The shard sleeps past its watchdog deadline before doing the
+    work.  Exercises timeout detection, fresh-pool retry, and the
+    ledger tally's tolerance of late background completions.
+``poison_spec``
+    Specific spec hashes raise :class:`PoisonSpecError` inside the
+    worker on *every* attempt (the poison set is a pure function of
+    the spec hash, so bisection converges).  Exercises bisection +
+    quarantine; the cell still completes because result assembly
+    re-runs it serially without the chaos seam — modelling the
+    common real poison, a spec that only fails in worker
+    environments.
+``journal_error``
+    A journal append raises ``OSError`` (injected ENOSPC).
+    Exercises the pending buffer + flush-on-drain path.
+``cache_corrupt``
+    A committed cache entry's bytes are flipped on disk between
+    jobs.  Exercises checksum quarantine + re-execution.
+
+:func:`run_chaos_campaign` drives an in-process
+:class:`~repro.service.server.CampaignService` through the full
+gauntlet — including a mid-campaign SIGTERM-style drain + restart —
+and then **proves convergence**: every job terminal and accounted
+for exactly once, every result byte-identical to a fault-free
+serial re-run on a fresh cache, every quarantined spec explained by
+the plan.  ``repro chaos --budget N --seed S`` is the CLI face; CI
+runs it as the ``chaos-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import signal
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.harness.cache import ArtifactCache
+from repro.harness.scheduler import execute_spec
+from repro.service.jobs import JobRequest, assemble_result, expand_specs
+from repro.service.queue import WorkerKilled
+
+#: every fault kind a plan can schedule
+CHAOS_KINDS = (
+    "kill_worker", "shard_exception", "slow_shard",
+    "poison_spec", "journal_error", "cache_corrupt",
+)
+
+#: per-site injection probabilities (tuned so a handful of micro
+#: rounds accumulates a budget's worth of faults without the slow
+#: kinds dominating wall time)
+DEFAULT_RATES: Dict[str, float] = {
+    "kill_worker": 0.12,
+    "shard_exception": 0.15,
+    "slow_shard": 0.05,
+    "poison_spec": 0.12,
+    "journal_error": 0.15,
+}
+
+
+class PoisonSpecError(RuntimeError):
+    """An injected poison cell: fails in workers, every attempt."""
+
+
+class ChaosPlan:
+    """A seeded fault schedule plus the ledger of what it injected.
+
+    Decisions are pure draws — ``_draw(*site) < rate`` — so they are
+    independent of execution order; only the global ``max_faults``
+    cap (a runaway backstop, far above any real campaign) couples
+    sites, under a lock.  ``injected`` records every fault for the
+    campaign report and the convergence checks.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        rates: Optional[Dict[str, float]] = None,
+        max_faults: int = 10_000,
+        slow_extra: float = 0.5,
+    ) -> None:
+        self.seed = int(seed)
+        self.rates = dict(DEFAULT_RATES)
+        if rates:
+            unknown = set(rates) - set(DEFAULT_RATES)
+            if unknown:
+                raise ValueError(
+                    f"unknown chaos rate(s): {', '.join(sorted(unknown))}"
+                )
+            self.rates.update(rates)
+        self.max_faults = max_faults
+        self.slow_extra = slow_extra
+        self.injected: List[dict] = []
+        self._lock = threading.Lock()
+        self._journal_writes = 0
+        self._poison_recorded: set = set()
+
+    # -- deterministic draws -------------------------------------------
+
+    def _draw(self, *site) -> float:
+        """Uniform-ish in [0, 1), a pure function of (seed, site)."""
+        key = ":".join([str(self.seed), *(str(part) for part in site)])
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return int(digest[:12], 16) / float(1 << 48)
+
+    def is_poison(self, spec_hash: str) -> bool:
+        """Whether a spec is scheduled as poison (pure per-hash draw,
+        so every shard attempt and every bisection half agrees)."""
+        return self._draw("poison", spec_hash) < self.rates["poison_spec"]
+
+    def _record(self, kind: str, **site) -> bool:
+        """Account one injection; False once the backstop cap is hit."""
+        with self._lock:
+            if len(self.injected) >= self.max_faults:
+                return False
+            self.injected.append({"kind": kind, **site})
+            return True
+
+    @property
+    def fault_count(self) -> int:
+        with self._lock:
+            return len(self.injected)
+
+    def faults_by_kind(self) -> Dict[str, int]:
+        with self._lock:
+            out: Dict[str, int] = {}
+            for fault in self.injected:
+                out[fault["kind"]] = out.get(fault["kind"], 0) + 1
+            return out
+
+    # -- injection sites -----------------------------------------------
+
+    def shard_chaos(
+        self,
+        *,
+        job_id: str,
+        shard_index: int,
+        attempt: int,
+        spec_hashes: List[str],
+        deadline: float,
+        executor: str,
+        bisecting: bool,
+    ) -> Optional[dict]:
+        """The picklable fault payload for one shard attempt.
+
+        Poison hashes ride every attempt (they must, or bisection
+        could not converge on them); the transient faults fire only
+        on a shard's first non-bisecting attempt, so retries are
+        guaranteed to make progress and the only thing bisection ever
+        isolates is genuine poison.
+        """
+        payload: Dict[str, object] = {}
+        poison = [h for h in spec_hashes if self.is_poison(h)]
+        if poison:
+            payload["poison_hashes"] = poison
+            for spec_hash in poison:
+                with self._lock:
+                    if (spec_hash not in self._poison_recorded
+                            and len(self.injected) < self.max_faults):
+                        self._poison_recorded.add(spec_hash)
+                        self.injected.append({
+                            "kind": "poison_spec",
+                            "spec_hash": spec_hash,
+                            "job_id": job_id,
+                        })
+        if attempt == 0 and not bisecting:
+            draw = self._draw("shard", job_id, shard_index)
+            edge = 0.0
+            fault = None
+            for kind in ("kill_worker", "shard_exception", "slow_shard"):
+                edge += self.rates[kind]
+                if draw < edge:
+                    fault = kind
+                    break
+            if fault is not None and self._record(
+                fault, job_id=job_id, shard=shard_index,
+            ):
+                if fault == "kill_worker":
+                    payload["kill"] = executor
+                elif fault == "shard_exception":
+                    payload["raise"] = (
+                        f"chaos: injected shard exception "
+                        f"({job_id} shard {shard_index})"
+                    )
+                else:
+                    payload["sleep"] = deadline + self.slow_extra
+        return payload or None
+
+    def journal_fault_hook(self) -> Callable[[dict], None]:
+        """A :class:`~repro.service.journal.ServiceJournal`
+        ``fault_hook``: fails individual write attempts with an
+        injected ENOSPC.  Keyed by attempt number, not payload, so a
+        buffered event's retry eventually lands — a transient disk,
+        not a dead one."""
+
+        def hook(payload: dict) -> None:
+            with self._lock:
+                write_no = self._journal_writes
+                self._journal_writes += 1
+            if self._draw("journal", write_no) < self.rates["journal_error"]:
+                if self._record(
+                    "journal_error",
+                    write=write_no, event=payload.get("event"),
+                ):
+                    raise OSError(28, "chaos: injected journal ENOSPC")
+
+        return hook
+
+    def corrupt_cache_entry(self, cache_root, site: str) -> Optional[str]:
+        """Flip bytes inside one committed record, deterministically.
+
+        Picks the entry by a draw over the sorted listing, overwrites
+        a slice of its pickled payload (leaving the ``RPC1`` header
+        so the checksum check, not a parse error, catches it), and
+        returns the victim's filename.  The cache quarantines it on
+        the next read and the cell re-executes — corruption costs one
+        re-simulation, never a wrong result.
+        """
+        records_dir = Path(cache_root) / "records"
+        victims = sorted(records_dir.glob("*.pkl"))
+        if not victims:
+            return None
+        victim = victims[int(self._draw("corrupt", site) * len(victims))
+                         % len(victims)]
+        raw = bytearray(victim.read_bytes())
+        offset = min(len(raw) - 1, 40)  # inside the pickled payload
+        for i in range(offset, min(len(raw), offset + 8)):
+            raw[i] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        self._record("cache_corrupt", entry=victim.name, site=site)
+        return victim.name
+
+
+# -- worker-side application (crosses the pool boundary as a dict) ----
+
+def apply_shard_chaos(chaos: dict) -> None:
+    """Fire the shard-level faults encoded in a chaos payload.
+
+    Runs at the top of ``_execute_shard``, inside the worker.  Order
+    matters: a slow shard sleeps first (so the watchdog sees a hang,
+    not an error), then kills, then raises.
+    """
+    sleep = chaos.get("sleep")
+    if sleep:
+        time.sleep(float(sleep))
+    kill = chaos.get("kill")
+    if kill == "process":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kill:
+        raise WorkerKilled("chaos: worker killed mid-shard")
+    message = chaos.get("raise")
+    if message:
+        raise RuntimeError(message)
+
+
+def poison_worker(poison_hashes, base, salt: str):
+    """Wrap a spec worker so scheduled poison hashes always fail.
+
+    With no poison scheduled the base worker is returned *unchanged* —
+    identity matters, because the scheduler only warm-starts the
+    compiled-artifact cache for the canonical ``execute_spec``.
+    """
+    if not poison_hashes:
+        return base
+    hashes = frozenset(poison_hashes)
+    inner = base or execute_spec
+
+    def worker(spec):
+        if spec.spec_hash(salt) in hashes:
+            raise PoisonSpecError(
+                f"chaos: poison spec {spec.describe()}"
+            )
+        return inner(spec)
+
+    return worker
+
+
+# -- the campaign ------------------------------------------------------
+
+@dataclass
+class ChaosReport:
+    """What a chaos campaign injected and whether the service held."""
+
+    seed: int
+    budget: int
+    rounds: int
+    restarts: int
+    resumed_jobs: int
+    faults: Dict[str, int]
+    fault_count: int
+    jobs_submitted: int
+    jobs_done: int
+    rejected_429: int
+    quarantined_specs: int
+    #: human-readable convergence violations; empty means the service
+    #: absorbed every fault without losing, duplicating, or corrupting
+    #: a single job
+    violations: List[str] = field(default_factory=list)
+    metrics: Optional[Dict] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.fault_count >= self.budget
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos campaign: seed={self.seed} budget={self.budget} "
+            f"-> {self.fault_count} fault(s) injected over "
+            f"{self.rounds} round(s), {self.restarts} restart(s)",
+            f"  jobs: {self.jobs_done}/{self.jobs_submitted} done, "
+            f"{self.resumed_jobs} resumed after drain, "
+            f"{self.rejected_429} rejected with 429, "
+            f"{self.quarantined_specs} spec(s) quarantined",
+        ]
+        for kind in CHAOS_KINDS:
+            count = self.faults.get(kind, 0)
+            if count:
+                lines.append(f"  {kind:<16} {count}")
+        if self.violations:
+            lines.append(f"  VIOLATIONS ({len(self.violations)}):")
+            lines.extend(f"    {v}" for v in self.violations)
+        else:
+            lines.append(
+                "  converged: all results byte-identical to fault-free "
+                "serial runs; zero jobs lost or duplicated"
+            )
+        return "\n".join(lines)
+
+
+def _chaos_job_mix(round_no: int) -> List[dict]:
+    """One round's submissions: every request kind family the service
+    shards differently, at micro scale, made unique per round via an
+    inert ``chaos_round`` param (drivers ignore it; the content hash
+    does not)."""
+    micro = {"benchmarks": ["compress"], "scale": 0.05,
+             "chaos_round": round_no}
+    return [
+        {"kind": "figure5",
+         "params": {**micro, "levels": ["basic_block"]}},
+        {"kind": "table1", "params": {**micro, "n_pus": 4}},
+        {"kind": "breakdown", "params": {**micro, "n_pus": 2}},
+        {"kind": "fuzz",
+         "params": {"budget": 3, "seed": 7, "chaos_round": round_no}},
+    ]
+
+
+def run_chaos_campaign(
+    budget: int = 25,
+    seed: int = 1,
+    root=None,
+    workers: int = 2,
+    max_rounds: int = 12,
+    rates: Optional[Dict[str, float]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Drive a service through seeded faults and prove convergence.
+
+    Each round submits the micro job mix over HTTP (retrying 429/503
+    like a well-behaved client) and waits it out; rounds repeat until
+    at least ``budget`` faults have been injected.  Round 1 ends with
+    an injected cache corruption; round 2 ends with a short-grace
+    drain + restart on the same journal and cache (the SIGTERM path),
+    resuming whatever the drain abandoned.
+
+    Convergence is then checked the hard way: every submitted job
+    must appear exactly once and be ``done``; every distinct request
+    is re-assembled serially on a **fresh** cache with no chaos and
+    must byte-compare equal to what the service returned; every
+    quarantined spec must be one the plan actually poisoned, and
+    every poisoned cell must still be present in the final result.
+    """
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.server import CampaignService
+
+    say = progress or (lambda _line: None)
+    owns_root = root is None
+    root = Path(root) if root is not None else Path(
+        tempfile.mkdtemp(prefix="repro-chaos-")
+    )
+    cache_root = root / "cache"
+    plan = ChaosPlan(seed, rates=rates)
+
+    def make_service() -> CampaignService:
+        service = CampaignService(
+            cache=ArtifactCache(root=cache_root),
+            journal_root=root / "service",
+            port=0,
+            workers=workers,
+            executor="thread",
+            retries=1,
+            backoff=0.01,
+            max_queue_depth=16,
+            shard_deadline_base=4.0,
+            shard_deadline_per_spec=1.5,
+            shard_retries=1,
+            journal_compact_bytes=48 << 10,
+            chaos=plan,
+            journal_fault_hook=plan.journal_fault_hook(),
+        )
+        service.start()
+        return service
+
+    def submit_patiently(client, payload, deadline: float) -> dict:
+        """Submit with backpressure manners: sleep out 429/503."""
+        nonlocal rejected_429
+        while True:
+            try:
+                return client.submit(payload["kind"], payload["params"])
+            except ServiceError as exc:
+                if exc.status not in (429, 503):
+                    raise
+                if exc.status == 429:
+                    rejected_429 += 1
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(min(exc.retry_after or 0.2, 1.0))
+
+    submitted: List[str] = []
+    payload_of: Dict[str, dict] = {}
+    rejected_429 = 0
+    restarts = 0
+    resumed_jobs = 0
+    rounds = 0
+    merged_metrics: Optional[Dict] = None
+    service = make_service()
+    try:
+        # at least 3 rounds, always: round 1 seeds the cache and gets
+        # corrupted, round 2 drains + restarts mid-flight, round 3
+        # proves the resumed server is healthy — then keep going
+        # until the fault budget is met
+        while rounds < max_rounds and (
+            rounds < 3 or plan.fault_count < budget
+        ):
+            rounds += 1
+            client = ServiceClient(service.base_url, timeout=15.0)
+            round_ids: List[str] = []
+            for payload in _chaos_job_mix(rounds):
+                job = submit_patiently(
+                    client, payload, time.monotonic() + 60.0,
+                )
+                submitted.append(job["job_id"])
+                payload_of[job["job_id"]] = payload
+                round_ids.append(job["job_id"])
+            if rounds == 2:
+                # Drain mid-round with a grace too short to finish:
+                # the SIGTERM path.  Whatever was in flight must be
+                # resumed — not lost, not restarted from zero — by
+                # the replacement server on the same journal.  The
+                # round's regular jobs are warm-cache and can outrun
+                # the drain, so pin down a cold one first: a grid no
+                # earlier round has compiled, guaranteed to still be
+                # unfinished when the server goes down.
+                cold = {"kind": "fuzz", "params": {
+                    "budget": 6, "seed": 20_000 + seed,
+                }}
+                job = submit_patiently(
+                    client, cold, time.monotonic() + 60.0,
+                )
+                submitted.append(job["job_id"])
+                payload_of[job["job_id"]] = cold
+                round_ids.append(job["job_id"])
+                say("round 2: drain + restart with jobs in flight")
+                from repro.telemetry.metrics import merge_summaries
+
+                service.drain(grace=0.05)
+                # snapshot *after* the drain so jobs that finished
+                # inside the grace window are counted; the restarted
+                # server's registry starts from zero and the two are
+                # merged into one cross-generation view
+                snapshot = service.queue.metrics_summary()
+                merged_metrics = (
+                    snapshot if merged_metrics is None
+                    else merge_summaries(merged_metrics, snapshot)
+                )
+                restarts += 1
+                service = make_service()
+                resumed_jobs += service.resumed
+                client = ServiceClient(service.base_url, timeout=15.0)
+            for job_id in round_ids:
+                client.wait(job_id, timeout=180.0)
+            if rounds == 1:
+                victim = plan.corrupt_cache_entry(cache_root, "round1")
+                say(f"round 1: corrupted cache entry {victim}")
+            say(
+                f"round {rounds}: {plan.fault_count}/{budget} faults, "
+                f"{len(submitted)} jobs submitted"
+            )
+
+        # -- convergence checks ----------------------------------------
+        client = ServiceClient(service.base_url, timeout=15.0)
+        job_views = client.jobs()
+        final_jobs = {view["job_id"]: view for view in job_views}
+        violations: List[str] = []
+        if len(job_views) != len(final_jobs):
+            violations.append("duplicate job_ids in final job list")
+        for job_id in submitted:
+            view = final_jobs.get(job_id)
+            if view is None:
+                violations.append(f"job {job_id} lost")
+            elif view["state"] != "done":
+                violations.append(
+                    f"job {job_id} ended {view['state']!r}: "
+                    f"{view.get('error')}"
+                )
+        unknown = set(final_jobs) - set(submitted)
+        if unknown:
+            violations.append(
+                f"{len(unknown)} job(s) appeared that were never "
+                f"submitted: {sorted(unknown)[:3]}"
+            )
+
+        quarantined = 0
+        with tempfile.TemporaryDirectory(
+            prefix="repro-chaos-ref-"
+        ) as ref_root:
+            reference_cache = ArtifactCache(root=ref_root)
+            reference: Dict[str, str] = {}
+            for job_id in submitted:
+                payload = payload_of[job_id]
+                request = JobRequest(
+                    kind=payload["kind"], params=dict(payload["params"]),
+                )
+                key = json.dumps(payload, sort_keys=True)
+                if key not in reference:
+                    reference[key] = json.dumps(
+                        assemble_result(request, reference_cache),
+                        indent=2, sort_keys=True,
+                    )
+                view = final_jobs.get(job_id)
+                if view is None or view["state"] != "done":
+                    continue
+                result = client.job(job_id)["result"]
+                got = json.dumps(result, indent=2, sort_keys=True)
+                if got != reference[key]:
+                    violations.append(
+                        f"job {job_id} result diverged from the "
+                        f"fault-free serial run"
+                    )
+                poisoned = set(view.get("poisoned") or [])
+                quarantined += len(poisoned)
+                salt = reference_cache.salt
+                expected = {
+                    h for h in (
+                        s.spec_hash(salt) for s in expand_specs(request)
+                    ) if plan.is_poison(h)
+                }
+                bogus = poisoned - expected
+                if bogus:
+                    violations.append(
+                        f"job {job_id} quarantined spec(s) the plan "
+                        f"never poisoned: {sorted(bogus)[:3]}"
+                    )
+
+        snapshot = service.queue.metrics_summary()
+        from repro.telemetry.metrics import merge_summaries
+
+        merged_metrics = (
+            snapshot if merged_metrics is None
+            else merge_summaries(merged_metrics, snapshot)
+        )
+        if plan.fault_count < budget:
+            violations.append(
+                f"only {plan.fault_count}/{budget} faults injected in "
+                f"{rounds} round(s) — raise max_rounds or rates"
+            )
+        if restarts and not resumed_jobs:
+            violations.append(
+                "drain + restart never caught a job in flight — the "
+                "resume path went unexercised"
+            )
+        return ChaosReport(
+            seed=seed,
+            budget=budget,
+            rounds=rounds,
+            restarts=restarts,
+            resumed_jobs=resumed_jobs,
+            faults=plan.faults_by_kind(),
+            fault_count=plan.fault_count,
+            jobs_submitted=len(submitted),
+            jobs_done=sum(
+                1 for v in final_jobs.values() if v["state"] == "done"
+            ),
+            rejected_429=rejected_429,
+            quarantined_specs=quarantined,
+            violations=violations,
+            metrics=merged_metrics,
+        )
+    finally:
+        service.stop()
+        if owns_root:
+            shutil.rmtree(root, ignore_errors=True)

@@ -2,9 +2,14 @@
 
 ``ServiceClient`` is what ``repro submit`` / ``repro jobs`` /
 ``repro fetch`` speak, and what tests use to drive an in-process
-server.  It is deliberately dumb: JSON in, JSON out, no retries —
-the service itself owns retry semantics for simulation work, and a
-dead server should surface immediately as ``ServiceUnavailable``.
+server.  It is deliberately simple — JSON in, JSON out — but not
+naive about transport: a connection reset, refused connection, or
+dropped socket mid-poll (a server restarting under an orchestrator,
+a laptop waking up) is retried a bounded number of times with
+full-jitter backoff before surfacing as ``ServiceUnavailable``.
+*Application* errors are never retried here: a 4xx/5xx answer is the
+server speaking, and what to do with a 429's ``Retry-After`` is the
+caller's policy (``ServiceError.retry_after`` carries it).
 """
 
 from __future__ import annotations
@@ -15,59 +20,100 @@ import urllib.error
 import urllib.request
 from typing import Dict, List, Optional
 
+from repro.harness.scheduler import backoff_delay
+
 
 class ServiceUnavailable(RuntimeError):
-    """The server could not be reached at all."""
+    """The server could not be reached (after transport retries)."""
 
 
 class ServiceError(RuntimeError):
-    """The server answered with an error status."""
+    """The server answered with an error status.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` is the parsed ``Retry-After`` header (seconds)
+    when the server sent one — 429 and 503 responses do — so callers
+    can obey the server's own backpressure estimate.
+    """
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.retry_after = retry_after
 
 
 class ServiceClient:
-    """Talks to one campaign server at ``base_url``."""
+    """Talks to one campaign server at ``base_url``.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    ``retries`` bounds transport-level retries per request (connection
+    refused/reset, DNS hiccups); ``backoff`` seeds the full-jitter
+    delay between them.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 3, backoff: float = 0.2) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
 
     # -- transport -----------------------------------------------------
 
     def _request(self, method: str, path: str,
                  body: Optional[dict] = None) -> tuple:
+        """One HTTP exchange -> ``(status, text, retry_after)``.
+
+        Transport failures retry with full-jitter backoff; HTTP error
+        *responses* return normally — reaching the server and being
+        told "no" are different failures with different remedies.
+        """
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            url, data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return resp.status, resp.read().decode("utf-8")
-        except urllib.error.HTTPError as exc:
-            return exc.code, exc.read().decode("utf-8")
-        except (urllib.error.URLError, OSError) as exc:
-            raise ServiceUnavailable(
-                f"cannot reach campaign service at {self.base_url}: {exc}"
-            ) from exc
+        attempt = 0
+        while True:
+            request = urllib.request.Request(
+                url, data=data, headers=headers, method=method
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as resp:
+                    return (
+                        resp.status,
+                        resp.read().decode("utf-8"),
+                        _parse_retry_after(resp.headers),
+                    )
+            except urllib.error.HTTPError as exc:
+                return (
+                    exc.code,
+                    exc.read().decode("utf-8"),
+                    _parse_retry_after(exc.headers),
+                )
+            except (urllib.error.URLError, OSError) as exc:
+                if attempt >= self.retries:
+                    raise ServiceUnavailable(
+                        f"cannot reach campaign service at "
+                        f"{self.base_url} after {attempt + 1} "
+                        f"attempt(s): {exc}"
+                    ) from exc
+                time.sleep(backoff_delay(attempt, self.backoff, cap=5.0))
+                attempt += 1
 
     def _json(self, method: str, path: str,
               body: Optional[dict] = None) -> dict:
-        status, text = self._request(method, path, body)
+        status, text, retry_after = self._request(method, path, body)
         try:
             payload = json.loads(text)
         except ValueError:
             payload = {"error": text.strip() or f"HTTP {status}"}
         if status >= 400:
             raise ServiceError(
-                status, payload.get("error", f"HTTP {status}")
+                status, payload.get("error", f"HTTP {status}"),
+                retry_after=retry_after,
             )
         return payload
 
@@ -87,7 +133,7 @@ class ServiceClient:
         return self._json("POST", f"/jobs/{job_id}/cancel")["cancelled"]
 
     def ledger_lines(self, job_id: str) -> List[dict]:
-        status, text = self._request("GET", f"/jobs/{job_id}/ledger")
+        status, text, _ = self._request("GET", f"/jobs/{job_id}/ledger")
         if status >= 400:
             raise ServiceError(status, text.strip())
         lines = []
@@ -115,6 +161,9 @@ class ServiceClient:
         """Poll until the job reaches a terminal state.
 
         Returns the final ``GET /jobs/<id>`` view (job + result).
+        Transport blips mid-poll are already retried by
+        ``_request``, so a server restart under this loop costs a
+        few polls, not the wait.
         """
         deadline = time.monotonic() + timeout
         while True:
@@ -127,6 +176,19 @@ class ServiceClient:
                     f"after {timeout:.0f}s"
                 )
             time.sleep(poll)
+
+
+def _parse_retry_after(headers) -> Optional[float]:
+    """Seconds from a ``Retry-After`` header, if present and numeric."""
+    if headers is None:
+        return None
+    value = headers.get("Retry-After")
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
 
 
 def parse_grid_arg(grid: str) -> Dict[str, object]:

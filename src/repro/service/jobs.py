@@ -383,6 +383,11 @@ class Job:
     hits: Optional[int] = None
     #: populated when the job was re-enqueued from the journal
     resumed: bool = False
+    #: spec hashes quarantined by the shard watchdog's bisection —
+    #: these cells failed persistently in workers; the job completed
+    #: without them (assembly retries them serially and only then
+    #: gives up on the cell)
+    poisoned: List[str] = field(default_factory=list)
 
     def transition(self, state: str) -> None:
         """Move the state machine; illegal edges are hard errors."""
@@ -416,4 +421,5 @@ class Job:
             "misses": self.misses,
             "hits": self.hits,
             "resumed": self.resumed,
+            "poisoned": list(self.poisoned),
         }

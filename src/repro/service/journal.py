@@ -9,6 +9,8 @@ submission and every state transition::
      "request": {"kind": "figure5", "params": {...}}, "cells": 16}
     {"ts": ..., "journal_schema": 1, "event": "state",
      "job_id": "...", "state": "running"}
+    {"ts": ..., "journal_schema": 1, "event": "poisoned",
+     "job_id": "...", "spec_hash": "ab12..", "spec": "compress/..."}
     {"ts": ..., "journal_schema": 1, "event": "state",
      "job_id": "...", "state": "done", "misses": 16, "hits": 0}
 
@@ -22,6 +24,24 @@ reconstructs every job's final state; jobs that were ``queued`` or
 completed cells resolve as artifact-cache hits, so a resumed job
 finishes exactly like ``--resume`` finishes an interrupted grid.
 
+Disk failures degrade instead of crashing the queue: an append that
+raises ``OSError`` (ENOSPC, a yanked volume, an injected chaos
+fault) parks the event on a bounded in-memory **pending buffer** and
+every later append retries the buffer first, so a transient disk
+error costs nothing once the disk recovers.  :meth:`flush` drains
+the buffer explicitly — the drain path calls it so a SIGTERM
+checkpoint gets every event onto disk that the disk will take.
+While events are pending the service reports itself ``degraded``
+(see ``JobQueue.service_state``).
+
+A journal that only ever grows would eventually become the disk
+problem it guards against, so :meth:`maybe_compact` rewrites it once
+it exceeds a size threshold: replay the file, then atomically
+replace it with one ``submitted`` line, any ``poisoned`` lines, and
+one terminal ``state`` line per job — dropping the intermediate
+``running``/``resumed``/note chatter that dominates a long-lived
+server's journal.
+
 Alongside the journal file the service keeps per-job artefacts under
 the same directory::
 
@@ -33,10 +53,12 @@ the same directory::
 from __future__ import annotations
 
 import json
+import os
 import time
+import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.harness.ledger import append_jsonl_line
 from repro.service.jobs import TERMINAL_STATES, Job, JobRequest
@@ -44,12 +66,33 @@ from repro.service.jobs import TERMINAL_STATES, Job, JobRequest
 #: current journal schema; bump when the event shape changes
 JOURNAL_SCHEMA_VERSION = 1
 
+#: events parked on the pending buffer before the oldest are dropped
+PENDING_LIMIT = 256
+
 
 class ServiceJournal:
-    """Appends queue events under a journal directory."""
+    """Appends queue events under a journal directory.
 
-    def __init__(self, root) -> None:
+    ``fault_hook`` is a test/chaos seam: a callable invoked with each
+    payload about to be written; raising ``OSError`` from it simulates
+    a failing disk (the event is buffered exactly like a real ENOSPC).
+    ``on_write_error`` is called once per failed write attempt — the
+    queue wires it to a metrics counter.
+    """
+
+    def __init__(
+        self,
+        root,
+        fault_hook: Optional[Callable[[dict], None]] = None,
+        on_write_error: Optional[Callable[[], None]] = None,
+    ) -> None:
         self.root = Path(root)
+        self.fault_hook = fault_hook
+        self.on_write_error = on_write_error
+        self.write_errors = 0
+        self.dropped_events = 0
+        self.compactions = 0
+        self._pending: List[dict] = []
 
     # -- paths ---------------------------------------------------------
 
@@ -72,7 +115,40 @@ class ServiceJournal:
             "event": event,
         }
         payload.update(detail)
-        append_jsonl_line(self.path, payload)
+        self._pending.append(payload)
+        self.flush()
+
+    def flush(self) -> bool:
+        """Write every pending event; True when the buffer drained.
+
+        Failed writes leave the remaining events pending (oldest
+        first, so the on-disk order still matches the event order).
+        When the buffer overflows :data:`PENDING_LIMIT` the oldest
+        events are dropped and counted — bounded memory beats an
+        unbounded queue on a dead disk.
+        """
+        while self._pending:
+            payload = self._pending[0]
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook(payload)
+                append_jsonl_line(self.path, payload)
+            except OSError:
+                self.write_errors += 1
+                if self.on_write_error is not None:
+                    self.on_write_error()
+                overflow = len(self._pending) - PENDING_LIMIT
+                if overflow > 0:
+                    del self._pending[:overflow]
+                    self.dropped_events += overflow
+                return False
+            self._pending.pop(0)
+        return True
+
+    @property
+    def pending_events(self) -> int:
+        """Events buffered in memory waiting for the disk to recover."""
+        return len(self._pending)
 
     def submitted(self, job: Job, job_seq: int) -> None:
         self._append(
@@ -85,6 +161,20 @@ class ServiceJournal:
 
     def state(self, job: Job, **detail) -> None:
         self._append("state", job_id=job.job_id, state=job.state, **detail)
+
+    def poisoned(self, job: Job, spec_hash: str, spec: str) -> None:
+        """One quarantined RunSpec: the job continues without it."""
+        self._append(
+            "poisoned", job_id=job.job_id, spec_hash=spec_hash, spec=spec,
+        )
+
+    def note(self, event: str, **detail) -> None:
+        """A service lifecycle event not tied to one job (e.g. drain).
+
+        Replay ignores events without a ``job_id``, so notes are pure
+        observability — they never change reconstructed state.
+        """
+        self._append(event, **detail)
 
     def write_result(self, job_id: str, result: Dict) -> None:
         """Persist the assembled result document (atomic enough: the
@@ -104,6 +194,100 @@ class ServiceJournal:
         except (OSError, ValueError):
             return None
 
+    # -- compaction ----------------------------------------------------
+
+    def size_bytes(self) -> int:
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+    def maybe_compact(self, threshold_bytes: int) -> bool:
+        """Compact the journal when it exceeds ``threshold_bytes``.
+
+        Returns True when a compaction happened.  Skipped while
+        events are pending (compacting around a failing disk would
+        race the retry buffer).
+        """
+        if threshold_bytes <= 0 or self.size_bytes() <= threshold_bytes:
+            return False
+        if not self.flush():
+            return False
+        return self.compact()
+
+    def compact(self) -> bool:
+        """Rewrite the journal as the minimal equivalent event stream.
+
+        Per job, in the original submission order: the ``submitted``
+        event, every ``poisoned`` event, and (for jobs that reached a
+        terminal state) one final ``state`` event.  Queued and running
+        jobs keep only their submission — replay re-enqueues them
+        either way.  The rewrite goes through a temp file +
+        ``os.replace`` so a crash mid-compaction leaves the old
+        journal intact.
+        """
+        replay = replay_journal(self.path)
+        lines: List[str] = []
+        for job_id in replay.order:
+            job = replay.jobs[job_id]
+            lines.append(json.dumps({
+                "ts": job.submitted_ts,
+                "journal_schema": JOURNAL_SCHEMA_VERSION,
+                "event": "submitted",
+                "job_id": job_id,
+                "job_seq": replay.seqs.get(job_id, 0),
+                "request": job.request.payload(),
+                "cells": job.cells,
+            }))
+            for spec_hash in job.poisoned:
+                lines.append(json.dumps({
+                    "journal_schema": JOURNAL_SCHEMA_VERSION,
+                    "event": "poisoned",
+                    "job_id": job_id,
+                    "spec_hash": spec_hash,
+                }))
+            if job.terminal:
+                if job.state != "cancelled":
+                    # replay walks the legal state machine, and
+                    # done/failed are only reachable via running —
+                    # keep that edge or the terminal event is inert
+                    lines.append(json.dumps({
+                        "ts": job.started_ts,
+                        "journal_schema": JOURNAL_SCHEMA_VERSION,
+                        "event": "state",
+                        "job_id": job_id,
+                        "state": "running",
+                    }))
+                lines.append(json.dumps({
+                    "ts": job.finished_ts,
+                    "journal_schema": JOURNAL_SCHEMA_VERSION,
+                    "event": "state",
+                    "job_id": job_id,
+                    "state": job.state,
+                    "error": job.error,
+                    "misses": job.misses,
+                    "hits": job.hits,
+                }))
+        tmp = self.path.parent / f".{self.path.name}.{uuid.uuid4().hex[:8]}.tmp"
+        try:
+            tmp.write_text(
+                "".join(line + "\n" for line in lines), encoding="utf-8"
+            )
+            os.replace(tmp, self.path)
+        except OSError:
+            self.write_errors += 1
+            if self.on_write_error is not None:
+                self.on_write_error()
+            return False
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        self.compactions += 1
+        return True
+
 
 @dataclass
 class JournalReplay:
@@ -115,6 +299,8 @@ class JournalReplay:
     order: List[str] = field(default_factory=list)
     #: highest job_seq seen (the next submission continues from here)
     last_seq: int = 0
+    #: job_id -> its journalled job_seq (compaction preserves these)
+    seqs: Dict[str, int] = field(default_factory=dict)
 
     @property
     def unfinished(self) -> List[Job]:
@@ -129,19 +315,20 @@ def replay_journal(path) -> JournalReplay:
     """Reconstruct queue state from a journal file.
 
     Torn or malformed lines are skipped (single-write appends mean
-    only the tail can tear); unknown events and unknown fields are
-    ignored, so old servers read journals written by newer ones.
-    State transitions are applied through the same
-    :meth:`~repro.service.jobs.Job.transition` state machine the live
-    queue uses — an illegal edge in a (hand-edited or truncated)
-    journal degrades to keeping the last legal state rather than
-    crashing the server at startup.
+    only the tail can tear — but a disk that corrupted lines
+    mid-file degrades to losing those events, not the whole journal);
+    unknown events and unknown fields are ignored, so old servers
+    read journals written by newer ones.  State transitions are
+    applied through the same :meth:`~repro.service.jobs.Job.transition`
+    state machine the live queue uses — an illegal edge in a
+    (hand-edited or truncated) journal degrades to keeping the last
+    legal state rather than crashing the server at startup.
     """
     replay = JournalReplay()
     path = Path(path)
     if not path.exists():
         return replay
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
         for line in handle:
             line = line.strip()
             if not line:
@@ -149,12 +336,12 @@ def replay_journal(path) -> JournalReplay:
             try:
                 entry = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn tail
+                continue  # torn tail or corrupted span
             if not isinstance(entry, dict):
                 continue
             event = entry.get("event")
             job_id = entry.get("job_id")
-            if not job_id:
+            if not job_id or not isinstance(job_id, str):
                 continue
             if event == "submitted":
                 request = entry.get("request") or {}
@@ -174,8 +361,17 @@ def replay_journal(path) -> JournalReplay:
                 if job_id not in replay.order:
                     replay.order.append(job_id)
                 seq = entry.get("job_seq")
-                if isinstance(seq, int) and seq > replay.last_seq:
-                    replay.last_seq = seq
+                if isinstance(seq, int):
+                    replay.seqs[job_id] = seq
+                    if seq > replay.last_seq:
+                        replay.last_seq = seq
+            elif event == "poisoned":
+                job = replay.jobs.get(job_id)
+                spec_hash = entry.get("spec_hash")
+                if job is None or not isinstance(spec_hash, str):
+                    continue
+                if spec_hash not in job.poisoned:
+                    job.poisoned.append(spec_hash)
             elif event == "state":
                 job = replay.jobs.get(job_id)
                 state = entry.get("state")

@@ -19,6 +19,32 @@ saturate the workers); each job is:
    warm cache (zero simulation) and the result document is persisted
    before the journal's terminal ``done`` event.
 
+Fault containment (the service-level extension of the harness's
+self-healing):
+
+* every shard runs under a **watchdog**: a deadline derived from the
+  shard's spec count (:func:`~repro.harness.scheduler.shard_deadline`)
+  bounds each attempt, so a hung worker (deadlock, OOM thrash,
+  runaway cell) surfaces as a timeout instead of stalling the shard
+  forever.  Timeouts and killed workers (``BrokenProcessPool``)
+  replace the pool with a fresh one and retry the shard with
+  full-jitter backoff;
+* a shard that keeps failing is **bisected**: its spec list is split
+  and each half retried, recursively, until the failing cells are
+  isolated to single specs — which are then **quarantined** onto the
+  job's ``poisoned`` list (journalled per spec) instead of failing
+  the whole job.  One poison RunSpec costs one cell, not a campaign;
+* **admission control** bounds the queue: past ``max_queue_depth``
+  submissions are rejected with :class:`ServiceSaturated` (HTTP 429
+  + ``Retry-After``), and at most ``max_inflight_shards`` shards
+  occupy workers at once.  The service reports itself
+  ``healthy`` / ``degraded`` / ``draining`` through
+  :meth:`JobQueue.service_state`;
+* **graceful drain** (:meth:`JobQueue.drain`) stops accepting work,
+  gives in-flight shards a grace period, journals a checkpoint, and
+  flushes the journal's pending buffer — a restarted server replays
+  the journal and resumes to byte-identical results.
+
 Worker pools come in three flavours: ``"process"`` (the real thing —
 one OS process per shard slot), ``"thread"`` (tests, and cache-bound
 servers), ``"inline"`` (a single-thread executor — deterministic
@@ -38,12 +64,22 @@ from __future__ import annotations
 
 import asyncio
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, List, Optional
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Dict, List, Optional, Sequence
 
 from repro.harness.cache import ArtifactCache
 from repro.harness.ledger import RunLedger, read_ledger
-from repro.harness.scheduler import run_specs, shard_specs
+from repro.harness.scheduler import (
+    backoff_delay,
+    run_specs,
+    shard_deadline,
+    shard_specs,
+)
 from repro.harness.spec import RunSpec
 from repro.service.jobs import (
     Job,
@@ -59,6 +95,48 @@ from repro.telemetry.metrics import MetricsRegistry
 #: executor flavours the queue can dispatch shards to
 EXECUTOR_KINDS = ("process", "thread", "inline")
 
+#: service states surfaced through /healthz and /metrics
+SERVICE_STATES = ("healthy", "degraded", "draining")
+
+#: how long after a fault the service keeps reporting "degraded"
+DEGRADED_WINDOW_SECONDS = 30.0
+
+#: counters pre-registered so /metrics shows them even at zero
+_ROBUSTNESS_COUNTERS = (
+    "service.shards_retried",
+    "service.shards_timed_out",
+    "service.shards_bisected",
+    "service.specs_quarantined",
+    "service.pools_replaced",
+    "service.jobs_rejected_429",
+    "service.drain_events",
+    "service.journal_write_errors",
+    "service.journal_compactions",
+)
+
+
+class WorkerKilled(RuntimeError):
+    """A worker died mid-shard (raised by chaos in thread pools; the
+    process-pool equivalent surfaces as ``BrokenProcessPool``)."""
+
+
+class ServiceSaturated(RuntimeError):
+    """Admission control rejected a submission (HTTP 429).
+
+    ``retry_after`` is the server's estimate (seconds) of when the
+    queue will have drained enough to accept the request.
+    """
+
+    def __init__(self, depth: int, limit: int, retry_after: float) -> None:
+        super().__init__(
+            f"queue saturated: {depth} job(s) queued (limit {limit})"
+        )
+        self.retry_after = retry_after
+
+
+class ServiceDraining(RuntimeError):
+    """The service is shutting down and not accepting work (HTTP 503)."""
+
 
 def _execute_shard(
     specs: List[RunSpec],
@@ -68,6 +146,7 @@ def _execute_shard(
     worker_kind: str,
     retries: int,
     backoff: float,
+    chaos: Optional[dict] = None,
 ) -> int:
     """One shard, run inside a worker (process or thread).
 
@@ -78,6 +157,11 @@ def _execute_shard(
     Returns the number of cells committed; records themselves stay in
     the content-addressed store rather than crossing the process
     boundary.
+
+    ``chaos`` is the seeded fault-injection seam: a plain dict (it
+    crosses the process boundary) that can kill this worker, raise a
+    shard exception, stall past the watchdog deadline, or poison
+    specific spec hashes — see :mod:`repro.service.chaos`.
     """
     cache = ArtifactCache(root=cache_root, salt=salt)
     ledger = RunLedger(ledger_path, progress=None)
@@ -86,6 +170,11 @@ def _execute_shard(
         from repro.synth.campaign import execute_fuzz_spec
 
         worker = execute_fuzz_spec
+    if chaos:
+        from repro.service.chaos import apply_shard_chaos, poison_worker
+
+        apply_shard_chaos(chaos)
+        worker = poison_worker(chaos.get("poison_hashes"), worker, salt)
     records = run_specs(
         specs, jobs=1, cache=cache, ledger=ledger,
         retries=retries, backoff=backoff, worker=worker,
@@ -104,6 +193,13 @@ class JobQueue:
         executor: str = "process",
         retries: int = 1,
         backoff: float = 0.05,
+        max_queue_depth: int = 64,
+        max_inflight_shards: Optional[int] = None,
+        shard_deadline_base: float = 60.0,
+        shard_deadline_per_spec: float = 20.0,
+        shard_retries: int = 2,
+        journal_compact_bytes: int = 4 << 20,
+        chaos=None,
     ) -> None:
         if executor not in EXECUTOR_KINDS:
             raise ValueError(
@@ -112,23 +208,40 @@ class JobQueue:
             )
         if workers < 1:
             raise ValueError("JobQueue needs workers >= 1")
+        if max_queue_depth < 1:
+            raise ValueError("JobQueue needs max_queue_depth >= 1")
         self.cache = cache
         self.journal = journal
         self.workers = workers
         self.executor_kind = executor
         self.retries = retries
         self.backoff = backoff
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight_shards = max_inflight_shards or workers * 2
+        self.shard_deadline_base = shard_deadline_base
+        self.shard_deadline_per_spec = shard_deadline_per_spec
+        self.shard_retries = shard_retries
+        self.journal_compact_bytes = journal_compact_bytes
+        self.chaos = chaos
         self.jobs: Dict[str, Job] = {}
         self.order: List[str] = []
         self.registry = MetricsRegistry()
+        for name in _ROBUSTNESS_COUNTERS:
+            self.registry.counter(name)
+        self.journal.on_write_error = (
+            self.registry.counter("service.journal_write_errors").inc
+        )
         self.started_at = time.time()
         self._queue: "asyncio.Queue[str]" = asyncio.Queue()
         self._done_events: Dict[str, asyncio.Event] = {}
         self._cancel_requested: set = set()
         self._job_seq = 0
         self._pool: Optional[Executor] = None
+        self._pool_gen = 0
         self._dispatcher: Optional[asyncio.Task] = None
         self._draining = False
+        self._degraded_until = 0.0
+        self._shard_sem = asyncio.Semaphore(self.max_inflight_shards)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -138,6 +251,29 @@ class JobQueue:
         if self.executor_kind == "thread":
             return ThreadPoolExecutor(max_workers=self.workers)
         return ThreadPoolExecutor(max_workers=1)
+
+    def _replace_pool(self, generation: int, reason: str) -> None:
+        """Swap in a fresh worker pool after a hang or a killed worker.
+
+        Guarded by a generation counter so concurrent shards that all
+        observed the same broken pool replace it exactly once.  The
+        old pool is shut down without cancelling its futures: threads
+        that are merely *slow* (not hung) finish their idempotent
+        cache writes in the background instead of being abandoned.
+        """
+        if generation != self._pool_gen:
+            return  # another shard already replaced this pool
+        self._pool_gen += 1
+        old, self._pool = self._pool, self._make_pool()
+        if old is not None:
+            old.shutdown(wait=False)
+        self.registry.counter("service.pools_replaced").inc()
+        self._mark_degraded()
+
+    def _mark_degraded(self) -> None:
+        self._degraded_until = (
+            time.monotonic() + DEGRADED_WINDOW_SECONDS
+        )
 
     async def start(self) -> int:
         """Replay the journal, re-enqueue unfinished jobs, start the
@@ -184,13 +320,69 @@ class JobQueue:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        self.journal.flush()
+
+    async def drain(self, grace: float = 30.0) -> Dict:
+        """Graceful shutdown: refuse new work, checkpoint, hand back.
+
+        In-flight shards get ``grace`` seconds to finish; whatever is
+        still running afterwards is abandoned to the journal — its
+        ``running`` line makes a restarted server re-enqueue the job,
+        and the cells its shards *did* commit resolve as cache hits,
+        so the resumed job converges to the same bytes.  Ends by
+        flushing the journal's pending buffer (the SIGTERM
+        checkpoint) and stopping the dispatcher + pool.
+        """
+        already = self._draining
+        self._draining = True
+        if not already:
+            self.registry.counter("service.drain_events").inc()
+            self.journal.note("drain", grace=grace)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + grace
+        while self.running_count() and loop.time() < deadline:
+            await asyncio.sleep(0.05)
+        requeued = [
+            job.job_id for job in self.jobs.values()
+            if job.state == "running"
+        ]
+        await self.close()
+        self.journal.note(
+            "drain_complete",
+            finished=not requeued,
+            requeued=requeued,
+        )
+        # The checkpoint write: insist a little — a transiently
+        # failing disk (or an injected one) should not cost the
+        # restart its journal tail.
+        flushed = False
+        for _ in range(5):
+            flushed = self.journal.flush()
+            if flushed:
+                break
+        return {
+            "requeued": requeued,
+            "journal_flushed": flushed,
+            "pending_events": self.journal.pending_events,
+        }
 
     # -- submission + queries ------------------------------------------
 
     async def submit(self, request: JobRequest) -> Job:
-        """Validate, journal, and enqueue one request."""
+        """Validate, admit, journal, and enqueue one request.
+
+        Raises :class:`ServiceDraining` during shutdown and
+        :class:`ServiceSaturated` past ``max_queue_depth`` — the HTTP
+        layer maps these to 503 and 429 + ``Retry-After``.
+        """
         if self._draining:
-            raise JobError("service is shutting down")
+            raise ServiceDraining("service is draining; resubmit later")
+        depth = self.queue_depth()
+        if depth >= self.max_queue_depth:
+            self.registry.counter("service.jobs_rejected_429").inc()
+            raise ServiceSaturated(
+                depth, self.max_queue_depth, self.retry_after_hint()
+            )
         specs = expand_specs(request)  # raises JobError on bad requests
         self._job_seq += 1
         job_id = (
@@ -208,6 +400,10 @@ class JobQueue:
         self.registry.counter("service.cells_submitted").inc(len(specs))
         await self._queue.put(job_id)
         return job
+
+    def retry_after_hint(self) -> float:
+        """Seconds a rejected client should wait before resubmitting."""
+        return max(1.0, min(60.0, 2.0 * self.queue_depth() / self.workers))
 
     async def cancel(self, job_id: str) -> bool:
         """Request cancellation; True if the job can still honour it."""
@@ -240,6 +436,24 @@ class JobQueue:
             1 for job in self.jobs.values() if job.state == "running"
         )
 
+    def service_state(self) -> str:
+        """``healthy`` / ``degraded`` / ``draining``.
+
+        Degraded means "working, but something recently went wrong or
+        is backed up": a watchdog fired, a pool was replaced, journal
+        events are stuck in memory, or the queue is near saturation.
+        Clients should keep reading but back off on writes.
+        """
+        if self._draining:
+            return "draining"
+        if self.journal.pending_events:
+            return "degraded"
+        if time.monotonic() < self._degraded_until:
+            return "degraded"
+        if self.queue_depth() >= max(1, int(0.8 * self.max_queue_depth)):
+            return "degraded"
+        return "healthy"
+
     def metrics_summary(self) -> Dict:
         """Counters plus freshly sampled gauges (the /metrics body)."""
         self.registry.gauge("service.queue_depth").set(self.queue_depth())
@@ -247,6 +461,15 @@ class JobQueue:
         self.registry.gauge("service.workers").set(self.workers)
         self.registry.gauge("service.uptime_seconds").set(
             round(time.time() - self.started_at, 3)
+        )
+        self.registry.gauge("service.max_queue_depth").set(
+            self.max_queue_depth
+        )
+        self.registry.gauge("service.journal_pending_events").set(
+            self.journal.pending_events
+        )
+        self.registry.gauge("service.journal_bytes").set(
+            self.journal.size_bytes()
         )
         return self.registry.summary()
 
@@ -260,6 +483,8 @@ class JobQueue:
         self.journal.state(job, **detail)
         self.registry.counter(f"service.jobs_{state}").inc()
         self._done_events[job.job_id].set()
+        if self.journal.maybe_compact(self.journal_compact_bytes):
+            self.registry.counter("service.journal_compactions").inc()
 
     async def _dispatch_loop(self) -> None:
         while True:
@@ -286,18 +511,20 @@ class JobQueue:
         specs = expand_specs(job.request)
         shards = shard_specs(specs, self.workers, self.cache.salt)
         ledger_path = self.journal.ledger_path(job.job_id)
+        worker_kind = shard_worker_kind(job.request)
         loop = asyncio.get_running_loop()
-        futures = [
-            loop.run_in_executor(
-                self._pool, _execute_shard,
-                shard, str(self.cache.root), self.cache.salt,
-                str(ledger_path), shard_worker_kind(job.request),
-                self.retries, self.backoff,
-            )
-            for shard in shards
+        tasks = [
+            asyncio.ensure_future(self._run_shard(
+                job, shard, index, ledger_path, worker_kind,
+            ))
+            for index, shard in enumerate(shards)
         ]
-        outcomes = await asyncio.gather(*futures, return_exceptions=True)
-        errors = [o for o in outcomes if isinstance(o, BaseException)]
+        outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+        errors = [
+            o for o in outcomes
+            if isinstance(o, BaseException)
+            and not isinstance(o, asyncio.CancelledError)
+        ]
         if job.job_id in self._cancel_requested:
             self._finish(job, "cancelled")
             return
@@ -310,22 +537,194 @@ class JobQueue:
         self.registry.counter("service.cells_cached").inc(hits)
         # Assembly replays the driver against the warm cache (pure
         # hits, no simulation) — run it off-loop so a large grid's
-        # JSON rendering never stalls the dispatcher.
-        result = await loop.run_in_executor(
-            None, assemble_result, job.request, self.cache
-        )
+        # JSON rendering never stalls the dispatcher.  Quarantined
+        # cells are *not* in the cache; assembly retries them serially
+        # in-process (no pool, no chaos seam), so a spec poisoned by a
+        # flaky worker environment still converges — only a spec that
+        # fails even here costs the job its full result document.
+        try:
+            result = await loop.run_in_executor(
+                None, assemble_result, job.request, self.cache
+            )
+        except Exception as exc:  # noqa: BLE001 — quarantine fallback
+            if not job.poisoned:
+                raise
+            result = {
+                "partial": True,
+                "poisoned": sorted(job.poisoned),
+                "report": (
+                    f"{len(job.poisoned)} cell(s) quarantined as poison; "
+                    f"result assembly failed on them: {exc!r}"
+                ),
+            }
         self.journal.write_result(job.job_id, result)
-        self._finish(job, "done", misses=misses, hits=hits)
+        self._finish(
+            job, "done", misses=misses, hits=hits,
+            poisoned=len(job.poisoned),
+        )
+
+    async def _run_shard(
+        self,
+        job: Job,
+        specs: Sequence[RunSpec],
+        shard_index: int,
+        ledger_path,
+        worker_kind: str,
+    ) -> None:
+        """One shard under the watchdog; never raises for shard-level
+        faults — persistent failures bisect down to quarantined specs."""
+        async with self._shard_sem:
+            gauge = self.registry.gauge("service.shards_inflight")
+            gauge.add(1)
+            try:
+                ok = await self._attempt_specs(
+                    job, list(specs), shard_index, ledger_path,
+                    worker_kind, self.shard_retries,
+                )
+                if not ok:
+                    self.registry.counter("service.shards_bisected").inc()
+                    await self._bisect_specs(
+                        job, list(specs), shard_index, ledger_path,
+                        worker_kind,
+                    )
+            finally:
+                gauge.add(-1)
+
+    async def _attempt_specs(
+        self,
+        job: Job,
+        specs: List[RunSpec],
+        shard_index: int,
+        ledger_path,
+        worker_kind: str,
+        retries: int,
+        bisecting: bool = False,
+    ) -> bool:
+        """Run one spec batch with watchdog + retry; True on success.
+
+        Every attempt is bounded by a deadline scaled to the batch
+        size.  A timeout or a killed worker replaces the pool (the
+        only way to reclaim a hung worker) before the full-jitter
+        backoff retry; an ordinary exception retries on the same
+        pool.  Exhausted retries return False — the caller decides
+        whether to bisect.
+        """
+        loop = asyncio.get_running_loop()
+        attempt = 0
+        while True:
+            deadline = shard_deadline(
+                len(specs), self.shard_deadline_base,
+                self.shard_deadline_per_spec,
+            )
+            chaos = self._shard_chaos(
+                job, specs, shard_index, attempt, deadline, bisecting,
+            )
+            generation = self._pool_gen
+            future = loop.run_in_executor(
+                self._pool, _execute_shard,
+                specs, str(self.cache.root), self.cache.salt,
+                str(ledger_path), worker_kind,
+                self.retries, self.backoff, chaos,
+            )
+            try:
+                await asyncio.wait_for(future, timeout=deadline)
+                return True
+            except asyncio.CancelledError:
+                raise
+            except (asyncio.TimeoutError, TimeoutError):
+                self.registry.counter("service.shards_timed_out").inc()
+                self._replace_pool(generation, "shard deadline exceeded")
+            except (BrokenExecutor, WorkerKilled) as exc:
+                self._replace_pool(generation, repr(exc))
+            except Exception:  # noqa: BLE001 — bounded retry below
+                self._mark_degraded()
+            attempt += 1
+            if attempt > retries:
+                return False
+            self.registry.counter("service.shards_retried").inc()
+            await asyncio.sleep(
+                backoff_delay(attempt - 1, self.backoff, cap=5.0)
+            )
+
+    async def _bisect_specs(
+        self,
+        job: Job,
+        specs: List[RunSpec],
+        shard_index: int,
+        ledger_path,
+        worker_kind: str,
+    ) -> None:
+        """Isolate a persistently failing batch down to poison specs.
+
+        Splits the batch and retries each half; halves that keep
+        failing recurse.  A single spec that still fails is
+        quarantined: journalled as ``poisoned``, recorded on the
+        job's ``poisoned`` list, and noted in the per-job run ledger —
+        the job then completes without it instead of failing.
+        """
+        if len(specs) == 1:
+            spec = specs[0]
+            spec_hash = spec.spec_hash(self.cache.salt)
+            if spec_hash not in job.poisoned:
+                job.poisoned.append(spec_hash)
+            self.journal.poisoned(job, spec_hash, spec.describe())
+            RunLedger(ledger_path, progress=None).event(
+                "spec_quarantined",
+                spec_hash=spec_hash, job=spec.describe(),
+            )
+            self.registry.counter("service.specs_quarantined").inc()
+            return
+        mid = len(specs) // 2
+        for half in (specs[:mid], specs[mid:]):
+            ok = await self._attempt_specs(
+                job, half, shard_index, ledger_path, worker_kind,
+                retries=1, bisecting=True,
+            )
+            if not ok:
+                await self._bisect_specs(
+                    job, half, shard_index, ledger_path, worker_kind,
+                )
+
+    def _shard_chaos(
+        self,
+        job: Job,
+        specs: List[RunSpec],
+        shard_index: int,
+        attempt: int,
+        deadline: float,
+        bisecting: bool,
+    ) -> Optional[dict]:
+        """The chaos payload for one shard attempt (None without a plan)."""
+        if self.chaos is None:
+            return None
+        return self.chaos.shard_chaos(
+            job_id=job.job_id,
+            shard_index=shard_index,
+            attempt=attempt,
+            spec_hashes=[s.spec_hash(self.cache.salt) for s in specs],
+            deadline=deadline,
+            executor=self.executor_kind,
+            bisecting=bisecting,
+        )
 
 
 def _ledger_tally(ledger_path) -> tuple:
-    """(fresh executions, cache hits) recorded in a per-job ledger."""
-    misses = hits = 0
+    """(fresh executions, cache hits) recorded in a per-job ledger.
+
+    Deduplicated by spec hash: watchdog retries can execute a cell
+    on two attempts (the slow first attempt finishes in the
+    background), and a cell seen both fresh and cached counts once,
+    as a miss — the tally answers "how many distinct cells had to be
+    simulated", not "how many ledger lines exist".
+    """
+    status: Dict[str, str] = {}
     for entry in read_ledger(ledger_path):
         if entry.get("outcome") != "ok" or "spec_hash" not in entry:
             continue
+        spec_hash = entry["spec_hash"]
         if entry.get("cache") == "miss":
-            misses += 1
+            status[spec_hash] = "miss"
         else:
-            hits += 1
-    return misses, hits
+            status.setdefault(spec_hash, "hit")
+    misses = sum(1 for value in status.values() if value == "miss")
+    return misses, len(status) - misses

@@ -10,14 +10,24 @@
 
 ``start()`` replays the journal (resuming any jobs that were in
 flight when the previous process died) and binds the port;
-``stop()`` tears everything down in reverse.  Tests run the whole
-service in-process on port 0 with the ``"thread"`` executor; the CLI
-(``repro serve``) runs it in the foreground with process workers.
+``stop()`` tears everything down in reverse; :meth:`drain` is the
+*graceful* teardown — refuse new work, give in-flight shards a grace
+period, checkpoint the journal, and only then stop, so a restarted
+server resumes whatever the drain abandoned and converges to the
+same bytes.  ``repro serve`` installs :meth:`install_sigterm_drain`
+so orchestrators get drain semantics from a plain SIGTERM.
+
+Tests run the whole service in-process on port 0 with the
+``"thread"`` executor; the CLI (``repro serve``) runs it in the
+foreground with process workers.  The chaos harness
+(:mod:`repro.service.chaos`) threads a fault plan through ``chaos``
+and ``journal_fault_hook``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import signal
 import threading
 from pathlib import Path
 from typing import Optional
@@ -48,20 +58,37 @@ class CampaignService:
         executor: str = "process",
         retries: int = 1,
         backoff: float = 0.05,
+        max_queue_depth: int = 64,
+        max_inflight_shards: Optional[int] = None,
+        shard_deadline_base: float = 60.0,
+        shard_deadline_per_spec: float = 20.0,
+        shard_retries: int = 2,
+        journal_compact_bytes: int = 4 << 20,
+        request_timeout: float = 30.0,
+        chaos=None,
+        journal_fault_hook=None,
     ) -> None:
         self.cache = cache if cache is not None else ArtifactCache()
         root = (
             Path(journal_root) if journal_root is not None
             else default_journal_root(self.cache)
         )
-        self.journal = ServiceJournal(root)
+        self.journal = ServiceJournal(root, fault_hook=journal_fault_hook)
         self.queue = JobQueue(
             self.cache, self.journal,
             workers=workers, executor=executor,
             retries=retries, backoff=backoff,
+            max_queue_depth=max_queue_depth,
+            max_inflight_shards=max_inflight_shards,
+            shard_deadline_base=shard_deadline_base,
+            shard_deadline_per_spec=shard_deadline_per_spec,
+            shard_retries=shard_retries,
+            journal_compact_bytes=journal_compact_bytes,
+            chaos=chaos,
         )
         self.host = host
         self.port = port
+        self.request_timeout = request_timeout
         self.resumed = 0
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._loop_thread: Optional[threading.Thread] = None
@@ -90,7 +117,9 @@ class CampaignService:
         self.resumed = asyncio.run_coroutine_threadsafe(
             self.queue.start(), self._loop
         ).result(60)
-        api = ServiceAPI(self.queue, self._loop)
+        api = ServiceAPI(
+            self.queue, self._loop, request_timeout=self.request_timeout,
+        )
         self._http = make_http_server(self.host, self.port, api)
         self.port = self._http.server_address[1]  # resolve port 0
         self._http_thread = threading.Thread(
@@ -100,25 +129,66 @@ class CampaignService:
         self._http_thread.start()
 
     def stop(self) -> None:
-        """Stop accepting requests, drain the pool, stop the loop.
+        """Stop accepting requests, drop the pool, stop the loop.
 
+        The *immediate* teardown: in-flight shards are abandoned to
+        the journal (their jobs replay as queued on the next start).
         Journal state survives — a later ``start()`` on the same
         journal root resumes whatever was still in flight.
         """
-        if self._http is not None:
-            self._http.shutdown()
-            self._http.server_close()
-            self._http = None
+        self._teardown_http()
         if self._loop is not None:
             asyncio.run_coroutine_threadsafe(
                 self.queue.close(), self._loop
             ).result(60)
-            self._loop.call_soon_threadsafe(self._loop.stop)
-            if self._loop_thread is not None:
-                self._loop_thread.join(timeout=10)
-            self._loop.close()
-            self._loop = None
-            self._loop_thread = None
+            self._teardown_loop()
+
+    def drain(self, grace: float = 30.0) -> dict:
+        """Graceful teardown: finish what fits in ``grace``, checkpoint.
+
+        While draining, ``/healthz`` reports ``draining`` and new
+        submissions get 503 — readers keep working until the end.
+        Returns the queue's drain summary (requeued job ids, whether
+        the journal's pending buffer flushed).
+        """
+        if self._loop is None:
+            return {"requeued": [], "already_stopped": True}
+        info = asyncio.run_coroutine_threadsafe(
+            self.queue.drain(grace), self._loop
+        ).result(grace + 60)
+        self._teardown_http()
+        self._teardown_loop()
+        return info
+
+    def install_sigterm_drain(self, grace: float = 30.0) -> None:
+        """Make SIGTERM drain instead of kill (main thread only).
+
+        This is the contract orchestrators expect: on SIGTERM the
+        server checkpoints its journal, requeues unfinished work, and
+        exits; the replacement process resumes to byte-identical
+        results.
+        """
+
+        def _handler(signum, frame):  # noqa: ARG001 — signal signature
+            self.drain(grace)
+
+        signal.signal(signal.SIGTERM, _handler)
+
+    def _teardown_http(self) -> None:
+        if self._http is not None:
+            self._http.shutdown()
+            self._http.server_close()
+            self._http = None
+
+    def _teardown_loop(self) -> None:
+        if self._loop is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=10)
+        self._loop.close()
+        self._loop = None
+        self._loop_thread = None
 
     # -- conveniences (tests, CLI) -------------------------------------
 

@@ -186,6 +186,53 @@ class MetricsRegistry:
         return out
 
 
+def merge_summaries(a: Dict, b: Dict) -> Dict:
+    """Combine two registry summaries into one (JSON-ready) summary.
+
+    Counters and histogram contents add; histogram ``max`` takes the
+    larger; gauges are point-in-time, so the *later* summary (``b``)
+    wins where both sampled one.  Used to aggregate service metrics
+    across a drain + restart — the chaos report's counters span both
+    server generations even though each process kept its own
+    registry.  Histograms with mismatched bounds refuse to merge.
+    """
+    out: Dict = {"counters": {}, "histograms": {}}
+    for summary in (a, b):
+        for name, value in summary.get("counters", {}).items():
+            out["counters"][name] = out["counters"].get(name, 0) + value
+        for name, hist in summary.get("histograms", {}).items():
+            merged = out["histograms"].get(name)
+            if merged is None:
+                out["histograms"][name] = {
+                    "bounds": list(hist["bounds"]),
+                    "counts": list(hist["counts"]),
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                    "max": hist["max"],
+                }
+                continue
+            if merged["bounds"] != list(hist["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r} has mismatched bounds"
+                )
+            merged["counts"] = [
+                x + y for x, y in zip(merged["counts"], hist["counts"])
+            ]
+            merged["count"] += hist["count"]
+            merged["sum"] += hist["sum"]
+            merged["max"] = max(merged["max"], hist["max"])
+    for hist in out["histograms"].values():
+        hist["mean"] = hist["sum"] / hist["count"] if hist["count"] else 0.0
+    gauges: Dict = {}
+    for summary in (a, b):
+        gauges.update(summary.get("gauges", {}))
+    if gauges:
+        out["gauges"] = gauges
+    out["counters"] = dict(sorted(out["counters"].items()))
+    out["histograms"] = dict(sorted(out["histograms"].items()))
+    return out
+
+
 def task_size_counts(stream) -> List[int]:
     """Per-bucket dynamic task sizes, memoized on the stream.
 

@@ -271,11 +271,15 @@ def test_queue_cancel_queued_job(tmp_path):
     _run(scenario())
 
 
-def test_queue_failed_job_reports_error(tmp_path):
+def test_queue_quarantines_persistently_failing_specs(tmp_path):
+    """Cells that fail in workers *and* in serial assembly are
+    quarantined by bisection, and the job completes with a partial
+    result instead of failing — one poison spec costs one cell."""
     async def scenario():
         cache = ArtifactCache(root=tmp_path / "cache")
         journal = ServiceJournal(tmp_path / "svc")
-        queue = JobQueue(cache, journal, workers=1, executor="thread")
+        queue = JobQueue(cache, journal, workers=1, executor="thread",
+                         retries=0, backoff=0.0, shard_retries=1)
         await queue.start()
         try:
             # a synth benchmark with a bogus preset passes request
@@ -285,9 +289,19 @@ def test_queue_failed_job_reports_error(tmp_path):
                 "levels": ["basic_block"],
             })
             job = await queue.submit(req)
-            job = await queue.wait(job.job_id, timeout=60)
-            assert job.state == "failed"
-            assert job.error
+            job = await queue.wait(job.job_id, timeout=120)
+            assert job.state == "done"
+            assert len(job.poisoned) == job.cells
+            quarantined = queue.registry.counter(
+                "service.specs_quarantined"
+            ).value
+            assert quarantined == job.cells
+            result = journal.read_result(job.job_id)
+            assert result["partial"] is True
+            assert sorted(result["poisoned"]) == sorted(job.poisoned)
+            # the quarantine survives a journal replay
+            replayed = replay_journal(journal.path).jobs[job.job_id]
+            assert sorted(replayed.poisoned) == sorted(job.poisoned)
         finally:
             await queue.close()
 

@@ -1,0 +1,409 @@
+"""Chaos seams and the defenses they validate.
+
+Covers the robustness layer end to end: deterministic fault plans,
+journal writes surviving an injected ENOSPC, compaction, replay over
+corrupted spans, the shard watchdog (killed workers, slow shards),
+cancel-while-running, backpressure, drain + resume, and a small
+seeded chaos campaign asserting byte-identical convergence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.harness.cache import ArtifactCache
+from repro.service import (
+    ChaosPlan,
+    Job,
+    JobQueue,
+    JobRequest,
+    PoisonSpecError,
+    ServiceDraining,
+    ServiceJournal,
+    ServiceSaturated,
+    expand_specs,
+    replay_journal,
+    run_chaos_campaign,
+)
+from repro.service.chaos import poison_worker
+from repro.service.journal import PENDING_LIMIT
+
+MICRO = {"benchmarks": ["compress"], "scale": 0.05,
+         "levels": ["basic_block"]}
+
+#: every transient-fault rate zeroed; tests opt into one at a time
+QUIET = {"kill_worker": 0.0, "shard_exception": 0.0, "slow_shard": 0.0,
+         "poison_spec": 0.0, "journal_error": 0.0}
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+def _run(coro):
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        loop.close()
+
+
+# -- the plan: seeded, order-independent ------------------------------
+
+
+def test_chaos_plan_is_deterministic():
+    site = dict(job_id="j-1", shard_index=0, attempt=0,
+                spec_hashes=[f"h{i}" for i in range(8)],
+                deadline=5.0, executor="thread", bisecting=False)
+    assert (ChaosPlan(7).shard_chaos(**site)
+            == ChaosPlan(7).shard_chaos(**site))
+    hashes = [f"hash-{i}" for i in range(256)]
+    a, c = ChaosPlan(7), ChaosPlan(8)
+    assert [a.is_poison(h) for h in hashes] == [
+        ChaosPlan(7).is_poison(h) for h in hashes
+    ]
+    assert [a.is_poison(h) for h in hashes] != [
+        c.is_poison(h) for h in hashes
+    ]
+
+
+def test_chaos_plan_transients_fire_only_on_first_attempt():
+    plan = ChaosPlan(1, rates={**QUIET, "kill_worker": 1.0})
+    site = dict(job_id="j-1", shard_index=0,
+                spec_hashes=["h"], deadline=5.0, executor="thread")
+    assert plan.shard_chaos(attempt=0, bisecting=False, **site) == {
+        "kill": "thread",
+    }
+    # retries and bisection halves run fault-free: progress guaranteed
+    assert plan.shard_chaos(attempt=1, bisecting=False, **site) is None
+    assert plan.shard_chaos(attempt=0, bisecting=True, **site) is None
+
+
+def test_chaos_plan_rejects_unknown_rates():
+    with pytest.raises(ValueError):
+        ChaosPlan(1, rates={"bogus": 1.0})
+
+
+def test_poison_worker_raises_only_on_scheduled_hashes(tmp_path):
+    req = JobRequest(kind="figure5", params=dict(MICRO))
+    specs = expand_specs(req)
+    salt = ArtifactCache(root=tmp_path / "c").salt
+    base = lambda spec: "ok"  # noqa: E731
+    # no poison scheduled: the base worker passes through *unwrapped*
+    # (run_specs only warm-starts compile artifacts for the default)
+    assert poison_worker(None, base, salt) is base
+    victim = specs[0].spec_hash(salt)
+    worker = poison_worker([victim], base, salt)
+    with pytest.raises(PoisonSpecError):
+        worker(specs[0])
+    assert worker(specs[1]) == "ok"
+
+
+# -- journal under a failing disk -------------------------------------
+
+
+def _micro_job(job_id="a-1", cells=4):
+    return Job(job_id=job_id, cells=cells,
+               request=JobRequest(kind="figure5", params=dict(MICRO)))
+
+
+def test_journal_buffers_failed_writes_until_disk_recovers(tmp_path):
+    failing = {"on": True}
+
+    def hook(_payload):
+        if failing["on"]:
+            raise OSError(28, "test: ENOSPC")
+
+    errors = []
+    journal = ServiceJournal(tmp_path / "svc", fault_hook=hook,
+                             on_write_error=lambda: errors.append(1))
+    job = _micro_job()
+    journal.submitted(job, 1)
+    job.transition("running")
+    journal.state(job)
+    assert journal.pending_events == 2
+    assert journal.write_errors == len(errors) >= 2
+    assert replay_journal(journal.path).jobs == {}
+    # the disk recovers: the buffer drains in order, nothing lost
+    failing["on"] = False
+    assert journal.flush() is True
+    assert journal.pending_events == 0
+    replay = replay_journal(journal.path)
+    assert replay.jobs["a-1"].state == "running"
+    assert replay.last_seq == 1
+
+
+def test_journal_pending_buffer_is_bounded(tmp_path):
+    def hook(_payload):
+        raise OSError(28, "test: dead disk")
+
+    journal = ServiceJournal(tmp_path / "svc", fault_hook=hook)
+    for i in range(PENDING_LIMIT + 25):
+        journal.note("tick", i=i)
+    assert journal.pending_events == PENDING_LIMIT
+    assert journal.dropped_events == 25
+
+
+def test_journal_compaction_preserves_replay(tmp_path):
+    journal = ServiceJournal(tmp_path / "svc")
+    done = _micro_job("a-1")
+    journal.submitted(done, 1)
+    for state in ("running", "done"):
+        done.transition(state)
+        journal.state(done, misses=4, hits=0)
+    journal.poisoned(done, "feedfeed", "spec repr")
+    stuck = _micro_job("b-2")
+    journal.submitted(stuck, 2)
+    stuck.transition("running")
+    for _ in range(50):
+        journal.note("tick")  # observability chatter, replay-inert
+        journal.state(stuck)
+    before = replay_journal(journal.path)
+    size_before = journal.size_bytes()
+    assert journal.compact() is True
+    assert journal.size_bytes() < size_before
+    after = replay_journal(journal.path)
+    assert after.order == before.order == ["a-1", "b-2"]
+    assert after.last_seq == before.last_seq == 2
+    assert after.jobs["a-1"].state == "done"
+    assert after.jobs["a-1"].poisoned == ["feedfeed"]
+    # running jobs keep only their submission; replay re-enqueues
+    assert after.jobs["b-2"].state == "queued"
+    assert journal.compactions == 1
+
+
+def test_journal_replay_survives_corrupted_span(tmp_path):
+    journal = ServiceJournal(tmp_path / "svc")
+    for seq, job_id in enumerate(["a-1", "b-2", "c-3"], start=1):
+        job = _micro_job(job_id)
+        journal.submitted(job, seq)
+        job.transition("running")
+        journal.state(job)
+        if job_id != "c-3":
+            job.transition("done")
+            journal.state(job)
+    # stomp a span in the middle of the file (b-2's terminal event)
+    # and tear the tail mid-record: neither may poison the rest
+    lines = journal.path.read_bytes().splitlines(keepends=True)
+    victim = next(
+        i for i, line in enumerate(lines)
+        if b'"b-2"' in line and b'"done"' in line
+    )
+    lines[victim] = b"\x00\xfe\x07 garbage \xff not json\n"
+    lines.append(b'{"event": "state", "job_id": "c-3", "sta')
+    journal.path.write_bytes(b"".join(lines))
+    replay = replay_journal(journal.path)
+    assert replay.order == ["a-1", "b-2", "c-3"]
+    assert replay.jobs["a-1"].state == "done"
+    assert replay.jobs["b-2"].state == "running"  # done event lost
+    assert replay.jobs["c-3"].state == "running"
+    assert [j.job_id for j in replay.unfinished] == ["b-2", "c-3"]
+
+
+# -- queue defenses ----------------------------------------------------
+
+
+def test_queue_backpressure_saturates_with_retry_hint(tmp_path):
+    async def scenario():
+        queue = JobQueue(
+            ArtifactCache(root=tmp_path / "cache"),
+            ServiceJournal(tmp_path / "svc"),
+            workers=1, executor="inline", max_queue_depth=2,
+        )
+        # no dispatcher: submissions pile up in the queue
+        req = JobRequest.from_payload({"kind": "figure5",
+                                       "params": MICRO})
+        await queue.submit(req)
+        await queue.submit(req)
+        with pytest.raises(ServiceSaturated) as err:
+            await queue.submit(req)
+        assert err.value.retry_after >= 1.0
+        count = queue.registry.counter("service.jobs_rejected_429")
+        assert count.value == 1
+        # a full queue reads as degraded in the health state machine
+        assert queue.service_state() == "degraded"
+
+    _run(scenario())
+
+
+def test_queue_rejects_submissions_while_draining(tmp_path):
+    async def scenario():
+        journal = ServiceJournal(tmp_path / "svc")
+        queue = JobQueue(ArtifactCache(root=tmp_path / "cache"),
+                         journal, workers=1, executor="inline")
+        await queue.start()
+        report = await queue.drain(grace=0.0)
+        assert report["requeued"] == []
+        assert queue.service_state() == "draining"
+        with pytest.raises(ServiceDraining):
+            await queue.submit(JobRequest.from_payload(
+                {"kind": "figure5", "params": MICRO}
+            ))
+        events = [json.loads(line)["event"]
+                  for line in journal.path.read_text().splitlines()]
+        assert "drain" in events and "drain_complete" in events
+        count = queue.registry.counter("service.drain_events")
+        assert count.value == 1
+
+    _run(scenario())
+
+
+def test_watchdog_replaces_pool_after_killed_worker(tmp_path):
+    """A worker dying mid-shard (SIGKILL / BrokenExecutor) costs one
+    retry on a fresh pool, never the job."""
+    plan = ChaosPlan(3, rates={**QUIET, "kill_worker": 1.0})
+
+    async def scenario():
+        journal = ServiceJournal(tmp_path / "svc")
+        queue = JobQueue(ArtifactCache(root=tmp_path / "cache"),
+                         journal, workers=1, executor="thread",
+                         backoff=0.0, shard_retries=2, chaos=plan)
+        await queue.start()
+        try:
+            job = await queue.submit(JobRequest.from_payload(
+                {"kind": "figure5", "params": MICRO}
+            ))
+            job = await queue.wait(job.job_id, timeout=120)
+            assert job.state == "done"
+            assert job.misses == 4 and not job.poisoned
+            assert journal.read_result(job.job_id) is not None
+            reg = queue.registry
+            assert reg.counter("service.shards_retried").value >= 1
+            assert reg.counter("service.pools_replaced").value >= 1
+        finally:
+            await queue.close()
+
+    _run(scenario())
+    assert plan.faults_by_kind()["kill_worker"] >= 1
+
+
+def test_watchdog_times_out_hung_shard(tmp_path):
+    """A shard sleeping past its deadline trips the watchdog; the
+    retry (fault-free by construction) converges."""
+    plan = ChaosPlan(4, rates={**QUIET, "slow_shard": 1.0},
+                     slow_extra=0.3)
+
+    async def scenario():
+        journal = ServiceJournal(tmp_path / "svc")
+        queue = JobQueue(ArtifactCache(root=tmp_path / "cache"),
+                         journal, workers=1, executor="thread",
+                         backoff=0.0, shard_deadline_base=0.4,
+                         shard_deadline_per_spec=0.0, shard_retries=2,
+                         chaos=plan)
+        await queue.start()
+        try:
+            job = await queue.submit(JobRequest.from_payload(
+                {"kind": "figure5", "params": MICRO}
+            ))
+            job = await queue.wait(job.job_id, timeout=120)
+            assert job.state == "done"
+            assert journal.read_result(job.job_id) is not None
+            reg = queue.registry
+            assert reg.counter("service.shards_timed_out").value >= 1
+            assert reg.counter("service.pools_replaced").value >= 1
+        finally:
+            await queue.close()
+
+    _run(scenario())
+    assert plan.faults_by_kind()["slow_shard"] >= 1
+
+
+def test_cancel_while_shard_running(tmp_path):
+    """Cancelling a *running* job: in-flight shards finish their
+    attempt, then the job lands in ``cancelled`` with no result —
+    and a replay would not resurrect it."""
+    async def scenario():
+        journal = ServiceJournal(tmp_path / "svc")
+        queue = JobQueue(ArtifactCache(root=tmp_path / "cache"),
+                         journal, workers=1, executor="thread")
+        await queue.start()
+        try:
+            # a cold fuzz batch: long enough to catch mid-flight
+            job = await queue.submit(JobRequest.from_payload(
+                {"kind": "fuzz", "params": {"budget": 6, "seed": 11}}
+            ))
+            deadline = asyncio.get_event_loop().time() + 30.0
+            while queue.jobs[job.job_id].state != "running":
+                assert asyncio.get_event_loop().time() < deadline, (
+                    "job never started"
+                )
+                await asyncio.sleep(0.005)
+            assert await queue.cancel(job.job_id) is True
+            job = await queue.wait(job.job_id, timeout=120)
+            assert job.state == "cancelled"
+            assert journal.read_result(job.job_id) is None
+        finally:
+            await queue.close()
+        replay = replay_journal(journal.path)
+        assert replay.jobs[job.job_id].state == "cancelled"
+        assert replay.unfinished == []
+
+    _run(scenario())
+
+
+def test_drain_requeues_inflight_job_and_restart_finishes_it(tmp_path):
+    """The SIGTERM path at queue level: drain abandons an unfinished
+    job to the journal; a fresh queue over the same journal resumes
+    and completes it."""
+    cache_root = tmp_path / "cache"
+    journal_root = tmp_path / "svc"
+    req = JobRequest.from_payload(
+        {"kind": "fuzz", "params": {"budget": 6, "seed": 12}}
+    )
+
+    async def first_life():
+        queue = JobQueue(ArtifactCache(root=cache_root),
+                         ServiceJournal(journal_root),
+                         workers=1, executor="thread")
+        await queue.start()
+        job = await queue.submit(req)
+        deadline = asyncio.get_event_loop().time() + 30.0
+        while queue.jobs[job.job_id].state != "running":
+            assert asyncio.get_event_loop().time() < deadline
+            await asyncio.sleep(0.005)
+        report = await queue.drain(grace=0.01)
+        assert report["requeued"] == [job.job_id]
+        return job.job_id
+
+    job_id = _run(first_life())
+
+    async def second_life():
+        journal = ServiceJournal(journal_root)
+        queue = JobQueue(ArtifactCache(root=cache_root), journal,
+                         workers=1, executor="thread")
+        resumed = await queue.start()
+        assert resumed == 1
+        try:
+            job = await queue.wait(job_id, timeout=120)
+            assert job.state == "done"
+            assert job.resumed is True
+            result = journal.read_result(job_id)
+            assert result is not None and result["ok"] is True
+        finally:
+            await queue.close()
+
+    _run(second_life())
+
+
+# -- the campaign itself ----------------------------------------------
+
+
+@pytest.mark.filterwarnings(
+    "ignore:quarantined corrupted cache entry:RuntimeWarning"
+)
+def test_chaos_campaign_converges(tmp_path):
+    report = run_chaos_campaign(budget=4, seed=5, workers=2,
+                                max_rounds=4, root=tmp_path / "chaos")
+    assert report.ok, report.violations
+    assert report.fault_count >= 4
+    assert report.jobs_done == report.jobs_submitted
+    assert report.restarts == 1
+    assert report.resumed_jobs >= 1
+    assert "converged" in report.summary()
+    assert report.metrics["counters"]["service.jobs_done"] == (
+        report.jobs_submitted
+    )

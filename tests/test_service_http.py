@@ -43,12 +43,21 @@ def client(service):
 
 def test_healthz_and_metrics(client):
     health = client.healthz()
-    assert health["status"] == "ok"
+    assert health["status"] == "healthy"
     assert health["workers"] == 2
+    assert health["max_queue_depth"] == 64
+    assert health["journal_pending_events"] == 0
     metrics = client.metrics()
     assert "counters" in metrics
     assert "cache" in metrics
+    assert metrics["state"] == "healthy"
     assert metrics["gauges"]["service.queue_depth"] == 0
+    # robustness counters are pre-registered, visible at zero
+    for name in (
+        "service.shards_retried", "service.specs_quarantined",
+        "service.jobs_rejected_429", "service.drain_events",
+    ):
+        assert metrics["counters"][name] == 0
 
 
 def test_submitted_grid_matches_direct_run(client, tmp_path):
