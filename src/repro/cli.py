@@ -139,13 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--pus", type=int, default=4)
     run_p.add_argument("--in-order", action="store_true")
     run_p.add_argument("--scale", type=float, default=1.0)
-    run_p.add_argument("--engine", choices=["fast", "reference"],
+    run_p.add_argument("--engine", choices=["fast", "batched", "reference"],
                        default="fast",
                        help="simulation core (bit-identical results)")
 
     fig_p = sub.add_parser("figure5", help="regenerate Figure 5")
     _add_common(fig_p)
-    fig_p.add_argument("--engine", choices=["fast", "reference"],
+    fig_p.add_argument("--engine", choices=["fast", "batched", "reference"],
                        default="fast",
                        help="simulation core (bit-identical results)")
     fig_p.add_argument("--pus", type=int, default=0,
@@ -198,7 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ver_p.add_argument("--seed", type=int, default=0,
                        help="base seed for the fault plans")
-    ver_p.add_argument("--engine", choices=["fast", "reference"],
+    ver_p.add_argument("--engine", choices=["fast", "batched", "reference"],
                        default="fast",
                        help="simulation core under test (default: fast)")
 
@@ -213,8 +213,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument(
         "--engines", default="fast",
-        help="comma-separated engines to time (fast, reference; "
-             "default: fast)",
+        help="comma-separated engines to time (fast, batched, "
+             "reference; default: fast)",
     )
     bench_p.add_argument("--jobs", type=int, default=1,
                          help="harness workers (default 1, the "
@@ -252,7 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--pus", type=int, default=4)
     trace_p.add_argument("--in-order", action="store_true")
     trace_p.add_argument("--scale", type=float, default=1.0)
-    trace_p.add_argument("--engine", choices=["fast", "reference"],
+    trace_p.add_argument("--engine", choices=["fast", "batched", "reference"],
                          default="fast",
                          help="simulation core (identical event streams; "
                               "fast adds cycle-skip diagnostics)")
@@ -289,7 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--pus", type=int, default=4)
     prof_p.add_argument("--in-order", action="store_true")
     prof_p.add_argument("--scale", type=float, default=1.0)
-    prof_p.add_argument("--engine", choices=["fast", "reference"],
+    prof_p.add_argument("--engine", choices=["fast", "batched", "reference"],
                         default="fast")
     prof_p.add_argument("--top", type=int, default=25,
                         help="number of hotspots to print (default 25)")
@@ -378,6 +378,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--minimize", action="store_true",
         help="delta-debug each divergent program to a minimal "
              "reproducer",
+    )
+    fuzz_p.add_argument(
+        "--engine", action="append", dest="extra_engines",
+        choices=["fast", "batched", "reference"], default=None,
+        help="add an engine to the differential (repeatable); "
+             "'--engine batched' cross-checks a third column beyond "
+             "the default fast-vs-reference pair",
     )
 
     serve_p = sub.add_parser(
@@ -812,10 +819,17 @@ def _cmd_fuzz(args: argparse.Namespace) -> str:
                                 progress=default_progress())
     else:
         ledger = None
+    from repro.synth.campaign import ENGINES
+
+    engines = list(ENGINES)
+    for engine in args.extra_engines or ():
+        if engine not in engines:
+            engines.append(engine)
     result = run_campaign(
         budget=args.budget, seed=args.seed, preset=args.preset,
         jobs=args.jobs, cache=cache, ledger=ledger,
         resume=args.resume, minimize=args.minimize,
+        engines=tuple(engines),
     )
     lines = [result.summary()]
     counters = (result.metrics or {}).get("counters", {})

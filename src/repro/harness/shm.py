@@ -1,0 +1,261 @@
+"""Shared-memory transport for packed traces.
+
+Packing a trace (:class:`~repro.sim.packed.PackedTrace`) walks every
+dynamic instruction in Python — for a full-scale benchmark that is
+millions of loop iterations per compile group, repeated in every
+worker process that compiles the group from scratch.  When the parent
+already holds the compilation (a warm in-memory cache: a repeated
+grid, a resubmitted service job, an interactive session), it can
+instead *export* the packed arrays once into a
+``multiprocessing.shared_memory`` segment and hand workers a small
+token; a worker attaches, copies the arrays out, and skips the
+packing pass entirely.  The trace interpretation and task selection
+still run in the worker — the donated arrays are adopted by
+``build_task_stream(..., packed=...)`` at the moment the stream they
+describe is rebuilt.
+
+Correctness rests on the same contract the artifact cache already
+relies on: compilation is a deterministic function of the compile
+key, so arrays packed by the parent are bit-identical to what the
+worker would have packed (the adoption site still cross-checks the
+instruction count).  Everything here degrades gracefully: platforms
+without POSIX shared memory, segments that vanished, or tokens that
+fail to decode simply fall back to local packing.
+
+Lifecycle: the exporting side owns the segment and must
+``close()`` + ``unlink()`` it when the worker pool is done (the
+scheduler does this in its pool-shutdown path).  Attaching sides
+``close()`` immediately after copying — and unregister the segment
+from the ``resource_tracker`` first, because on Python < 3.13 every
+attach is auto-registered and a worker exit would otherwise unlink a
+segment it does not own (bpo-39959).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from array import array
+from typing import Dict, Optional, Tuple
+
+try:  # pragma: no cover - exercised indirectly via the fallback tests
+    from multiprocessing import shared_memory
+except ImportError:  # platform without _posixshmem
+    shared_memory = None  # type: ignore[assignment]
+
+from repro.sim.packed import PackedTrace
+
+#: bump when the encoding changes; attach rejects other versions
+ENCODING_VERSION = 1
+
+#: single-byte per-instruction flag/field arrays
+_BYTE_FIELDS: Tuple[str, ...] = (
+    "opcls", "is_load", "is_store", "is_mem", "is_cond_branch",
+    "block_start", "has_write", "has_remote_consumer",
+    "gshare_mispred", "cross_consumer", "issue_simple",
+)
+
+#: wide fields stored as ``array('q')`` on the trace
+_Q_ARRAY_FIELDS: Tuple[str, ...] = ("pc", "addr")
+
+#: hot-path fields stored as plain ``list`` of ints on the trace
+_Q_LIST_FIELDS: Tuple[str, ...] = ("latency", "mem_producer", "task_seq")
+
+
+def encode_packed(packed: PackedTrace) -> bytes:
+    """Serialize the packed arrays into one flat binary blob.
+
+    Layout: an 8-byte little-endian header length, a JSON header
+    mapping field name to ``[offset, length]`` within the payload,
+    then the concatenated payload.  Ragged structures (the producer
+    tuples, the cross-task consumer map) are flattened to data +
+    offset arrays — no pickling, so the blob is interpreter-stable.
+    """
+    segments: Dict[str, bytes] = {}
+    for name in _BYTE_FIELDS:
+        segments[name] = bytes(getattr(packed, name))
+    for name in _Q_ARRAY_FIELDS:
+        segments[name] = getattr(packed, name).tobytes()
+    for name in _Q_LIST_FIELDS:
+        segments[name] = array("q", getattr(packed, name)).tobytes()
+
+    producers = packed.producers
+    prod_offsets = array("q", bytes(8 * (len(producers) + 1)))
+    prod_data = array("q")
+    total = 0
+    for i, prods in enumerate(producers):
+        if prods:
+            prod_data.extend(prods)
+            total += len(prods)
+        prod_offsets[i + 1] = total
+    segments["producers_data"] = prod_data.tobytes()
+    segments["producers_offsets"] = prod_offsets.tobytes()
+
+    consumer_keys = array("q", sorted(packed.consumer_seqs))
+    consumer_offsets = array("q", bytes(8 * (len(consumer_keys) + 1)))
+    consumer_data = array("q")
+    total = 0
+    for i, key in enumerate(consumer_keys):
+        seqs = packed.consumer_seqs[key]
+        consumer_data.extend(seqs)
+        total += len(seqs)
+        consumer_offsets[i + 1] = total
+    segments["consumer_keys"] = consumer_keys.tobytes()
+    segments["consumer_data"] = consumer_data.tobytes()
+    segments["consumer_offsets"] = consumer_offsets.tobytes()
+
+    fields: Dict[str, Tuple[int, int]] = {}
+    offset = 0
+    payloads = []
+    for name, payload in segments.items():
+        fields[name] = (offset, len(payload))
+        payloads.append(payload)
+        offset += len(payload)
+    header = json.dumps({
+        "version": ENCODING_VERSION,
+        "n": packed.n,
+        "gshare_predictions": packed.gshare_predictions,
+        "gshare_accuracy": packed.gshare_accuracy,
+        "fields": fields,
+    }).encode("utf-8")
+    return struct.pack("<q", len(header)) + header + b"".join(payloads)
+
+
+def decode_packed(blob: bytes) -> PackedTrace:
+    """Rebuild a :class:`PackedTrace` from :func:`encode_packed` output.
+
+    The result is *unadopted*: its ``_stream`` is unset until
+    ``build_task_stream`` binds it to the stream it describes (see
+    :meth:`PackedTrace.adopt`).
+    """
+    (header_len,) = struct.unpack_from("<q", blob, 0)
+    header = json.loads(blob[8:8 + header_len].decode("utf-8"))
+    if header.get("version") != ENCODING_VERSION:
+        raise ValueError(
+            f"packed-trace encoding version {header.get('version')!r}, "
+            f"expected {ENCODING_VERSION}"
+        )
+    base = 8 + header_len
+    fields = header["fields"]
+
+    def segment(name: str) -> bytes:
+        offset, length = fields[name]
+        return blob[base + offset: base + offset + length]
+
+    def q_array(name: str) -> array:
+        out = array("q")
+        out.frombytes(segment(name))
+        return out
+
+    n = header["n"]
+    packed = PackedTrace.__new__(PackedTrace)
+    packed.n = n
+    for name in _BYTE_FIELDS:
+        setattr(packed, name, bytearray(segment(name)))
+    for name in _Q_ARRAY_FIELDS:
+        setattr(packed, name, q_array(name))
+    for name in _Q_LIST_FIELDS:
+        setattr(packed, name, q_array(name).tolist())
+
+    prod_offsets = q_array("producers_offsets")
+    prod_data = q_array("producers_data")
+    producers = [()] * n
+    for i in range(n):
+        lo, hi = prod_offsets[i], prod_offsets[i + 1]
+        if hi > lo:
+            producers[i] = tuple(prod_data[lo:hi])
+    packed.producers = producers
+
+    consumer_keys = q_array("consumer_keys")
+    consumer_offsets = q_array("consumer_offsets")
+    consumer_data = q_array("consumer_data")
+    packed.consumer_seqs = {
+        key: tuple(consumer_data[consumer_offsets[i]:consumer_offsets[i + 1]])
+        for i, key in enumerate(consumer_keys)
+    }
+
+    packed.gshare_predictions = header["gshare_predictions"]
+    packed.gshare_accuracy = header["gshare_accuracy"]
+    packed._stream = None
+    packed._release_cache = {}
+    return packed
+
+
+def export_packed(packed: PackedTrace):
+    """Write ``packed`` into a fresh shared-memory segment.
+
+    Returns ``(segment, token)``; the caller owns the segment and
+    must ``close()`` + ``unlink()`` it after every consumer finished.
+    Returns ``(None, None)`` when shared memory is unavailable or the
+    allocation fails — callers fall back to local packing.
+    """
+    if shared_memory is None:
+        return None, None
+    blob = encode_packed(packed)
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=len(blob))
+    except (OSError, ValueError):
+        return None, None
+    segment.buf[: len(blob)] = blob
+    token = {"name": segment.name, "size": len(blob), "pid": os.getpid()}
+    return segment, token
+
+
+def attach_packed(token: Optional[dict]) -> Optional[PackedTrace]:
+    """Copy a packed trace out of the segment ``token`` names.
+
+    Returns ``None`` on any failure (missing segment, stale token,
+    encoding mismatch) — the worker then packs locally.  The segment
+    is closed before returning; it is never unlinked here.
+    """
+    if shared_memory is None or not token:
+        return None
+    try:
+        segment = shared_memory.SharedMemory(name=token["name"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    try:
+        # Attaching auto-registers the segment with this process's
+        # resource tracker (until 3.13's track=False); unregister so a
+        # worker exiting does not unlink a segment the parent owns.
+        # The exporting process itself skips this — its tracker holds
+        # one entry for the segment that unlink will consume.
+        if token.get("pid") != os.getpid():
+            try:  # pragma: no cover - resource_tracker internals
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:  # noqa: BLE001 - tracking is best-effort
+                pass
+        return decode_packed(bytes(segment.buf[: token["size"]]))
+    except (ValueError, KeyError, struct.error):
+        return None
+    finally:
+        segment.close()
+
+
+def release_segment(segment) -> None:
+    """Close and unlink one exported segment, tolerating races.
+
+    Re-registers the segment with the resource tracker first:
+    fork-based pool workers share the parent's tracker, so their
+    attach-side unregister (the bpo-39959 guard, needed for spawned
+    workers with private trackers) may have removed the parent's
+    entry — unlinking without it makes the tracker log a spurious
+    KeyError at exit.  Registration is a set, so this is idempotent
+    when the entry survived.
+    """
+    if segment is None:
+        return
+    try:  # pragma: no cover - resource_tracker internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(segment._name, "shared_memory")
+    except Exception:  # noqa: BLE001 - tracking is best-effort
+        pass
+    try:
+        segment.close()
+        segment.unlink()
+    except (OSError, ValueError):  # already unlinked / never mapped
+        pass

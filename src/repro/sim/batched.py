@@ -1,0 +1,566 @@
+"""Batched simulation kernel: advance many cells with per-PU event spans.
+
+The fast engine (:meth:`MultiscalarMachine._run_fast`) skips cycles
+only when the *whole* machine is quiescent; on every non-quiescent
+cycle it still visits all PUs, and profiling shows ~3/4 of those
+visits are provably redundant — memoized blocked-issue replays,
+wrong-path holds, done tasks accumulating load imbalance.  The
+batched engine removes them with **per-PU deferred-charge spans**:
+
+* a PU whose last ``issue`` call blocked *and memoized* (the PR-3
+  machinery: ``issue_cache_key`` against ``machine._mut_version``)
+  enters a span — it is not visited again until ``span_wake``, the
+  cycle :meth:`ProcessingUnit.next_event_cycle` proves is the
+  earliest it could act;
+* the per-cycle stall charge the reference engine would record is
+  deferred: the span remembers ``(span_from, span_slot)`` and the
+  next visit bulk-charges ``visit - span_from`` cycles in one add;
+* every event that the reference/fast engines use to invalidate a
+  memoized blocked result also *wakes* the affected spans, at the
+  same cycle the reference engine would re-run the issue scan:
+  ``_mut_version`` bumps wake everyone, a cross-consumer completion
+  wakes exactly the consumer tasks' PUs, a retire wakes the
+  retire-sensitive ones, and a PU's own drain pop wakes itself;
+* results that touched the memory sync table's LRU are never
+  memoized — those PUs are re-visited every cycle so the LRU
+  replays in exactly the reference engine's order (other PUs may
+  interleave their own touches, so skipping would reorder
+  evictions);
+* when *every* occupied PU is spanned and the retire/assign chains
+  are parked, whole-machine skips compose on top — and unlike the
+  fast engine they need no per-skip ``next_event_cycle`` probe, the
+  span wakes are already known.
+
+Phases run at the same cycles, in the same PU index order, as the
+reference engine (ring egress slots, shared-cache LRU state and sync
+table order are all global-order-sensitive), so results are
+bit-identical; ``tests/test_batched.py`` enforces this across the
+registry and the fuzz corpus.
+
+Batch layer
+-----------
+
+:class:`BatchCohort` advances many (config, level) cells that share
+one compiled workload.  Cell scheduling state is structure-of-arrays
+NumPy: ``cycle[cell]``/``alive[cell]`` drive a masked frontier
+(cells advance in lockstep slices of global simulated time, least
+advanced first) and ``wake[cell, pu]`` snapshots the per-PU span
+wakes at slice boundaries — the per-cell generalization of the fast
+engine's next-event machinery; a quiescent cell's next event lands
+far beyond the frontier, so the due-mask skips it without touching
+its PUs.  The branchy per-cycle semantics (heap pops, LRU dicts,
+ring egress scans) stay scalar Python inside :func:`advance_cell` —
+measured, NumPy scalar indexing is slower than attribute access
+there, and bit-identity pins the evaluation order anyway; the array
+layer is where batching actually pays: one packed trace, one
+compile, one release analysis shared by every cell, and vectorized
+frontier/bookkeeping over cells.  See DESIGN.md §14.
+
+NumPy is optional: without it the cohort degrades to running each
+cell to completion in submission order, which is bit-identical
+(cells are independent) — the property tests prove batch results
+do not depend on composition or order.
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import List, Optional, Sequence, TYPE_CHECKING
+
+from repro.sim.breakdown import REASON_INDEX, StallReason
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.machine import MultiscalarMachine, SimResult
+
+try:  # gated: the container may lack numpy; the scalar path is exact
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via _numpy() tests
+    _np = None
+
+_NEVER = 1 << 60
+
+_R_USEFUL = REASON_INDEX[StallReason.USEFUL]
+_R_TASK_START = REASON_INDEX[StallReason.TASK_START]
+_R_FETCH = REASON_INDEX[StallReason.FETCH]
+_R_LOAD_IMBALANCE = REASON_INDEX[StallReason.LOAD_IMBALANCE]
+
+#: cells sharing a compiled workload advance in lockstep slices of
+#: this many simulated cycles (frontier granularity, not a skip cap:
+#: a cell's internal event skip may jump far past the slice end)
+SLICE_CYCLES = 1 << 14
+
+
+def _numpy():
+    """The numpy module, or None when unavailable (scalar fallback)."""
+    return _np
+
+
+def advance_cell(machine: "MultiscalarMachine", until: int) -> bool:
+    """Advance one cell until ``machine.cycle >= until`` or completion.
+
+    Returns True when every dynamic task has retired.  All loop state
+    lives on the machine and its PUs, so calls are resumable — the
+    cohort driver re-enters at slice boundaries.
+
+    The loop is the reference engine's phase structure (A completions,
+    mispredict resolve, B retire, C assign, D execute) with per-PU
+    span skipping layered on; see the module docstring for the wake
+    and charge rules.
+    """
+    config = machine.config
+    state = machine.state
+    max_cycles = config.max_cycles
+    n_tasks = len(machine.stream.tasks)
+    pus = machine.pus
+    n_pus = len(pus)
+    in_flight_map = machine.in_flight
+    consumer_seqs = state.consumer_seqs
+    pu_of_seq = state.pu_of_seq
+    task_start_overhead, rob_size, lazy_fp = machine._tick_consts
+    redirect = config.task_mispredict_redirect
+    tracer = machine.tracer
+    cycle = machine.cycle
+    # Occupancy census on entry; kept incrementally below (recounted
+    # only on cycles where assignment / retirement / squash activity
+    # could have changed it).
+    n_idle = 0
+    for pu in pus:
+        if pu.dyn_task is None and not pu.wrong:
+            n_idle += 1
+
+    while machine.retire_seq < n_tasks:
+        if cycle >= until:
+            machine.cycle = cycle
+            return False
+        if cycle > max_cycles:
+            raise machine._stuck(cycle, f"exceeded {max_cycles} cycles")
+        active = False
+        membership_dirty = False
+        wake_all = False
+        mut0 = machine._mut_version
+
+        # Phase A: completions (+ violation checks).  Span-independent:
+        # every occupied PU's completion heap is guard-checked, due or
+        # not — a spanned PU's wake is <= its heap head, so nothing can
+        # come due mid-span, but the guard is what proves that cheaply.
+        for pu in pus:
+            if pu.dyn_task is None:
+                continue
+            in_flight = pu.in_flight
+            if in_flight:
+                if in_flight[0][0] > cycle:
+                    continue
+            elif pu.done or pu.remaining or pu.fetch_ptr < pu.dyn_task.end:
+                continue
+            stores, popped, global_event, cross_popped = (
+                pu.drain_completions(cycle)
+            )
+            if popped:
+                active = True
+                pu.span_wake = cycle  # own pop: revisit in Phase D now
+            elif pu.done and pu.span_wake > cycle:
+                # The drain was a pure finalization: an empty heap
+                # with nothing remaining flips ``done`` without
+                # popping (e.g. a task whose whole span was charged
+                # before any instruction entered the window).  The
+                # flip re-slots the per-cycle charge to
+                # LOAD_IMBALANCE, so the open span must be
+                # reconciled now — it is not "progress" (the
+                # reference engine stays quiescent here), just a
+                # charge-category boundary.
+                pu.span_wake = cycle
+            if global_event:
+                # A LAZY-policy task completed: its writes forwarded in
+                # bulk, which can unblock anyone — every span must
+                # re-check this very cycle.
+                machine._mut_version += 1
+                wake_all = True
+            if cross_popped:
+                for cidx in cross_popped:
+                    for cs in consumer_seqs[cidx]:
+                        cpu = in_flight_map.get(cs)
+                        if cpu is not None:
+                            cpu.issue_cache_key = -1
+                            if cpu.span_wake > cycle:
+                                cpu.span_wake = cycle
+            for store_idx in stores:
+                machine._check_store_violation(store_idx, cycle)
+
+        # Mispredict resolve (source task completed).
+        if machine.pending_mispredict is not None:
+            src = in_flight_map.get(machine.pending_mispredict)
+            if src is not None and src.done:
+                active = True
+                machine._squash_wrong(cycle)
+                machine.next_assign_pu = (
+                    pu_of_seq[machine.pending_mispredict] + 1
+                ) % n_pus
+                machine.pending_mispredict = None
+                machine.resume_cycle = max(
+                    machine.resume_cycle, cycle + redirect
+                )
+
+        # Phase B: retire.  A retire *completion* bumps the retire
+        # version, so retire-sensitive spans (ARB capacity gates) are
+        # woken into this cycle, exactly when the reference engine
+        # would re-run their issue scans.  The PU that starts
+        # committing is woken so Phase D reconciles its deferred
+        # LOAD_IMBALANCE charges before parking it as retiring.
+        if machine._retiring_pu is not None:
+            if cycle >= machine._retire_finish and machine._retire(cycle):
+                active = True
+                membership_dirty = True
+                for p2 in pus:
+                    if p2.retire_sensitive and p2.span_wake > cycle:
+                        p2.span_wake = cycle
+                newly = machine._retiring_pu
+                if newly is not None and newly.span_wake > cycle:
+                    newly.span_wake = cycle
+        else:
+            head = in_flight_map.get(machine.retire_seq)
+            if head is not None and head.done and machine._retire(cycle):
+                active = True
+                if head.span_wake > cycle:
+                    head.span_wake = cycle
+
+        # Phase C: assign.
+        if cycle >= machine.resume_cycle:
+            nxt = pus[machine.next_assign_pu]
+            if nxt.dyn_task is None and not nxt.wrong and machine._assign(cycle):
+                active = True
+                membership_dirty = True
+
+        # Mutation-version bumps and spans.  A LAZY bulk forward can
+        # unblock anyone: wake every span into this cycle.  The other
+        # bump sites — _squash_from, _squash_wrong, _learn_sync — are
+        # benign for a *memoized blocked* window: a squash only clears
+        # victim completions/forwards (candidates get strictly more
+        # blocked, in the same stall category), and sync learning only
+        # affects results that are never memoized (a fully-blocked
+        # window provably never consulted the table).  Held memos are
+        # re-stamped to the new version instead of woken; the
+        # reference engine *does* re-run those issue scans, so the
+        # bit-identity sweep verifies the invariance claim.
+        mut_now = machine._mut_version
+        if mut_now != mut0:
+            if wake_all:
+                for p2 in pus:
+                    if p2.span_wake > cycle:
+                        p2.span_wake = cycle
+            else:
+                for p2 in pus:
+                    if p2.span_wake > cycle and p2.issue_cache_key == mut0:
+                        p2.issue_cache_key = mut_now
+            membership_dirty = True
+        if membership_dirty:
+            n_idle = 0
+            for p2 in pus:
+                if p2.dyn_task is None and not p2.wrong:
+                    n_idle += 1
+
+        # Phase D: execute + accounting, visiting only due PUs — but
+        # in PU index order among them (ring egress slot allocation
+        # and sync-table touches are order-sensitive).
+        mut_version = machine._mut_version
+        retire_version = machine._retire_version
+        for i in range(n_pus):
+            pu = pus[i]
+            if cycle < pu.span_wake:
+                continue  # held: charges deferred, nothing to observe
+            slot = pu.span_slot
+            if slot >= 0:
+                # Reconcile the deferred span charge [span_from, cycle).
+                if cycle > pu.span_from:
+                    pu.local_counts[slot] += cycle - pu.span_from
+                pu.span_slot = -1
+            if pu.wrong:
+                pu.span_wake = _NEVER  # charged as penalty at resolve
+                continue
+            if pu.dyn_task is None:
+                pu.span_wake = _NEVER  # idle: counted via n_idle
+                continue
+            if pu.retiring:
+                pu.span_wake = _NEVER  # TASK_END charged up front
+                continue
+            counts = pu.local_counts
+            if pu.done:
+                counts[_R_LOAD_IMBALANCE] += 1
+                pu.span_slot = _R_LOAD_IMBALANCE
+                pu.span_from = cycle + 1
+                pu.span_wake = _NEVER  # until retired or squashed
+                continue
+            if (
+                pu.issue_cache_key == mut_version
+                and cycle < pu.issue_wake
+                and (
+                    not pu.retire_sensitive
+                    or pu.issue_retire_key == retire_version
+                )
+            ):
+                issued = 0
+                reason = pu.last_block
+            elif pu.unissued:
+                issued, reason = pu.issue(cycle, machine)
+            else:
+                pu.issue_wake = _NEVER
+                pu.retire_sensitive = False
+                pu.last_block = None
+                pu.issue_cache_key = mut_version
+                issued = 0
+                reason = None
+            fetched = False
+            if (
+                pu.pending_branch < 0
+                and cycle >= pu.fetch_resume
+                and pu.fetch_ptr < pu.fetch_end
+                and pu.rob_count < rob_size
+                and pu.fetch(cycle)
+            ):
+                fetched = True
+                active = True
+                if lazy_fp and pu.done:
+                    # Task finished at fetch: its writes just bulk-
+                    # forwarded.  Later-indexed PUs observe that this
+                    # very cycle; earlier-indexed ones were already
+                    # scanned (as in the reference order) and re-check
+                    # next cycle.
+                    machine._mut_version += 1
+                    mut_version = machine._mut_version
+                    for j in range(n_pus):
+                        p2 = pus[j]
+                        w = cycle if j > i else cycle + 1
+                        if p2.span_wake > w:
+                            p2.span_wake = w
+            if issued:
+                active = True
+                counts[_R_USEFUL] += 1
+            elif cycle < pu.assign_cycle + task_start_overhead:
+                counts[_R_TASK_START] += 1
+            elif reason is not None:
+                counts[pu.last_slot] += 1
+            else:
+                counts[_R_FETCH] += 1
+            if issued or fetched:
+                pu.span_wake = cycle + 1  # progressed: revisit next cycle
+            elif (
+                pu.issue_cache_key == mut_version
+                and (
+                    not pu.retire_sensitive
+                    or pu.issue_retire_key == retire_version
+                )
+            ):
+                # Blocked and memoized: open a deferred-charge span up
+                # to the PU's next provable event (the inline
+                # equivalent of next_event_cycle(cycle + 1) — this
+                # runs once per blocked visit, so the call overhead
+                # was measurable).
+                infl = pu.in_flight
+                w = infl[0][0] if infl else _NEVER
+                if (
+                    pu.pending_branch < 0
+                    and pu.fetch_ptr < pu.fetch_end
+                    and pu.rob_count < rob_size
+                ):
+                    fr = pu.fetch_resume
+                    if fr <= cycle:
+                        fr = cycle + 1
+                    if fr < w:
+                        w = fr
+                if pu.issue_wake < w:
+                    w = pu.issue_wake
+                boundary = pu.assign_cycle + task_start_overhead
+                if cycle + 1 < boundary:
+                    if boundary < w:
+                        w = boundary
+                    pu.span_slot = _R_TASK_START
+                elif pu.last_block is None:
+                    pu.span_slot = _R_FETCH
+                else:
+                    pu.span_slot = pu.last_slot
+                pu.span_wake = w
+                pu.span_from = cycle + 1
+            else:
+                # Not memoizable (sync-table LRU replay) or freshly
+                # invalidated mid-cycle: full visit every cycle.
+                pu.span_wake = cycle + 1
+
+        machine._idle_accum += n_idle
+        machine._span_accum += machine._active_span
+
+        if active:
+            cycle += 1
+            continue
+
+        # Machine quiescent: jump to the earliest machine-level event.
+        # Unlike the fast engine, no per-PU probe is needed — the span
+        # wakes are already known.  Deferred span charges need no
+        # per-skip bulk add either; reconciliation at the next visit
+        # covers the skipped cycles.
+        t = cycle + 1
+        wake = _NEVER
+        if machine._retiring_pu is not None:
+            wake = machine._retire_finish
+        if pus[machine.next_assign_pu].idle and (
+            machine.pending_mispredict is not None
+            or machine.next_seq < n_tasks
+        ):
+            resume = machine.resume_cycle
+            if resume < t:
+                resume = t
+            if resume < wake:
+                wake = resume
+        for pu in pus:
+            if pu.dyn_task is not None and not pu.retiring:
+                w = pu.span_wake
+                if w < wake:
+                    wake = w
+        if wake >= _NEVER:
+            raise machine._stuck(cycle, "no pending event (livelock)")
+        if wake <= t:
+            cycle = t
+            continue
+        if wake > max_cycles:
+            wake = max_cycles + 1  # let the guard above raise
+        skipped = wake - t
+        if tracer is not None:
+            tracer.on_cycle_skip(cycle, wake)
+        if n_idle:
+            machine._idle_accum += n_idle * skipped
+        machine._span_accum += machine._active_span * skipped
+        cycle = wake
+
+    machine.cycle = cycle
+    return True
+
+
+def run_cell(machine: "MultiscalarMachine") -> int:
+    """Run a single cell to completion; returns the final cycle count.
+
+    This is the ``engine="batched"`` dispatch target of
+    :meth:`MultiscalarMachine.run` — a cohort of one, with no driver
+    overhead.  A machine with a fault plan attached falls back to the
+    fast engine's loop, which already ticks every cycle under faults
+    (per-cycle cooldown state forbids skipping of any kind).
+    """
+    if machine.faults is not None:
+        return machine._run_fast()
+    advance_cell(machine, _NEVER)
+    return machine.cycle
+
+
+class BatchCohort:
+    """Advance many cells sharing one compiled workload in lockstep.
+
+    Scheduling state is structure-of-arrays over the batch dimension:
+    ``cycle[cell]`` / ``alive[cell]`` (int64/bool NumPy arrays) drive
+    the masked frontier, and ``wake[cell, pu]`` snapshots every PU's
+    span wake at slice boundaries.  ``step()`` advances the masked due
+    set — every live cell at the frontier — by one slice each;
+    quiescent cells jump their ``cycle`` far ahead inside
+    :func:`advance_cell` and fall out of the due mask until the
+    frontier catches up.
+    """
+
+    def __init__(
+        self,
+        machines: Sequence["MultiscalarMachine"],
+        slice_cycles: int = SLICE_CYCLES,
+    ) -> None:
+        if slice_cycles < 1:
+            raise ValueError("slice_cycles must be >= 1")
+        self.machines = list(machines)
+        self.slice_cycles = slice_cycles
+        n = len(self.machines)
+        self.max_pus = max(
+            (len(m.pus) for m in self.machines), default=0
+        )
+        np = _numpy()
+        self._np = np
+        if np is not None:
+            self.cycle = np.zeros(n, dtype=np.int64)
+            self.alive = np.ones(n, dtype=bool)
+            self.wake = np.full((n, self.max_pus), _NEVER, dtype=np.int64)
+        else:  # scalar fallback: plain lists, same semantics
+            self.cycle = [0] * n
+            self.alive = [True] * n
+            self.wake = [[_NEVER] * self.max_pus for _ in range(n)]
+
+    def _publish(self, ci: int) -> None:
+        """Snapshot cell ``ci``'s per-PU span wakes into ``wake[ci]``."""
+        row = self.wake[ci]
+        for k, pu in enumerate(self.machines[ci].pus):
+            row[k] = pu.span_wake
+
+    def frontier(self) -> Optional[int]:
+        """Least cycle among live cells, or None when all finished."""
+        np = self._np
+        if np is not None:
+            alive = self.alive
+            if not alive.any():
+                return None
+            return int(self.cycle[alive].min())
+        live = [c for c, a in zip(self.cycle, self.alive) if a]
+        return min(live) if live else None
+
+    def step(self) -> bool:
+        """Advance every due cell by one slice; False when all done."""
+        np = self._np
+        frontier = self.frontier()
+        if frontier is None:
+            return False
+        until = frontier + self.slice_cycles
+        if np is not None:
+            due = np.flatnonzero(self.alive & (self.cycle <= frontier))
+        else:
+            due = [
+                ci
+                for ci in range(len(self.machines))
+                if self.alive[ci] and self.cycle[ci] <= frontier
+            ]
+        for ci in due:
+            ci = int(ci)
+            machine = self.machines[ci]
+            if machine.faults is not None:
+                # Fault plans forbid skipping entirely; run the cell
+                # to completion on the fast engine's faulted loop.
+                machine.cycle = machine._run_fast()
+                finished = True
+            else:
+                finished = advance_cell(machine, until)
+            self.cycle[ci] = machine.cycle
+            self._publish(ci)
+            if finished:
+                self.alive[ci] = False
+        return True
+
+    def run(self) -> List["SimResult"]:
+        """Drive every cell to completion; results in cell order."""
+        results: List["SimResult"] = []
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for machine in self.machines:
+                if len(machine.stream.tasks) == 0:
+                    if self._np is not None:
+                        self.alive[self.machines.index(machine)] = False
+            while self.step():
+                pass
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        for machine in self.machines:
+            result = machine._result(machine.cycle)
+            if machine.monitor is not None:
+                machine.monitor.on_finish(machine, result)
+            if machine.tracer is not None:
+                machine.tracer.on_finish(machine, result)
+            results.append(result)
+        return results
+
+
+def run_cohort(
+    machines: Sequence["MultiscalarMachine"],
+    slice_cycles: int = SLICE_CYCLES,
+) -> List["SimResult"]:
+    """Run a batch of machines over one workload; results in order."""
+    return BatchCohort(machines, slice_cycles).run()

@@ -111,15 +111,18 @@ class SimConfig:
     max_cycles: int = 50_000_000
 
     #: cycle-loop implementation: "fast" (event-driven, skips
-    #: quiescent spans) or "reference" (uniform per-cycle tick).
-    #: Results are bit-identical; the reference engine is the oracle
-    #: the fast path is validated against.
+    #: quiescent spans), "batched" (per-PU event spans + cohort
+    #: batching over cells sharing a workload), or "reference"
+    #: (uniform per-cycle tick).  Results are bit-identical; the
+    #: reference engine is the oracle the others are validated
+    #: against.
     engine: str = "fast"
 
     def __post_init__(self) -> None:
-        if self.engine not in ("fast", "reference"):
+        if self.engine not in ("fast", "batched", "reference"):
             raise ValueError(
-                f"engine must be 'fast' or 'reference', got {self.engine!r}"
+                "engine must be 'fast', 'batched' or 'reference', "
+                f"got {self.engine!r}"
             )
         if self.n_pus < 1:
             raise ValueError("n_pus must be >= 1")

@@ -176,6 +176,17 @@ class PackedTrace:
             p: tuple(seqs) for p, seqs in consumers.items()
         }
 
+        # Issue fast path: an instruction with no register producers
+        # and no memory semantics can never block on operands, memory
+        # order, the ARB, or the sync table — the issue scan's only
+        # questions for it are decode timing and FU budget.  Roughly
+        # half of a typical trace qualifies, so the scan checks this
+        # one flag before walking the dependence machinery.
+        self.issue_simple = simple = bytearray(n)
+        for i in range(n):
+            if not producers[i] and not is_mem[i]:
+                simple[i] = 1
+
         # Gshare outcomes are a pure function of the trace, so the
         # predictor's end-of-run statistics are frozen here.
         self.gshare_predictions = gshare.predictions
@@ -187,6 +198,18 @@ class PackedTrace:
         #: derived from so a caller supplying a different analysis
         #: object gets a fresh computation instead of a stale alias.
         self._release_cache: Dict[str, Tuple[Optional[object], bytearray]] = {}
+
+    def adopt(self, stream) -> None:
+        """Bind these arrays to the stream they describe.
+
+        Used when the arrays arrived pre-built (decoded from a
+        shared-memory segment — see :mod:`repro.harness.shm`) instead
+        of being packed from ``stream`` locally: the stream reference
+        and the per-policy release cache are the only state that is
+        process-local rather than a pure function of the trace.
+        """
+        self._stream = stream
+        self._release_cache = {}
 
     def release_now(self, policy: ForwardPolicy, release=None) -> bytearray:
         """Per-instruction "forward at completion" flags for ``policy``.

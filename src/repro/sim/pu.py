@@ -79,6 +79,7 @@ class ProcessingUnit:
             state.opcls,
             state.is_load,
             state.is_mem,
+            state.issue_simple,
             state.producers,
             state.task_seq,
             state.complete,
@@ -177,6 +178,14 @@ class ProcessingUnit:
         #: retires leave their memoization intact.
         self.issue_retire_key = -1
         self.retire_sensitive = False
+        #: batched engine: first cycle this PU must be visited again
+        #: (0 = always due; other engines ignore these three fields)
+        self.span_wake = 0
+        #: breakdown slot charged per skipped cycle since ``span_from``
+        #: (-1 = no deferred charge open)
+        self.span_slot = -1
+        #: first cycle of the open deferred-charge span
+        self.span_from = 0
 
     @property
     def idle(self) -> bool:
@@ -427,6 +436,7 @@ class ProcessingUnit:
             opcls,
             is_load,
             is_mem,
+            issue_simple,
             producers,
             task_seq,
             complete,
@@ -468,7 +478,6 @@ class ProcessingUnit:
             if issued >= issue_width:
                 break
             idx, fetch_cycle = unissued[pos]
-            reason: Optional[StallReason] = None
             if fetch_cycle >= cycle:
                 # Decode: not issuable the cycle it was fetched.  Fetch
                 # stamps never decrease along the window, so every
@@ -476,69 +485,85 @@ class ProcessingUnit:
                 if first_block is None:
                     first_block = StallReason.FETCH
                 break
-            else:
-                # Register operands.  A block on a scheduled ring
-                # forward records the arrival cycle in ``issue_wake``
-                # for the event probe — the only blocking condition
-                # that clears at a known future cycle rather than at
-                # another unit's event.
-                for p in producers[idx]:
-                    pseq = task_seq[p]
-                    if pseq == seq:
-                        done = complete[p]
-                        if done < 0 or done > cycle:
-                            reason = StallReason.INTRA_DEP
-                            break
-                    else:
-                        fwd = forward[p]
-                        if fwd < 0:
-                            reason = StallReason.INTER_COMM
-                            break
-                        prod_pu = pu_of_seq[pseq]
-                        hops = (
-                            (my_pu - prod_pu) % n_pus if prod_pu >= 0 else 1
-                        )
-                        if hops > 1:
-                            fwd += (hops - 1) * hop_latency
-                        if fwd > cycle:
-                            if fwd < issue_wake:
-                                issue_wake = fwd
-                            reason = StallReason.INTER_COMM
-                            break
-                if reason is None and is_mem[idx]:
-                    # Program-order memory issue within the task.  The
-                    # head index is frozen for the whole cycle (the
-                    # reference window scan also still sees entries
-                    # issued earlier this cycle), so at most one memory
-                    # op issues per cycle through this gate.
-                    if unissued_mem[mem_head] != idx:
-                        reason = StallReason.MEMORY
-                    if reason is None:
-                        # ARB capacity: a speculative task with a full
-                        # ARB stalls its memory operations until it
-                        # becomes the head.  Outcome depends on
-                        # retire_seq: invalidate on retire.
-                        if arb_capacity > 0 and self.arb_used >= arb_capacity:
-                            retire_sensitive = True
-                            if not at_head:
-                                reason = StallReason.MEMORY
-                        if reason is None and is_load[idx]:
-                            p = mem_producer[idx]
-                            if p >= 0:
-                                pseq = task_seq[p]
-                                if pseq == seq:
-                                    done = complete[p]
-                                    if done < 0 or done > cycle:
-                                        reason = StallReason.MEMORY
-                                elif complete[p] < 0 or complete[p] > cycle:
-                                    # Not forwarded by the ARB yet.
-                                    if machine.is_synchronised(p, idx):
-                                        # Touched the sync table's LRU:
-                                        # never memoize this result.
-                                        sync_block = True
-                                        if not at_head:
-                                            reason = StallReason.SYNC_WAIT
-                                    # else: speculate
+            if issue_simple[idx]:
+                # No register operands and no memory semantics: after
+                # the decode gate above, only the FU budget can stop
+                # it.  Skips the whole dependence analysis below.
+                cls = opcls[idx]
+                if budget[cls] <= 0:
+                    if first_block is None:
+                        first_block = StallReason.USEFUL
+                    if not out_of_order:
+                        break
+                    continue
+                budget[cls] -= 1
+                heappush(in_flight, (cycle + latency_of[idx], idx))
+                issued_pos.append(pos)
+                issued += 1
+                continue
+            reason: Optional[StallReason] = None
+            # Register operands.  A block on a scheduled ring
+            # forward records the arrival cycle in ``issue_wake``
+            # for the event probe — the only blocking condition
+            # that clears at a known future cycle rather than at
+            # another unit's event.
+            for p in producers[idx]:
+                pseq = task_seq[p]
+                if pseq == seq:
+                    done = complete[p]
+                    if done < 0 or done > cycle:
+                        reason = StallReason.INTRA_DEP
+                        break
+                else:
+                    fwd = forward[p]
+                    if fwd < 0:
+                        reason = StallReason.INTER_COMM
+                        break
+                    prod_pu = pu_of_seq[pseq]
+                    hops = (
+                        (my_pu - prod_pu) % n_pus if prod_pu >= 0 else 1
+                    )
+                    if hops > 1:
+                        fwd += (hops - 1) * hop_latency
+                    if fwd > cycle:
+                        if fwd < issue_wake:
+                            issue_wake = fwd
+                        reason = StallReason.INTER_COMM
+                        break
+            if reason is None and is_mem[idx]:
+                # Program-order memory issue within the task.  The
+                # head index is frozen for the whole cycle (the
+                # reference window scan also still sees entries
+                # issued earlier this cycle), so at most one memory
+                # op issues per cycle through this gate.
+                if unissued_mem[mem_head] != idx:
+                    reason = StallReason.MEMORY
+                if reason is None:
+                    # ARB capacity: a speculative task with a full
+                    # ARB stalls its memory operations until it
+                    # becomes the head.  Outcome depends on
+                    # retire_seq: invalidate on retire.
+                    if arb_capacity > 0 and self.arb_used >= arb_capacity:
+                        retire_sensitive = True
+                        if not at_head:
+                            reason = StallReason.MEMORY
+                    if reason is None and is_load[idx]:
+                        p = mem_producer[idx]
+                        if p >= 0:
+                            pseq = task_seq[p]
+                            if pseq == seq:
+                                done = complete[p]
+                                if done < 0 or done > cycle:
+                                    reason = StallReason.MEMORY
+                            elif complete[p] < 0 or complete[p] > cycle:
+                                # Not forwarded by the ARB yet.
+                                if machine.is_synchronised(p, idx):
+                                    # Touched the sync table's LRU:
+                                    # never memoize this result.
+                                    sync_block = True
+                                    if not at_head:
+                                        reason = StallReason.SYNC_WAIT
+                                # else: speculate
             if reason is not None:
                 if first_block is None:
                     first_block = reason

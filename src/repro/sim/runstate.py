@@ -63,6 +63,7 @@ class RunState:
         self.addr = packed.addr
         self.block_start = packed.block_start
         self.producers = packed.producers
+        self.issue_simple = packed.issue_simple
         self.mem_producer = packed.mem_producer
         self.task_seq = packed.task_seq
         self.gshare_mispred = packed.gshare_mispred

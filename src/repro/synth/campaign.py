@@ -65,7 +65,8 @@ from repro.telemetry.metrics import MetricsRegistry, TASK_SIZE_BOUNDS
 
 ALL_LEVELS: Tuple[HeuristicLevel, ...] = tuple(HeuristicLevel)
 
-#: the two engines every cell is cross-checked between
+#: the engines every cell is cross-checked between by default; the
+#: CLI's ``--engine batched`` appends a third differential column
 ENGINES: Tuple[str, ...] = ("fast", "reference")
 
 #: RunRecord fields that must be bit-identical across engines
@@ -305,30 +306,38 @@ def _stub_record(spec: RunSpec, compiled) -> "RunRecord":
 
 def _compare_engines(name: str, level: HeuristicLevel,
                      by_engine: Dict[str, "RunRecord"]) -> List[str]:
-    """Bit-identity divergences between the two engines of one cell."""
-    fast = by_engine.get("fast")
-    reference = by_engine.get("reference")
-    if fast is None or reference is None:
+    """Bit-identity divergences among the engines of one cell.
+
+    Every engine is compared against the oracle (``reference`` when
+    present, else ``fast``), so a three-column campaign reports
+    exactly which engine drifted rather than one opaque mismatch.
+    """
+    baseline_engine = "reference" if "reference" in by_engine else "fast"
+    baseline = by_engine.get(baseline_engine)
+    if baseline is None or len(by_engine) < 2:
         return []
     out: List[str] = []
     label = f"{name}@{level.value}"
-    for field_name in _COMPARE_FIELDS:
-        a = getattr(fast, field_name)
-        b = getattr(reference, field_name)
-        if a != b:
-            out.append(
-                f"{label}: engines diverge on {field_name}: "
-                f"fast={a!r} reference={b!r}"
-            )
-    fast_bd = fast.breakdown.as_dict()
-    ref_bd = reference.breakdown.as_dict()
-    for category in sorted(set(fast_bd) | set(ref_bd)):
-        if fast_bd.get(category) != ref_bd.get(category):
-            out.append(
-                f"{label}: engines diverge on breakdown[{category}]: "
-                f"fast={fast_bd.get(category)!r} "
-                f"reference={ref_bd.get(category)!r}"
-            )
+    base_bd = baseline.breakdown.as_dict()
+    for engine, record in by_engine.items():
+        if engine == baseline_engine:
+            continue
+        for field_name in _COMPARE_FIELDS:
+            a = getattr(record, field_name)
+            b = getattr(baseline, field_name)
+            if a != b:
+                out.append(
+                    f"{label}: engines diverge on {field_name}: "
+                    f"{engine}={a!r} {baseline_engine}={b!r}"
+                )
+        engine_bd = record.breakdown.as_dict()
+        for category in sorted(set(engine_bd) | set(base_bd)):
+            if engine_bd.get(category) != base_bd.get(category):
+                out.append(
+                    f"{label}: engines diverge on breakdown[{category}]: "
+                    f"{engine}={engine_bd.get(category)!r} "
+                    f"{baseline_engine}={base_bd.get(category)!r}"
+                )
     return out
 
 
@@ -342,16 +351,19 @@ def run_campaign(
     resume: bool = False,
     minimize: bool = False,
     levels: Sequence[HeuristicLevel] = ALL_LEVELS,
+    engines: Sequence[str] = ENGINES,
 ) -> CampaignResult:
     """Run one differential fuzzing campaign through the harness.
 
     Returns a :class:`CampaignResult`; never raises on divergence
     (the CLI exits non-zero on ``not result.ok``).  With ``minimize``,
     every divergent program is delta-debugged to a minimal reproducer
-    (``result.reduced``).
+    (``result.reduced``).  ``engines`` widens the differential — e.g.
+    ``("fast", "reference", "batched")`` cross-checks three columns.
     """
     result = CampaignResult(budget=budget, seed=seed, preset=preset)
-    specs, names = fuzz_specs(budget, seed, preset, levels=levels)
+    specs, names = fuzz_specs(budget, seed, preset, levels=levels,
+                              engines=engines)
     result.programs = names
     records = run_specs(
         specs, jobs=jobs, cache=cache, ledger=ledger,
@@ -373,7 +385,7 @@ def run_campaign(
     divergent_programs: List[str] = []
     for (name, level), by_engine in grouped.items():
         cell_divs: List[str] = []
-        for engine in ENGINES:
+        for engine in engines:
             record = by_engine.get(engine)
             if record is None:
                 continue
@@ -423,6 +435,7 @@ def check_program(
     levels: Sequence[HeuristicLevel] = ALL_LEVELS,
     n_pus: int = 4,
     max_instructions: int = 2_000_000,
+    engines: Sequence[str] = ENGINES,
 ) -> List[str]:
     """In-process differential check of one program (no registry).
 
@@ -455,7 +468,7 @@ def check_program(
         stream = build_task_stream(trace, partition)
         release = ReleaseAnalysis(partition)
         results = {}
-        for engine in ENGINES:
+        for engine in engines:
             config = SimConfig(engine=engine).scaled_for_pus(n_pus)
             monitor = InvariantMonitor()
             machine = MultiscalarMachine(
@@ -485,18 +498,24 @@ def check_program(
                 f"{level.value}[{engine}]: {d}"
                 for d in compare_states(ref_state, replay_state)
             )
-        if len(results) == 2:
-            fast, reference = results["fast"], results["reference"]
+        baseline_engine = "reference" if "reference" in results else "fast"
+        baseline = results.get(baseline_engine)
+        if baseline is None:
+            continue
+        for engine, sim_result in results.items():
+            if engine == baseline_engine:
+                continue
             for field_name in (
                 "cycles", "committed_instructions", "dynamic_tasks",
                 "task_predictions", "task_mispredictions",
                 "control_squashes", "memory_squashes", "branch_count",
             ):
-                a = getattr(fast, field_name)
-                b = getattr(reference, field_name)
+                a = getattr(sim_result, field_name)
+                b = getattr(baseline, field_name)
                 if a != b:
                     divergences.append(
                         f"{level.value}: engines diverge on "
-                        f"{field_name}: fast={a!r} reference={b!r}"
+                        f"{field_name}: {engine}={a!r} "
+                        f"{baseline_engine}={b!r}"
                     )
     return divergences

@@ -81,6 +81,28 @@ class TestParser:
         assert build_parser().parse_args(
             ["trace", "compress"]).output == "trace.json"
 
+    @pytest.mark.parametrize("command", [
+        ["run", "compress"],
+        ["figure5"],
+        ["verify", "compress"],
+        ["trace", "compress"],
+        ["profile-sim", "compress"],
+    ], ids=lambda c: c[0])
+    def test_engine_choices_include_batched(self, command):
+        args = build_parser().parse_args(command + ["--engine", "batched"])
+        assert args.engine == "batched"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(command + ["--engine", "warp"])
+
+    def test_fuzz_extra_engines(self):
+        assert build_parser().parse_args(
+            ["fuzz", "--budget", "1"]).extra_engines is None
+        args = build_parser().parse_args(
+            ["fuzz", "--budget", "1",
+             "--engine", "batched", "--engine", "reference"]
+        )
+        assert args.extra_engines == ["batched", "reference"]
+
     def test_report_options(self):
         args = build_parser().parse_args(
             ["report", "a.json", "b.json", "--tolerance", "0.1"]
@@ -117,6 +139,14 @@ class TestCommands:
     def test_run_in_order(self, capsys):
         assert main(["run", "compress", "--scale", "0.1", "--in-order"]) == 0
         assert "in-order" in capsys.readouterr().out
+
+    def test_run_batched_engine_output_matches_fast(self, capsys):
+        assert main(
+            ["run", "compress", "--scale", "0.1", "--engine", "batched"]
+        ) == 0
+        batched = capsys.readouterr().out
+        assert main(["run", "compress", "--scale", "0.1"]) == 0
+        assert batched == capsys.readouterr().out
 
     def test_figure5(self, capsys):
         assert main(

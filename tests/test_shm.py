@@ -1,0 +1,138 @@
+"""Shared-memory packed-trace transport (harness warm-start path).
+
+The scheduler exports a warm compilation's packed arrays into a
+``multiprocessing.shared_memory`` segment so pool workers skip the
+packing pass.  Everything here must degrade gracefully — a missing
+segment, a stale token, a platform without POSIX shared memory all
+fall back to local packing — and an adopted trace must drive a run to
+exactly the same result as a locally packed one.
+"""
+
+import pytest
+
+from repro.compiler import HeuristicLevel
+from repro.experiments.runner import (
+    clear_cache,
+    compile_benchmark,
+    compile_cache_key,
+    offer_packed,
+)
+from repro.harness import shm
+from repro.harness.shm import (
+    ENCODING_VERSION,
+    attach_packed,
+    decode_packed,
+    encode_packed,
+    export_packed,
+    release_segment,
+)
+from repro.sim import MultiscalarMachine, SimConfig
+
+SMALL = 0.1
+
+#: every array/scalar field the packed encoding must round-trip
+_PACKED_FIELDS = (
+    "n", "opcls", "latency", "is_load", "is_store", "is_mem",
+    "is_cond_branch", "block_start", "has_write", "has_remote_consumer",
+    "gshare_mispred", "cross_consumer", "issue_simple", "pc", "addr",
+    "producers", "mem_producer", "task_seq", "consumer_seqs",
+    "gshare_predictions", "gshare_accuracy",
+)
+
+
+def _packed():
+    compiled = compile_benchmark(
+        "compress", HeuristicLevel.TASK_SIZE, scale=SMALL
+    )
+    return compiled, compiled.stream.packed
+
+
+def test_encode_decode_roundtrips_every_field():
+    _, packed = _packed()
+    clone = decode_packed(encode_packed(packed))
+    for name in _PACKED_FIELDS:
+        assert getattr(clone, name) == getattr(packed, name), (
+            f"field {name} did not round-trip"
+        )
+    # the clone is unadopted until build_task_stream binds it
+    assert clone._stream is None
+
+
+def test_decode_rejects_other_versions():
+    _, packed = _packed()
+    blob = encode_packed(packed)
+    bad = blob.replace(
+        f'"version": {ENCODING_VERSION}'.encode(),
+        f'"version": {ENCODING_VERSION + 1}'.encode(),
+        1,
+    )
+    with pytest.raises(ValueError):
+        decode_packed(bad)
+
+
+def test_export_attach_release_cycle():
+    _, packed = _packed()
+    segment, token = export_packed(packed)
+    if segment is None:
+        pytest.skip("shared memory unavailable on this platform")
+    try:
+        clone = attach_packed(token)
+        assert clone is not None
+        assert clone.n == packed.n
+        assert clone.task_seq == packed.task_seq
+    finally:
+        release_segment(segment)
+    # after unlink the token is stale: attach falls back to None
+    assert attach_packed(token) is None
+
+
+def test_attach_tolerates_garbage_tokens():
+    assert attach_packed(None) is None
+    assert attach_packed({}) is None
+    assert attach_packed({"name": "no-such-segment", "size": 1}) is None
+    assert attach_packed({"size": 64}) is None
+
+
+def test_export_unavailable_platform_falls_back(monkeypatch):
+    _, packed = _packed()
+    monkeypatch.setattr(shm, "shared_memory", None)
+    assert export_packed(packed) == (None, None)
+    assert attach_packed({"name": "x", "size": 1}) is None
+
+
+def test_adopted_arrays_drive_identical_runs():
+    """A compile that adopts donated arrays simulates identically."""
+    compiled, packed = _packed()
+    blob = encode_packed(packed)
+    baseline = MultiscalarMachine(
+        compiled.stream, SimConfig().scaled_for_pus(4), compiled.release
+    ).run()
+
+    clear_cache()
+    key = compile_cache_key("compress", HeuristicLevel.TASK_SIZE, SMALL)
+    offer_packed(key, decode_packed(blob))
+    adopted = compile_benchmark(
+        "compress", HeuristicLevel.TASK_SIZE, scale=SMALL
+    )
+    # the donated arrays were adopted, not re-packed
+    assert adopted.stream._packed is not packed
+    assert adopted.stream._packed._stream is adopted.stream
+    result = MultiscalarMachine(
+        adopted.stream, SimConfig().scaled_for_pus(4), adopted.release
+    ).run()
+    assert result.cycles == baseline.cycles
+    assert result.breakdown == baseline.breakdown
+    clear_cache()
+
+
+def test_offer_is_ignored_when_cache_is_warm():
+    """A warm in-process compile never swaps its arrays mid-flight."""
+    compiled, packed = _packed()
+    key = compile_cache_key("compress", HeuristicLevel.TASK_SIZE, SMALL)
+    donated = decode_packed(encode_packed(packed))
+    offer_packed(key, donated)
+    again = compile_benchmark(
+        "compress", HeuristicLevel.TASK_SIZE, scale=SMALL
+    )
+    assert again is compiled
+    assert again.stream._packed is packed

@@ -48,6 +48,45 @@ def test_campaign_ledger_deterministic(tmp_path):
     assert ledgers[0] == ledgers[1]
 
 
+def test_campaign_third_engine_column():
+    """--engine batched adds a third differential column per cell."""
+    result = run_campaign(budget=1, seed=5, jobs=1, levels=LEVELS2,
+                          engines=("fast", "reference", "batched"))
+    assert result.ok, result.summary()
+    assert result.cells == len(LEVELS2) * 3
+
+
+def test_campaign_batched_degenerate_task_attribution():
+    """Regression: the second seed-1 program carries a task that goes
+    ``done`` without ever popping a completion heap entry, so the
+    batched engine's open deferred span must be woken at the flip —
+    otherwise the whole idle stretch bulk-charges the stale FETCH
+    slot where the reference charges LOAD_IMBALANCE (same total
+    cycles, wrong breakdown; found by the fuzz third column)."""
+    result = run_campaign(
+        budget=2, seed=1, jobs=1,
+        levels=(HeuristicLevel.BASIC_BLOCK,),
+        engines=("fast", "batched", "reference"),
+    )
+    assert result.ok, result.summary()
+    assert result.cells == 2 * 3
+
+
+def test_fuzz_specs_engine_column_order():
+    """Requested engines appear per level, in request order."""
+    specs, _ = fuzz_specs(
+        1, seed=1, levels=LEVELS2,
+        engines=("fast", "batched", "reference"),
+    )
+    assert len(specs) == len(LEVELS2) * 3
+    assert [s.sim.engine for s in specs[:3]] == [
+        "fast", "batched", "reference"
+    ]
+    # all three share one compilation, none share a record identity
+    assert len({s.compile_hash() for s in specs[:3]}) == 1
+    assert len({s.spec_hash() for s in specs[:3]}) == 3
+
+
 def test_fuzz_specs_share_compile_groups():
     """The fast/reference pair of one cell shares one compilation but
     has distinct record-cache identities."""
