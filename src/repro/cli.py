@@ -39,7 +39,13 @@ Commands:
 * ``fuzz`` — differential fuzzing campaign: N generated programs
   × all four heuristic levels × both engines, cross-checked with
   the reliability oracle; ``--minimize`` delta-debugs divergent
-  programs to minimal reproducers.
+  programs to minimal reproducers; ``--strategy`` sweeps non-paper
+  selection strategies as extra differential cells.
+* ``tune`` — search-based autotuning of task selection: a seeded
+  genetic algorithm (or random-search baseline) over the selection
+  genome, scored by simulated cycles through the harness; resumable
+  via its schema-versioned tune ledger, best-vs-baseline record
+  grids diffable with ``repro report``.
 
 Grid commands execute through :mod:`repro.harness`: ``--jobs N``
 fans the grid out over N worker processes (0 = one per CPU), the
@@ -142,6 +148,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--engine", choices=["fast", "batched", "reference"],
                        default="fast",
                        help="simulation core (bit-identical results)")
+    run_p.add_argument("--strategy", default="",
+                       help="selection strategy name (see 'repro list "
+                            "--strategies'; default: the --level reference)")
 
     fig_p = sub.add_parser("figure5", help="regenerate Figure 5")
     _add_common(fig_p)
@@ -324,6 +333,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the synthetic-generator presets instead",
     )
     list_p.add_argument(
+        "--strategies", action="store_true",
+        help="list the registered selection strategies with their "
+             "tunable parameters and defaults instead",
+    )
+    list_p.add_argument(
         "--json", action="store_true",
         help="emit the listing as machine-readable JSON",
     )
@@ -385,6 +399,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="add an engine to the differential (repeatable); "
              "'--engine batched' cross-checks a third column beyond "
              "the default fast-vs-reference pair",
+    )
+    fuzz_p.add_argument(
+        "--strategy", action="append", dest="strategies", default=None,
+        help="non-paper selection strategy to sweep as an extra cell "
+             "group per program (repeatable; default cost_model; "
+             "'none' disables the sweep)",
+    )
+
+    tune_p = sub.add_parser(
+        "tune",
+        help="autotune task selection: seeded GA / random search over "
+             "the selection genome, scored by simulated cycles",
+    )
+    tune_p.add_argument(
+        "benchmarks", nargs="*",
+        help="target benchmark names (registry names or "
+             "synth:<preset>:<seed>); fitness is summed cycles over "
+             "all targets",
+    )
+    tune_p.add_argument(
+        "--synth", default="", metavar="PRESET",
+        help="add one synthetic target drawn from this preset (its "
+             "program seed derives from --seed)",
+    )
+    tune_p.add_argument(
+        "--budget", type=int, default=32,
+        help="nominal genome evaluations (GA generations = "
+             "ceil(budget / pop); default 32)",
+    )
+    tune_p.add_argument("--seed", type=int, default=1,
+                        help="campaign seed (default 1)")
+    tune_p.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes per generation (default 0 = one per "
+             "CPU; 1 = serial in-process)",
+    )
+    tune_p.add_argument(
+        "--algo", choices=["ga", "random"], default="ga",
+        help="search driver (default ga; random = uniform baseline)",
+    )
+    tune_p.add_argument(
+        "--pop", type=int, default=8,
+        help="GA population size / random-search batch (default 8)",
+    )
+    tune_p.add_argument("--n-pus", type=int, default=4,
+                        help="processing units (default 4)")
+    tune_p.add_argument(
+        "--in-order", action="store_true",
+        help="tune for in-order PUs (default out-of-order)",
+    )
+    tune_p.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    tune_p.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent artifact cache",
+    )
+    tune_p.add_argument(
+        "--ledger", default="",
+        help="tune ledger path (default: <cache root>/tune/"
+             "tune-<algo>-s<seed>-b<budget>.jsonl)",
+    )
+    tune_p.add_argument(
+        "--resume", action="store_true",
+        help="continue the campaign recorded in the ledger (replays "
+             "completed evaluations instead of re-simulating)",
+    )
+    tune_p.add_argument(
+        "--out", default="",
+        help="write baseline.json + tuned.json record grids here "
+             "(diff with 'repro report <out>/baseline.json "
+             "<out>/tuned.json')",
+    )
+    tune_p.add_argument(
+        "--json", action="store_true",
+        help="print the campaign summary as JSON",
     )
 
     serve_p = sub.add_parser(
@@ -506,17 +595,30 @@ def _sim_for_engine(engine: str):
 
 
 def _cmd_run(args: argparse.Namespace) -> str:
+    from repro.compiler import SelectionConfig, get_strategy
+
+    selection = None
+    if args.strategy:
+        selection = SelectionConfig(
+            level=_LEVELS[args.level], strategy=args.strategy
+        )
+        try:
+            get_strategy(selection)
+        except ValueError as exc:
+            raise SystemExit(f"repro run: {exc}")
     record = run_benchmark(
         args.benchmark,
         _LEVELS[args.level],
         n_pus=args.pus,
         out_of_order=not args.in_order,
         scale=args.scale,
+        selection=selection,
         sim=_sim_for_engine(args.engine),
     )
+    strategy_note = f" [{args.strategy}]" if args.strategy else ""
     lines = [
         f"benchmark            : {record.benchmark} ({record.suite})",
-        f"heuristic level      : {record.level.value}",
+        f"heuristic level      : {record.level.value}{strategy_note}",
         f"machine              : {record.n_pus} PUs, "
         f"{'out-of-order' if record.out_of_order else 'in-order'}",
         f"instructions         : {record.instructions}",
@@ -825,11 +927,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> str:
     for engine in args.extra_engines or ():
         if engine not in engines:
             engines.append(engine)
+    strategies = _fuzz_strategies(args.strategies)
     result = run_campaign(
         budget=args.budget, seed=args.seed, preset=args.preset,
         jobs=args.jobs, cache=cache, ledger=ledger,
         resume=args.resume, minimize=args.minimize,
-        engines=tuple(engines),
+        engines=tuple(engines), strategies=strategies,
     )
     lines = [result.summary()]
     counters = (result.metrics or {}).get("counters", {})
@@ -846,9 +949,150 @@ def _cmd_fuzz(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _fuzz_strategies(requested) -> tuple:
+    """Resolve ``repro fuzz --strategy`` into validated names.
+
+    Default sweeps ``cost_model`` so every fuzz campaign covers the
+    pluggable-strategy dispatch path; ``--strategy none`` disables.
+    """
+    from repro.compiler import strategy_names
+    from repro.compiler.strategy import REFERENCE_STRATEGIES
+
+    if requested is None:
+        return ("cost_model",)
+    names = tuple(s for s in requested if s != "none")
+    known = set(strategy_names()) - set(REFERENCE_STRATEGIES)
+    unknown = [s for s in names if s not in known]
+    if unknown:
+        raise SystemExit(
+            f"repro fuzz: unknown non-paper strategy "
+            f"{', '.join(unknown)} (choose from {', '.join(sorted(known))})"
+        )
+    return names
+
+
+def _cmd_tune(args: argparse.Namespace) -> str:
+    import json as _json
+    from pathlib import Path
+
+    from repro.synth import PRESETS
+    from repro.synth.campaign import program_seed
+    from repro.tune import TuneLedger, tune, tune_summary, write_tune_reports
+
+    targets = list(args.benchmarks)
+    if args.synth:
+        if args.synth not in PRESETS:
+            raise SystemExit(
+                f"repro tune: unknown preset {args.synth!r} "
+                f"(choose from {', '.join(PRESETS)})"
+            )
+        targets.append(f"synth:{args.synth}:{program_seed(args.seed, 0)}")
+    if not targets:
+        raise SystemExit(
+            "repro tune: name at least one benchmark or pass --synth "
+            "PRESET (e.g. 'repro tune compress' or 'repro tune "
+            "--synth loops')"
+        )
+    cache = None if args.no_cache else ArtifactCache()
+    ledger_path = args.ledger
+    if not ledger_path and cache is not None:
+        ledger_path = str(
+            Path(cache.root) / "tune"
+            / f"tune-{args.algo}-s{args.seed}-b{args.budget}.jsonl"
+        )
+    ledger = None
+    if ledger_path:
+        path = Path(ledger_path)
+        if path.exists() and path.stat().st_size and not args.resume:
+            raise SystemExit(
+                f"repro tune: {path} already holds a campaign ledger; "
+                f"pass --resume to continue it or point --ledger at a "
+                f"fresh path"
+            )
+        try:
+            ledger = TuneLedger(path)
+        except ValueError as exc:
+            raise SystemExit(f"repro tune: {exc}")
+    try:
+        result = tune(
+            targets, budget=args.budget, seed=args.seed, algo=args.algo,
+            jobs=args.jobs or None, pop_size=args.pop, ledger=ledger,
+            cache=cache, n_pus=args.n_pus,
+            out_of_order=not args.in_order, scale=args.scale,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro tune: {exc}")
+    summary = tune_summary(result)
+    report_hint = ""
+    if args.out:
+        baseline_path, tuned_path = write_tune_reports(result, args.out)
+        summary["reports"] = {
+            "baseline": str(baseline_path), "tuned": str(tuned_path),
+        }
+        report_hint = (
+            f"wrote {baseline_path} and {tuned_path}; diff with: "
+            f"repro report {baseline_path} {tuned_path}"
+        )
+    if args.json:
+        return _json.dumps(summary, indent=2, sort_keys=True)
+    genome = result.best_genome.as_dict()
+    delta = result.best_fitness - result.baseline_fitness
+    pct = (100.0 * delta / result.baseline_fitness
+           if result.baseline_fitness else 0.0)
+    lines = [
+        f"tune campaign: algo={result.algo} seed={result.seed} "
+        f"budget={result.budget} pop={result.pop_size} "
+        f"generations={result.generations} "
+        f"evaluations={result.evaluations}",
+        f"targets: {', '.join(result.targets)}",
+        f"baseline (paper heuristic_3): {result.baseline_fitness:,} "
+        f"cycles",
+        f"best genome {result.best_hash}: {result.best_fitness:,} "
+        f"cycles ({delta:+,}, {pct:+.1f}%)",
+        "  " + " ".join(f"{k}={v}" for k, v in genome.items()),
+        "per-target cycles (baseline -> tuned):",
+    ]
+    for target in result.targets:
+        base = result.baseline_cycles.get(target, 0)
+        best = result.best_cycles.get(target, 0)
+        mark = " *" if best < base else ""
+        lines.append(f"  {target}: {base:,} -> {best:,}{mark}")
+    if ledger is not None:
+        lines.append(f"ledger: {ledger.path}")
+    if report_hint:
+        lines.append(report_hint)
+    return "\n".join(lines)
+
+
 def _cmd_list(args: argparse.Namespace) -> str:
     import json as _json
 
+    if getattr(args, "strategies", False):
+        from repro.compiler import describe_strategies
+
+        described = describe_strategies()
+        if getattr(args, "json", False):
+            return _json.dumps({"strategies": described}, indent=2,
+                               sort_keys=True)
+        lines = [
+            f"{'name':<16} {'kind':<10} {'class':<18} description"
+        ]
+        for entry in described:
+            lines.append(
+                f"{entry['name']:<16} {entry['kind']:<10} "
+                f"{entry['class']:<18} {entry['description']}"
+            )
+            tunables = entry["tunables"]
+            if tunables:
+                params = ", ".join(
+                    f"{k}={v}" for k, v in tunables.items()
+                )
+                lines.append(f"{'':<16} tunables: {params}")
+        lines.append(
+            "select with SelectionConfig(strategy=<name>); '' = the "
+            "paper reference strategy of the configured level"
+        )
+        return "\n".join(lines)
     if getattr(args, "json", False):
         if getattr(args, "synth", False):
             from repro.synth import PRESETS
@@ -1130,6 +1374,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "gen": _cmd_gen,
     "fuzz": _cmd_fuzz,
+    "tune": _cmd_tune,
     "serve": _cmd_serve,
     "chaos": _cmd_chaos,
     "submit": _cmd_submit,

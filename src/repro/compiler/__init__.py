@@ -16,18 +16,34 @@ Public surface:
   increment hoisting.
 * :mod:`~repro.compiler.regcomm` — register communication release
   points (dead register analysis).
+* :mod:`~repro.compiler.strategy` — the pluggable
+  :class:`~repro.compiler.strategy.SelectionStrategy` registry the
+  driver dispatches through (paper reference strategies plus
+  ``tunable`` and ``cost_model``).
 """
 
 from repro.compiler.heuristics import HeuristicLevel, SelectionConfig
 from repro.compiler.partition import select_tasks
+from repro.compiler.strategy import (
+    SelectionStrategy,
+    describe_strategies,
+    get_strategy,
+    register_strategy,
+    strategy_names,
+)
 from repro.compiler.task import Target, TargetKind, Task, TaskPartition
 
 __all__ = [
     "HeuristicLevel",
     "SelectionConfig",
+    "SelectionStrategy",
     "Target",
     "TargetKind",
     "Task",
     "TaskPartition",
+    "describe_strategies",
+    "get_strategy",
+    "register_strategy",
     "select_tasks",
+    "strategy_names",
 ]

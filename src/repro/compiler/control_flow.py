@@ -148,16 +148,22 @@ class GrowthContext:
     def grow(self, root: str, policy: Optional[GrowthPolicy] = None) -> Set[str]:
         """Grow a task block set from ``root``; return the member labels.
 
-        Growth is greedy BFS: exploration continues past the N-target
-        limit hoping for reconverging paths, and the longest feasible
-        inclusion prefix (at most N targets) wins.  ``policy`` may veto
-        candidate blocks (the data dependence heuristic).
+        Growth is greedy BFS (the paper's worklist order): exploration
+        continues past the N-target limit hoping for reconverging
+        paths, and the longest feasible inclusion prefix (at most N
+        targets) wins.  ``policy`` may veto candidate blocks (the data
+        dependence heuristic).  ``config.traversal == "dfs"`` switches
+        the frontier to a stack — same terminal rules and feasibility
+        tracking, different inclusion order, hence different feasible
+        prefixes (an autotuner gene; ``"bfs"`` is bit-identical to the
+        reference pipeline).
         """
         if not self.config.multi_block:
             return {root}
         if policy is None:
             policy = GrowthPolicy()
         max_targets = self.config.max_targets
+        dfs = self.config.traversal == "dfs"
 
         inclusion: List[str] = []
         members: Set[str] = set()
@@ -172,12 +178,18 @@ class GrowthContext:
 
         queue: List[str] = [root]
         qi = 0
-        while qi < len(queue):
-            label = queue[qi]
-            qi += 1
+        while queue if dfs else qi < len(queue):
+            if dfs:
+                label = queue.pop()
+            else:
+                label = queue[qi]
+                qi += 1
             if self.is_terminal_node(label):
                 continue
-            for succ in self._block(label).successor_labels():
+            succs = self._block(label).successor_labels()
+            # A DFS stack pops from the end; reverse so the first
+            # successor is explored first, mirroring the BFS order.
+            for succ in (reversed(succs) if dfs else succs):
                 if succ in members:
                     continue
                 if self.is_terminal_edge(label, succ):

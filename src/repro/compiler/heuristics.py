@@ -20,7 +20,8 @@ Figure 5):
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Tuple
 
 
 class HeuristicLevel(enum.Enum):
@@ -64,12 +65,42 @@ class SelectionConfig:
     schedule_communication: bool = True
     #: cap on profiled def-use dependences processed per function
     max_dependences: int = 512
+    #: selection strategy name ("" = the paper reference strategy for
+    #: ``level``); see :mod:`repro.compiler.strategy` for the registry
+    strategy: str = ""
+    #: CFG exploration order during task growth ("bfs" = the paper's
+    #: worklist order; "dfs" explores depth-first — a tunable gene)
+    traversal: str = "bfs"
 
     def __post_init__(self) -> None:
         if self.max_targets < 1:
             raise ValueError("max_targets must be >= 1")
         if self.max_unroll < 1:
             raise ValueError("max_unroll must be >= 1")
+        if self.traversal not in ("bfs", "dfs"):
+            raise ValueError(
+                f"traversal must be 'bfs' or 'dfs', got {self.traversal!r}"
+            )
+
+    def cache_key(self) -> Tuple:
+        """Explicit, collision-free compile-cache identity.
+
+        Covers **every** dataclass field by name (so a newly added
+        genome field can never silently alias cache entries the way a
+        hand-picked tuple once did) plus the *resolved* strategy name
+        (the paper levels and an explicitly named reference strategy
+        are the same code path and must share cached artifacts).
+        Field values are reduced to primitives: enums by value —
+        nothing here may depend on ``hash()`` or object identity.
+        """
+        resolved = self.strategy or self.level.value
+        items = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, enum.Enum):
+                value = value.value
+            items.append((f.name, value))
+        return (type(self).__name__, resolved) + tuple(items)
 
     @property
     def multi_block(self) -> bool:

@@ -3,15 +3,19 @@
 Pipeline (Figure 3, Sections 3.1–3.4):
 
 1. clone the program (transforms never touch the caller's IR);
-2. task size heuristic: unroll small loops (TASK_SIZE level);
-3. induction increment hoisting (all multi-block levels);
-4. profile the transformed program functionally (needed by the data
-   dependence ranking and the CALL_THRESH decision);
-5. decide absorbed (small) callees (TASK_SIZE level);
-6. coverage traversal: starting from the program entry, grow a task at
-   every exposed target until all inter-task transitions are rooted.
-   At the DATA_DEPENDENCE / TASK_SIZE levels each growth is steered by
-   a :class:`~repro.compiler.data_dependence.DependencePolicy`.
+2. resolve the :class:`~repro.compiler.strategy.SelectionStrategy`
+   named by the config (``""`` = the paper reference strategy for
+   ``config.level``);
+3. strategy transforms (unrolling, hoisting, communication
+   scheduling — for the paper strategies exactly the level-gated
+   progression of Figure 3);
+4. profile the transformed program functionally iff the strategy
+   wants one (data dependence ranking, CALL_THRESH, cost models);
+5. strategy decides absorbed (small) callees;
+6. strategy builds the partition — for the paper strategies a
+   coverage traversal growing a task at every exposed target, steered
+   by :class:`~repro.compiler.data_dependence.DependencePolicy` at
+   the DATA_DEPENDENCE / TASK_SIZE levels.
 
 The returned :class:`~repro.compiler.task.TaskPartition` owns the
 transformed program (``partition.program``); run and simulate *that*
@@ -20,21 +24,13 @@ program, not the input.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.compiler.control_flow import GrowthContext
-from repro.compiler.data_dependence import DependenceBook
-from repro.compiler.heuristics import HeuristicLevel, SelectionConfig
-from repro.compiler.sched import schedule_register_communication
-from repro.compiler.task import Task, TaskPartition
-from repro.compiler.task_size import absorbed_functions
-from repro.compiler.transforms import (
-    clone_program,
-    hoist_induction_increments,
-    unroll_small_loops,
-)
-from repro.ir.block import BlockId
+from repro.compiler.heuristics import SelectionConfig
+from repro.compiler.strategy import get_strategy
+from repro.compiler.task import TaskPartition
+from repro.compiler.transforms import clone_program
 from repro.ir.cfg import build_cfg
 from repro.ir.program import Program
 from repro.ir.interp import run_program
@@ -54,18 +50,13 @@ def select_tasks(
     profiles internally after applying transforms.
     """
     config = config or SelectionConfig()
+    strategy = get_strategy(config)
     prog = clone_program(program)
-    if config.use_task_size:
-        unroll_small_loops(prog, config.loop_thresh, config.max_unroll)
-    if config.multi_block and config.hoist_induction:
-        hoist_induction_increments(prog)
-    if config.multi_block and config.schedule_communication:
-        schedule_register_communication(prog)
+    strategy.transform(prog, config)
     prog.validate()
 
-    needs_profile = config.use_data_dependence or config.use_task_size
     profiled_trace = None
-    if needs_profile and profile is None:
+    if strategy.wants_profile(config) and profile is None:
         # Keep the trace alongside the profile: selection only picks
         # task boundaries from here on (no further code changes), so
         # the caller can reuse it instead of re-interpreting the
@@ -75,103 +66,15 @@ def select_tasks(
         )
         profile = profile_trace(profiled_trace)
 
-    absorbed: Set[str] = set()
-    if config.use_task_size:
-        assert profile is not None
-        absorbed = absorbed_functions(prog, profile, config)
+    absorbed: Set[str] = strategy.absorbed_functions(prog, profile, config)
 
     contexts: Dict[str, GrowthContext] = {
         fn.name: GrowthContext(prog, fn.name, build_cfg(fn), config, absorbed)
         for fn in prog.functions()
     }
-    books: Dict[str, DependenceBook] = {}
-    if config.use_data_dependence:
-        assert profile is not None
-        books = {
-            fn.name: DependenceBook(fn, contexts[fn.name].cfg, profile, config)
-            for fn in prog.functions()
-        }
 
     partition = TaskPartition(prog)
-    if config.level is HeuristicLevel.BASIC_BLOCK:
-        _basic_block_tasks(partition, contexts)
-    else:
-        _cover_program(partition, contexts, books)
+    strategy.build(partition, contexts, profile, config)
     partition.validate()
     partition.profile_trace = profiled_trace
     return partition
-
-
-def _basic_block_tasks(
-    partition: TaskPartition, contexts: Dict[str, GrowthContext]
-) -> None:
-    """Root a single-block task at every block of every function."""
-    for fname, context in contexts.items():
-        function = context.program.function(fname)
-        for label in function.labels():
-            members = {label}
-            partition.new_task(
-                function=fname,
-                root=(fname, label),
-                blocks={(fname, label)},
-                internal_edges=set(),
-                targets=context.compute_targets(members),
-                absorbed_calls=set(),
-            )
-
-
-def _task_successor_roots(task: Task, context: GrowthContext) -> List[BlockId]:
-    """Roots this task's dynamic execution can expose.
-
-    BLOCK and CALL targets directly; additionally the continuation of
-    every non-absorbed call member block (entered when the callee
-    returns) — it is a *successor of the callee's final task*, not of
-    this one, but it must be rooted for the stream to proceed.
-    """
-    roots: List[BlockId] = []
-    for target in task.targets:
-        if target.block is not None:
-            roots.append(target.block)
-    program = context.program
-    for block_id in sorted(task.blocks):
-        blk = program.block(block_id)
-        if blk.ends_in_call and block_id not in task.absorbed_calls:
-            if blk.fallthrough is not None:
-                roots.append((block_id[0], blk.fallthrough))
-    return roots
-
-
-def _cover_program(
-    partition: TaskPartition,
-    contexts: Dict[str, GrowthContext],
-    books: Dict[str, DependenceBook],
-) -> None:
-    """Grow tasks from the entry until every exposed target is rooted."""
-    program = partition.program
-    main_entry: BlockId = (program.main_name, program.main.entry_label or "")
-    worklist: Deque[BlockId] = deque([main_entry])
-    processed: Set[BlockId] = set()
-
-    while worklist:
-        root = worklist.popleft()
-        if root in processed:
-            continue
-        processed.add(root)
-        fname, label = root
-        context = contexts[fname]
-        if partition.has_root(root):
-            task = partition.task_at(root)
-        else:
-            policy = books[fname].policy() if fname in books else None
-            members = context.grow(label, policy=policy)
-            task = partition.new_task(
-                function=fname,
-                root=root,
-                blocks={(fname, lbl) for lbl in members},
-                internal_edges=context.compute_internal_edges(members),
-                targets=context.compute_targets(members),
-                absorbed_calls=context.absorbed_call_blocks(members),
-            )
-        for succ in _task_successor_roots(task, context):
-            if succ not in processed:
-                worklist.append(succ)

@@ -11,7 +11,7 @@ in-order vs out-of-order) reuse them.
 from __future__ import annotations
 
 import gc
-from dataclasses import astuple, dataclass, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 from repro.compiler import HeuristicLevel, SelectionConfig, TaskPartition, select_tasks
@@ -27,11 +27,12 @@ from repro.sim import (
 )
 from repro.workloads import get_benchmark
 
-#: (benchmark, scale, input_set, profile_input, *all SelectionConfig
-#: fields).  Deriving the tail from ``dataclasses.astuple`` keeps the
-#: key complete as the config grows — hand-picking fields once caused
-#: configs differing only in unlisted fields to alias a cached
-#: partition.
+#: (benchmark, scale, input_set, profile_input,
+#: *SelectionConfig.cache_key()).  The tail enumerates every config
+#: field *by name* plus the resolved strategy — hand-picking fields
+#: once caused configs differing only in unlisted fields to alias a
+#: cached partition, and a positional tuple would alias across
+#: field reorderings.
 _CompileKey = Tuple
 
 
@@ -136,10 +137,17 @@ def compile_cache_key(
     input_set: str = "ref",
     profile_input: Optional[str] = None,
 ) -> _CompileKey:
-    """In-memory cache key covering *every* selection field."""
+    """In-memory cache key covering *every* selection field.
+
+    Delegates the selection identity to
+    :meth:`SelectionConfig.cache_key` — field names, resolved strategy
+    and all — so configs differing in any field (including ones added
+    later) can never alias, unlike the positional ``astuple`` form
+    this replaced.
+    """
     selection = resolve_selection(level, selection)
     profile_input = profile_input or input_set
-    return (name, scale, input_set, profile_input) + astuple(selection)
+    return (name, scale, input_set, profile_input) + selection.cache_key()
 
 
 def seed_compiled(key: _CompileKey, compiled: Compiled) -> None:

@@ -140,7 +140,16 @@ class RunSpec:
         )
 
     def describe(self) -> str:
-        """Short human label for progress lines and errors."""
-        return cell_label(
+        """Short human label for progress lines and errors.
+
+        Cells running a non-default selection strategy get a
+        ``+strategy`` suffix so tuner/fuzz progress lines distinguish
+        them from the paper reference cell of the same level; default
+        cells keep the exact historical label.
+        """
+        label = cell_label(
             self.benchmark, self.level, self.n_pus, self.out_of_order
         )
+        if self.selection is not None and self.selection.strategy:
+            label = f"{label}+{self.selection.strategy}"
+        return label

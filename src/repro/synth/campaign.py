@@ -69,6 +69,10 @@ ALL_LEVELS: Tuple[HeuristicLevel, ...] = tuple(HeuristicLevel)
 #: CLI's ``--engine batched`` appends a third differential column
 ENGINES: Tuple[str, ...] = ("fast", "reference")
 
+#: heuristic level strategy-sweep cells run at (multi-block and
+#: profile-fed, so non-paper strategies exercise their full pipeline)
+FUZZ_STRATEGY_LEVEL = HeuristicLevel.DATA_DEPENDENCE
+
 #: RunRecord fields that must be bit-identical across engines
 _COMPARE_FIELDS: Tuple[str, ...] = (
     "cycles", "instructions", "ipc", "dynamic_tasks", "mean_task_size",
@@ -158,6 +162,7 @@ def fuzz_specs(
     preset: str = "default",
     levels: Sequence[HeuristicLevel] = ALL_LEVELS,
     engines: Sequence[str] = ENGINES,
+    strategies: Sequence[str] = (),
 ) -> Tuple[List[RunSpec], List[str]]:
     """The harness specs of one campaign, plus the program names.
 
@@ -165,6 +170,11 @@ def fuzz_specs(
     purposes: each spec carries the program's content hash, and an
     unbounded or invalid generation fails loudly before any cell is
     scheduled.
+
+    ``strategies`` appends, per program, one cell group per named
+    non-paper selection strategy (at :data:`FUZZ_STRATEGY_LEVEL`,
+    every engine) so fuzzing also covers the pluggable-strategy
+    dispatch path.
     """
     if preset not in PRESETS:
         known = ", ".join(PRESETS)
@@ -183,6 +193,18 @@ def fuzz_specs(
                 specs.append(RunSpec(
                     benchmark=name,
                     level=level,
+                    sim=SimConfig(engine=engine),
+                    source_hash=source,
+                ))
+        for strategy in strategies:
+            selection = SelectionConfig(
+                level=FUZZ_STRATEGY_LEVEL, strategy=strategy
+            )
+            for engine in engines:
+                specs.append(RunSpec(
+                    benchmark=name,
+                    level=FUZZ_STRATEGY_LEVEL,
+                    selection=selection,
                     sim=SimConfig(engine=engine),
                     source_hash=source,
                 ))
@@ -275,6 +297,10 @@ def execute_fuzz_spec(spec: RunSpec) -> "RunRecord":
         "source_hash": spec.source_hash,
         "engine": (spec.sim or SimConfig()).engine,
     }
+    if spec.selection is not None and spec.selection.strategy:
+        # Strategy-sweep cells share the level of a reference cell;
+        # the report loader suffixes their labels with this.
+        metrics["fuzz"]["strategy"] = spec.selection.strategy
     record.metrics = metrics
     return record
 
@@ -304,7 +330,7 @@ def _stub_record(spec: RunSpec, compiled) -> "RunRecord":
     )
 
 
-def _compare_engines(name: str, level: HeuristicLevel,
+def _compare_engines(label: str,
                      by_engine: Dict[str, "RunRecord"]) -> List[str]:
     """Bit-identity divergences among the engines of one cell.
 
@@ -317,7 +343,6 @@ def _compare_engines(name: str, level: HeuristicLevel,
     if baseline is None or len(by_engine) < 2:
         return []
     out: List[str] = []
-    label = f"{name}@{level.value}"
     base_bd = baseline.breakdown.as_dict()
     for engine, record in by_engine.items():
         if engine == baseline_engine:
@@ -352,6 +377,7 @@ def run_campaign(
     minimize: bool = False,
     levels: Sequence[HeuristicLevel] = ALL_LEVELS,
     engines: Sequence[str] = ENGINES,
+    strategies: Sequence[str] = (),
 ) -> CampaignResult:
     """Run one differential fuzzing campaign through the harness.
 
@@ -360,10 +386,12 @@ def run_campaign(
     every divergent program is delta-debugged to a minimal reproducer
     (``result.reduced``).  ``engines`` widens the differential — e.g.
     ``("fast", "reference", "batched")`` cross-checks three columns.
+    ``strategies`` sweeps non-paper selection strategies as extra
+    cell groups (see :func:`fuzz_specs`).
     """
     result = CampaignResult(budget=budget, seed=seed, preset=preset)
     specs, names = fuzz_specs(budget, seed, preset, levels=levels,
-                              engines=engines)
+                              engines=engines, strategies=strategies)
     result.programs = names
     records = run_specs(
         specs, jobs=jobs, cache=cache, ledger=ledger,
@@ -371,11 +399,16 @@ def run_campaign(
     )
     result.cells = len(records)
 
-    # Group (program, level) -> engine -> record, preserving spec order.
-    grouped: Dict[Tuple[str, HeuristicLevel], Dict[str, "RunRecord"]] = {}
+    # Group (program, level, strategy) -> engine -> record, preserving
+    # spec order (strategy "" = the paper reference cells).
+    grouped: Dict[Tuple[str, HeuristicLevel, str],
+                  Dict[str, "RunRecord"]] = {}
     for spec, record in zip(specs, records):
         engine = (spec.sim or SimConfig()).engine
-        grouped.setdefault((spec.benchmark, spec.level), {})[engine] = record
+        strategy = spec.selection.strategy if spec.selection else ""
+        grouped.setdefault(
+            (spec.benchmark, spec.level, strategy), {}
+        )[engine] = record
 
     registry = MetricsRegistry()
     registry.counter("fuzz.programs").inc(len(names))
@@ -383,7 +416,10 @@ def run_campaign(
     sizes = registry.histogram("fuzz.program_instructions",
                                PROGRAM_SIZE_BOUNDS)
     divergent_programs: List[str] = []
-    for (name, level), by_engine in grouped.items():
+    for (name, level, strategy), by_engine in grouped.items():
+        cell_label = f"{name}@{level.value}"
+        if strategy:
+            cell_label = f"{cell_label}+{strategy}"
         cell_divs: List[str] = []
         for engine in engines:
             record = by_engine.get(engine)
@@ -391,16 +427,16 @@ def run_campaign(
                 continue
             fuzz_meta = (record.metrics or {}).get("fuzz", {})
             cell_divs.extend(
-                f"{name}@{level.value}[{engine}]: {d}"
+                f"{cell_label}[{engine}]: {d}"
                 for d in fuzz_meta.get("divergences", ())
             )
             registry.counter("fuzz.invariant_checks").inc(
                 int(fuzz_meta.get("invariant_checks", 0))
             )
         fast = by_engine.get("fast")
-        if fast is not None:
+        if fast is not None and not strategy:
             sizes.observe(fast.instructions)
-        cell_divs.extend(_compare_engines(name, level, by_engine))
+        cell_divs.extend(_compare_engines(cell_label, by_engine))
         if cell_divs and name not in divergent_programs:
             divergent_programs.append(name)
         result.divergences.extend(cell_divs)
@@ -424,7 +460,10 @@ def run_campaign(
         for name in divergent_programs:
             program = _pristine_program(name, 1.0)
             reduced = reduce_program(
-                program, lambda p: bool(check_program(p, levels=levels))
+                program,
+                lambda p: bool(
+                    check_program(p, levels=levels, strategies=strategies)
+                ),
             )
             result.reduced[name] = program_to_text(reduced)
     return result
@@ -436,15 +475,17 @@ def check_program(
     n_pus: int = 4,
     max_instructions: int = 2_000_000,
     engines: Sequence[str] = ENGINES,
+    strategies: Sequence[str] = (),
 ) -> List[str]:
     """In-process differential check of one program (no registry).
 
     The reducer predicate and the planted-fault tests use this: it
-    mirrors :func:`execute_fuzz_spec` — all requested levels, both
-    engines, the invariant monitor, and the commit-log oracle —
-    against a raw :class:`~repro.ir.program.Program`.  Selection
-    clones and transforms its input, so every downstream step works
-    on ``partition.program``, the program the trace was recorded on.
+    mirrors :func:`execute_fuzz_spec` — all requested levels (plus
+    the requested non-paper ``strategies``), both engines, the
+    invariant monitor, and the commit-log oracle — against a raw
+    :class:`~repro.ir.program.Program`.  Selection clones and
+    transforms its input, so every downstream step works on
+    ``partition.program``, the program the trace was recorded on.
     """
     text = program_to_text(program)
     divergences: List[str] = []
@@ -452,14 +493,22 @@ def check_program(
     divergences.extend(f"well-formedness: {i}" for i in well_formed(base))
     if divergences:
         return divergences
-    for level in levels:
+    selections: List[Tuple[str, SelectionConfig]] = [
+        (level.value, SelectionConfig(level=level)) for level in levels
+    ]
+    selections += [
+        (f"{FUZZ_STRATEGY_LEVEL.value}+{strategy}",
+         SelectionConfig(level=FUZZ_STRATEGY_LEVEL, strategy=strategy))
+        for strategy in strategies
+    ]
+    for tag, selection in selections:
         partition = select_tasks(
-            parse_program(text), SelectionConfig(level=level),
+            parse_program(text), selection,
             max_profile_instructions=max_instructions,
         )
         prog = partition.program
         divergences.extend(
-            f"{level.value}: partition: {i}"
+            f"{tag}: partition: {i}"
             for i in partition_issues(prog, partition)
         )
         trace = partition.profile_trace or run_program(
@@ -473,18 +522,18 @@ def check_program(
             monitor = InvariantMonitor()
             machine = MultiscalarMachine(
                 stream, config, release, monitor,
-                label=f"fuzz-check/{level.value}/{engine}",
+                label=f"fuzz-check/{tag}/{engine}",
             )
             try:
                 sim_result = machine.run()
             except InvariantViolation as exc:
                 divergences.append(
-                    f"{level.value}[{engine}]: invariant violation: {exc}"
+                    f"{tag}[{engine}]: invariant violation: {exc}"
                 )
                 continue
             results[engine] = sim_result
             divergences.extend(
-                f"{level.value}[{engine}]: {d}"
+                f"{tag}[{engine}]: {d}"
                 for d in check_commit_log(monitor.commit_log, len(trace))
             )
             ref_trace, ref_state = sequential_reference(prog)
@@ -492,10 +541,10 @@ def check_program(
                 prog, trace, monitor.commit_log
             )
             divergences.extend(
-                f"{level.value}[{engine}]: {d}" for d in replay_div
+                f"{tag}[{engine}]: {d}" for d in replay_div
             )
             divergences.extend(
-                f"{level.value}[{engine}]: {d}"
+                f"{tag}[{engine}]: {d}"
                 for d in compare_states(ref_state, replay_state)
             )
         baseline_engine = "reference" if "reference" in results else "fast"
@@ -514,7 +563,7 @@ def check_program(
                 b = getattr(baseline, field_name)
                 if a != b:
                     divergences.append(
-                        f"{level.value}: engines diverge on "
+                        f"{tag}: engines diverge on "
                         f"{field_name}: {engine}={a!r} "
                         f"{baseline_engine}={b!r}"
                     )

@@ -116,6 +116,10 @@ def _ledger_cells(path: Path) -> Dict[str, Dict]:
             # cell, and surface the per-cell oracle verdict.
             if fuzz.get("engine"):
                 label = f"{label}#{fuzz['engine']}"
+            # Strategy-sweep cells reuse the level of the reference
+            # cell they shadow; the suffix keeps them distinct.
+            if fuzz.get("strategy"):
+                label = f"{label}+{fuzz['strategy']}"
             metrics["fuzz_divergences"] = len(fuzz.get("divergences") or ())
         # latest successful entry for a cell wins (reruns supersede)
         cells[label] = metrics

@@ -1,0 +1,47 @@
+"""``repro.tune`` — search-based autotuning of task selection.
+
+The paper fixes its thresholds (N=4, LOOP_THRESH=30, CALL_THRESH=30)
+by inspection; this subsystem searches the space instead.  A
+:class:`~repro.tune.genome.Genome` names one point in the space of
+:class:`~repro.compiler.heuristics.SelectionConfig` parameters (plus
+the selection strategy itself); :func:`~repro.tune.ga.tune` runs a
+seeded genetic algorithm (or random-search baseline) whose fitness is
+simulated cycles through the existing harness — the content-addressed
+artifact cache makes repeated genomes free and pool sharding
+parallelises a generation.  Every campaign streams to a
+schema-versioned :class:`~repro.tune.ledger.TuneLedger` so
+``repro tune --resume`` replays completed evaluations instead of
+re-simulating them.
+
+Determinism rules (same as the rest of the repo): no wall-clock, no
+module-level ``random`` — every draw comes from a ``random.Random``
+seeded from the campaign seed, so the same seed/budget yields a
+byte-identical ledger and best genome.
+"""
+
+from repro.tune.ga import TuneResult, tune
+from repro.tune.genome import (
+    GENE_SPACE,
+    Genome,
+    PAPER_GENOME,
+    crossover,
+    mutate,
+    random_genome,
+)
+from repro.tune.ledger import TUNE_SCHEMA_VERSION, TuneLedger
+from repro.tune.report import tune_summary, write_tune_reports
+
+__all__ = [
+    "GENE_SPACE",
+    "Genome",
+    "PAPER_GENOME",
+    "TUNE_SCHEMA_VERSION",
+    "TuneLedger",
+    "TuneResult",
+    "crossover",
+    "mutate",
+    "random_genome",
+    "tune",
+    "tune_summary",
+    "write_tune_reports",
+]

@@ -1,0 +1,167 @@
+"""The tune ledger: a resumable, byte-deterministic campaign journal.
+
+One JSONL file per campaign, schema-versioned like the run and
+campaign ledgers.  Line kinds:
+
+* ``header`` — campaign parameters (seed, algo, budget, pop size,
+  targets, gene-space hash); written once, validated on resume — a
+  ledger is bound to exactly one campaign.
+* ``baseline`` — the paper reference (``heuristic_3``) cycles the
+  campaign is measured against.
+* ``eval`` — one genome's fitness (summed cycles) and per-target
+  cycles; at most one line per genome hash, ever.
+* ``generation`` — a completed generation's best genome.
+* ``best`` — the campaign verdict (terminal line).
+
+Nothing here carries a timestamp or wall-clock duration, and eval
+lines are appended in deterministic population order *after* a batch
+completes — so the ledger of an interrupted-and-resumed campaign is
+byte-identical to one that ran straight through: the resume replays
+the (deterministic) search from the top, skips every evaluation the
+ledger already holds, and appends only the missing suffix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from repro.harness.ledger import append_jsonl_line, read_ledger
+from repro.tune.genome import GENE_SPACE
+
+TUNE_SCHEMA_VERSION = 1
+
+
+def gene_space_hash() -> str:
+    """Identity of the searchable space; a changed space invalidates
+    resume (old evals may cover values outside the new space)."""
+    payload = json.dumps(
+        {k: list(v) for k, v in GENE_SPACE.items()}, sort_keys=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class TuneLedger:
+    """Append-only campaign journal with idempotent writes.
+
+    Every write method is a no-op when an equivalent line already
+    exists in the file — replaying a deterministic search over a
+    partial ledger therefore reproduces the exact straight-through
+    byte stream.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._header: Optional[Dict] = None
+        self._eval_hashes: Set[str] = set()
+        self._generations: Set[int] = set()
+        self._has_baseline = False
+        self._has_best = False
+        #: genome_hash -> {"fitness": int, "cycles": {target: int}, ...}
+        self.memo: Dict[str, Dict] = {}
+        for entry in read_ledger(self.path):
+            kind = entry.get("kind")
+            if kind == "header":
+                self._header = entry
+            elif kind == "baseline":
+                self._has_baseline = True
+            elif kind == "eval":
+                ghash = entry.get("genome_hash", "")
+                self._eval_hashes.add(ghash)
+                self.memo[ghash] = entry
+            elif kind == "generation":
+                self._generations.add(int(entry.get("index", -1)))
+            elif kind == "best":
+                self._has_best = True
+
+    # ----------------------------------------------------------- writes
+
+    def _append(self, payload: Dict) -> None:
+        append_jsonl_line(self.path, payload)
+
+    def header(self, *, seed: int, algo: str, budget: int, pop_size: int,
+               targets: List[str], n_pus: int, out_of_order: bool,
+               scale: float) -> None:
+        payload = {
+            "kind": "header",
+            "schema_version": TUNE_SCHEMA_VERSION,
+            "seed": seed,
+            "algo": algo,
+            "budget": budget,
+            "pop_size": pop_size,
+            "targets": list(targets),
+            "n_pus": n_pus,
+            "out_of_order": out_of_order,
+            "scale": scale,
+            "gene_space": gene_space_hash(),
+        }
+        if self._header is not None:
+            mismatched = [
+                key for key in payload
+                if key != "kind" and self._header.get(key) != payload[key]
+            ]
+            if mismatched:
+                raise ValueError(
+                    f"{self.path}: existing tune ledger was written by a "
+                    f"different campaign (mismatched: "
+                    f"{', '.join(sorted(mismatched))}); use a fresh "
+                    f"ledger path or matching parameters"
+                )
+            return
+        self._append(payload)
+        self._header = payload
+
+    def baseline(self, *, genome: Dict, fitness: int,
+                 cycles: Dict[str, int]) -> None:
+        if self._has_baseline:
+            return
+        self._append({
+            "kind": "baseline",
+            "genome": genome,
+            "fitness": fitness,
+            "cycles": cycles,
+        })
+        self._has_baseline = True
+
+    def eval(self, *, genome_hash: str, genome: Dict, generation: int,
+             fitness: int, cycles: Dict[str, int]) -> None:
+        if genome_hash in self._eval_hashes:
+            return
+        payload = {
+            "kind": "eval",
+            "genome_hash": genome_hash,
+            "generation": generation,
+            "fitness": fitness,
+            "cycles": cycles,
+            "genome": genome,
+        }
+        self._append(payload)
+        self._eval_hashes.add(genome_hash)
+        self.memo[genome_hash] = payload
+
+    def generation(self, *, index: int, best_hash: str,
+                   best_fitness: int) -> None:
+        if index in self._generations:
+            return
+        self._append({
+            "kind": "generation",
+            "index": index,
+            "best_hash": best_hash,
+            "best_fitness": best_fitness,
+        })
+        self._generations.add(index)
+
+    def best(self, *, genome_hash: str, genome: Dict, fitness: int,
+             baseline_fitness: int) -> None:
+        if self._has_best:
+            return
+        self._append({
+            "kind": "best",
+            "genome_hash": genome_hash,
+            "genome": genome,
+            "fitness": fitness,
+            "baseline_fitness": baseline_fitness,
+        })
+        self._has_best = True
