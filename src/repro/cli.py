@@ -2,8 +2,12 @@
 
 Commands:
 
-* ``run`` — one benchmark under one heuristic level / machine config.
+* ``run`` — one benchmark under one heuristic level / machine config
+  (``--machine`` names a machine-description preset).
 * ``figure5`` — regenerate the Figure 5 grid.
+* ``scaling`` — the manycore scaling study: machine preset ×
+  heuristic level × predictor grids with per-PU utilization
+  telemetry and heuristic-ranking comparison.
 * ``table1`` — regenerate Table 1.
 * ``breakdown`` — Figure 2 cycle accounting.
 * ``centralized`` — distributed vs centralized motivation study.
@@ -21,7 +25,8 @@ Commands:
   the cache.
 * ``list`` — list the available benchmarks with static code counts
   (``--synth``: the synthetic-generator presets instead;
-  ``--json``: machine-readable).
+  ``--machines``: the machine-description presets with per-PU
+  profiles; ``--json``: machine-readable).
 * ``serve`` — run the campaign service: an async job queue sharding
   grid/fuzz submissions across worker processes behind an HTTP API
   (SIGTERM drains: checkpoint, requeue, resume on restart).
@@ -151,6 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--strategy", default="",
                        help="selection strategy name (see 'repro list "
                             "--strategies'; default: the --level reference)")
+    run_p.add_argument("--machine", default="",
+                       help="machine-description preset (see 'repro list "
+                            "--machines'; overrides --pus)")
 
     fig_p = sub.add_parser("figure5", help="regenerate Figure 5")
     _add_common(fig_p)
@@ -163,6 +171,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="in-order PUs only (default: both)")
     fig_p.add_argument("--json", default="",
                        help="also write the record grid as JSON to this path")
+
+    scal_p = sub.add_parser(
+        "scaling",
+        help="manycore scaling study: machine preset x heuristic "
+             "level x predictor, with per-PU utilization telemetry",
+    )
+    _add_common(scal_p)
+    scal_p.add_argument(
+        "--machines", default="",
+        help="comma-separated machine presets (see 'repro list "
+             "--machines'; default: paper-4x2, big-little-8, "
+             "hetero-16, manycore-32)",
+    )
+    scal_p.add_argument(
+        "--predictors", default="",
+        help="comma-separated inter-task predictor kinds (path, "
+             "gshare, hybrid; default: path)",
+    )
+    scal_p.add_argument(
+        "--levels", default="",
+        help="comma-separated heuristic levels (default: all four)",
+    )
+    scal_p.add_argument("--engine", choices=["fast", "batched", "reference"],
+                        default="fast",
+                        help="simulation core (bit-identical results)")
+    scal_p.add_argument(
+        "--baseline", default="paper-4x2",
+        help="machine preset heuristic rankings are compared against "
+             "(default: paper-4x2)",
+    )
+    scal_p.add_argument("--json", default="",
+                        help="also write the record grid as JSON to this "
+                             "path")
 
     tab_p = sub.add_parser("table1", help="regenerate Table 1")
     _add_common(tab_p)
@@ -338,6 +379,11 @@ def build_parser() -> argparse.ArgumentParser:
              "tunable parameters and defaults instead",
     )
     list_p.add_argument(
+        "--machines", action="store_true",
+        help="list the machine-description presets with their per-PU "
+             "profiles, topology and predictor instead",
+    )
+    list_p.add_argument(
         "--json", action="store_true",
         help="emit the listing as machine-readable JSON",
     )
@@ -406,6 +452,12 @@ def build_parser() -> argparse.ArgumentParser:
              "group per program (repeatable; default cost_model; "
              "'none' disables the sweep)",
     )
+    fuzz_p.add_argument(
+        "--machine", action="append", dest="machines", default=None,
+        help="machine preset to sweep as an extra heterogeneous cell "
+             "group per program (repeatable; default big-little-8; "
+             "'none' disables the sweep)",
+    )
 
     tune_p = sub.add_parser(
         "tune",
@@ -445,6 +497,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tune_p.add_argument("--n-pus", type=int, default=4,
                         help="processing units (default 4)")
+    tune_p.add_argument(
+        "--machine", default="paper-4x2",
+        help="pin the machine gene to this preset (default "
+             "paper-4x2, the legacy machine; 'search' frees the gene "
+             "so the GA explores the machine axis)",
+    )
+    tune_p.add_argument(
+        "--predictor", default="path",
+        help="pin the predictor gene (path, gshare, hybrid; default "
+             "path; 'search' frees the gene)",
+    )
     tune_p.add_argument(
         "--in-order", action="store_true",
         help="tune for in-order PUs (default out-of-order)",
@@ -544,7 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub_p.add_argument(
         "grid",
         help="campaign to submit: figure5, table1, breakdown, "
-             "centralized, fuzz, or ablation:<sweep>",
+             "centralized, scaling, fuzz, or ablation:<sweep>",
     )
     sub_p.add_argument("--url", default="http://127.0.0.1:8753",
                        help="service base URL")
@@ -606,21 +669,36 @@ def _cmd_run(args: argparse.Namespace) -> str:
             get_strategy(selection)
         except ValueError as exc:
             raise SystemExit(f"repro run: {exc}")
+    sim = _sim_for_engine(args.engine)
+    n_pus = args.pus
+    machine_note = ""
+    if args.machine:
+        from repro.machines import MachineSpecError, resolve_machine
+        from repro.sim import SimConfig
+
+        try:
+            spec = resolve_machine(args.machine)
+        except (MachineSpecError, ValueError) as exc:
+            raise SystemExit(f"repro run: {exc}")
+        sim = SimConfig(engine=args.engine, machine=spec)
+        n_pus = spec.n_pus
+        machine_note = f" [{spec.name}, {spec.predictor} predictor]"
     record = run_benchmark(
         args.benchmark,
         _LEVELS[args.level],
-        n_pus=args.pus,
+        n_pus=n_pus,
         out_of_order=not args.in_order,
         scale=args.scale,
         selection=selection,
-        sim=_sim_for_engine(args.engine),
+        sim=sim,
     )
     strategy_note = f" [{args.strategy}]" if args.strategy else ""
     lines = [
         f"benchmark            : {record.benchmark} ({record.suite})",
         f"heuristic level      : {record.level.value}{strategy_note}",
         f"machine              : {record.n_pus} PUs, "
-        f"{'out-of-order' if record.out_of_order else 'in-order'}",
+        f"{'out-of-order' if record.out_of_order else 'in-order'}"
+        f"{machine_note}",
         f"instructions         : {record.instructions}",
         f"cycles               : {record.cycles}",
         f"IPC                  : {record.ipc:.3f}",
@@ -647,6 +725,52 @@ def _cmd_figure5(args: argparse.Namespace) -> str:
     )
     _maybe_json(args, "figure5", result.records)
     return format_figure5(result, configs=configs)
+
+
+def _cmd_scaling(args: argparse.Namespace) -> str:
+    from repro.experiments.scaling import format_scaling, run_scaling
+    from repro.machines import (
+        PREDICTOR_KINDS,
+        MachineSpecError,
+        resolve_machine,
+    )
+
+    machines = [m for m in args.machines.split(",") if m]
+    for name in machines:
+        try:
+            resolve_machine(name)
+        except (MachineSpecError, ValueError) as exc:
+            raise SystemExit(f"repro scaling: {exc}")
+    predictors = [p for p in args.predictors.split(",") if p]
+    for kind in predictors:
+        if kind not in PREDICTOR_KINDS:
+            raise SystemExit(
+                f"repro scaling: unknown predictor {kind!r} "
+                f"(choose from {', '.join(PREDICTOR_KINDS)})"
+            )
+    levels = [v for v in args.levels.split(",") if v]
+    for value in levels:
+        if value not in _LEVELS:
+            raise SystemExit(
+                f"repro scaling: unknown level {value!r} "
+                f"(choose from {', '.join(sorted(_LEVELS))})"
+            )
+    axes: dict = {}
+    if machines:
+        axes["machines"] = tuple(machines)
+    if predictors:
+        axes["predictors"] = tuple(predictors)
+    if levels:
+        axes["levels"] = tuple(_LEVELS[v] for v in levels)
+    result = run_scaling(
+        benchmarks=_names(args),
+        scale=args.scale,
+        engine=args.engine,
+        **axes,
+        **_harness_kwargs(args),
+    )
+    _maybe_json(args, "scaling", result.records)
+    return format_scaling(result, baseline=args.baseline)
 
 
 def _cmd_table1(args: argparse.Namespace) -> str:
@@ -928,11 +1052,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> str:
         if engine not in engines:
             engines.append(engine)
     strategies = _fuzz_strategies(args.strategies)
+    machines = _fuzz_machines(args.machines)
     result = run_campaign(
         budget=args.budget, seed=args.seed, preset=args.preset,
         jobs=args.jobs, cache=cache, ledger=ledger,
         resume=args.resume, minimize=args.minimize,
         engines=tuple(engines), strategies=strategies,
+        machines=machines,
     )
     lines = [result.summary()]
     counters = (result.metrics or {}).get("counters", {})
@@ -968,6 +1094,25 @@ def _fuzz_strategies(requested) -> tuple:
             f"repro fuzz: unknown non-paper strategy "
             f"{', '.join(unknown)} (choose from {', '.join(sorted(known))})"
         )
+    return names
+
+
+def _fuzz_machines(requested) -> tuple:
+    """Resolve ``repro fuzz --machine`` into validated preset names.
+
+    Default sweeps ``big-little-8`` so every fuzz campaign covers the
+    heterogeneous machine path; ``--machine none`` disables.
+    """
+    from repro.machines import MachineSpecError, resolve_machine
+
+    if requested is None:
+        return ("big-little-8",)
+    names = tuple(m for m in requested if m != "none")
+    for name in names:
+        try:
+            resolve_machine(name)
+        except (MachineSpecError, ValueError) as exc:
+            raise SystemExit(f"repro fuzz: {exc}")
     return names
 
 
@@ -1019,6 +1164,9 @@ def _cmd_tune(args: argparse.Namespace) -> str:
             jobs=args.jobs or None, pop_size=args.pop, ledger=ledger,
             cache=cache, n_pus=args.n_pus,
             out_of_order=not args.in_order, scale=args.scale,
+            machine=None if args.machine == "search" else args.machine,
+            predictor=(None if args.predictor == "search"
+                       else args.predictor),
         )
     except ValueError as exc:
         raise SystemExit(f"repro tune: {exc}")
@@ -1067,6 +1215,39 @@ def _cmd_tune(args: argparse.Namespace) -> str:
 def _cmd_list(args: argparse.Namespace) -> str:
     import json as _json
 
+    if getattr(args, "machines", False):
+        from repro.machines import describe_machines
+
+        described = describe_machines()
+        if getattr(args, "json", False):
+            return _json.dumps({"machines": described}, indent=2,
+                               sort_keys=True)
+        lines = [
+            f"{'name':<14} {'PUs':>4} {'predictor':<10} "
+            f"{'hop':>4} {'bw':>4} {'hash':<18} profile"
+        ]
+        for entry in described:
+            hop = entry["ring_hop_latency"]
+            bw = entry["ring_bandwidth"]
+            profiles = {}
+            for pu in entry["pus"]:
+                profiles[pu["name"]] = profiles.get(pu["name"], 0) + 1
+            shape = " + ".join(
+                f"{count}x{name}" for name, count in profiles.items()
+            )
+            lines.append(
+                f"{entry['name']:<14} {entry['n_pus']:>4} "
+                f"{entry['predictor']:<10} "
+                f"{hop if hop is not None else '-':>4} "
+                f"{bw if bw is not None else '-':>4} "
+                f"{entry['hash']:<18} {shape}"
+            )
+        lines.append(
+            "use with 'repro run --machine <name>', 'repro scaling "
+            "--machines ...', or SimConfig(machine=<name>); '-' "
+            "topology fields inherit the SimConfig defaults"
+        )
+        return "\n".join(lines)
     if getattr(args, "strategies", False):
         from repro.compiler import describe_strategies
 
@@ -1362,6 +1543,7 @@ def _cmd_fetch(args: argparse.Namespace) -> str:
 _COMMANDS = {
     "run": _cmd_run,
     "figure5": _cmd_figure5,
+    "scaling": _cmd_scaling,
     "table1": _cmd_table1,
     "breakdown": _cmd_breakdown,
     "centralized": _cmd_centralized,

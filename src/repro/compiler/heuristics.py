@@ -68,6 +68,11 @@ class SelectionConfig:
     #: selection strategy name ("" = the paper reference strategy for
     #: ``level``); see :mod:`repro.compiler.strategy` for the registry
     strategy: str = ""
+    #: machine preset the selection is tuned for ("" = the paper
+    #: machine).  Only the ``cost_model`` strategy reads it — it
+    #: reweights the growth policy by the target's ring reach and
+    #: issue width (see :func:`repro.compiler.strategy.policy_weights`)
+    machine_hint: str = ""
     #: CFG exploration order during task growth ("bfs" = the paper's
     #: worklist order; "dfs" explores depth-first — a tunable gene)
     traversal: str = "bfs"

@@ -289,6 +289,45 @@ class TunableStrategy(PaperStrategy):
 
 # ----------------------------------------------------------- cost model
 
+def policy_weights(machine) -> tuple:
+    """(saved, opened, squash) weights of one machine spec.
+
+    The cost model's constants encode the paper machine: forwarding a
+    register one ring hop between narrow PUs is cheap, so an opened
+    dependence weighs half a saved one and a squashed slot weighs one
+    occurrence.  On other machines both costs move:
+
+    * **opened** grows with ring reach — a forwarded value crosses
+      ``hop`` latency over (on average) half the ring, so machines
+      with more PUs or slower links punish boundary-crossing
+      dependences harder;
+    * **squash** grows with the widest PU's issue width — one
+      squashed task slot wastes that many issue opportunities per
+      cycle on the PU that ran it.
+
+    The paper machine (``paper-4x2``: 4 PUs, hop 1, issue 2) maps to
+    exactly ``(2, 1, 1)`` — :class:`CostModelPolicy`'s class
+    constants — so a hinted default machine is bit-identical to the
+    unhinted path.
+    """
+    from repro.sim.config import SimConfig
+
+    defaults = SimConfig()
+    hop = (machine.ring_hop_latency
+           if machine.ring_hop_latency is not None
+           else defaults.ring_hop_latency)
+    n = machine.n_pus
+    max_issue = max(
+        (pu.issue_width if pu.issue_width is not None
+         else defaults.issue_width)
+        for pu in machine.pus
+    )
+    saved = CostModelPolicy.COMM_SAVED_WEIGHT
+    opened = max(1, (hop * (n // 2)) // 4)
+    squash = max(1, max_issue // 2)
+    return (saved, opened, squash)
+
+
 class CostBook:
     """Per-function profiled cost index shared by all task growths."""
 
@@ -297,6 +336,16 @@ class CostBook:
         self.cfg = cfg
         self.profile = profile
         self.function_name = function.name
+        if config.machine_hint:
+            from repro.machines import get_machine
+
+            self.weights = policy_weights(get_machine(config.machine_hint))
+        else:
+            self.weights = (
+                CostModelPolicy.COMM_SAVED_WEIGHT,
+                CostModelPolicy.COMM_OPENED_WEIGHT,
+                CostModelPolicy.SQUASH_WEIGHT,
+            )
         self.dependences = ranked_dependences(function, cfg, profile, config)
         #: block label -> indices of dependences produced there
         self.by_producer: Dict[str, List[int]] = {}
@@ -357,6 +406,11 @@ class CostModelPolicy(GrowthPolicy):
     def __init__(self, book: CostBook) -> None:
         self.book = book
         self.members: Set[str] = set()
+        # Per-machine weights from the book (class constants unless a
+        # machine_hint reweighted them — see policy_weights).
+        self.saved_weight, self.opened_weight, self.squash_weight = (
+            book.weights
+        )
 
     def on_include(self, label: str) -> None:
         self.members.add(label)
@@ -380,8 +434,8 @@ class CostModelPolicy(GrowthPolicy):
                 opened += deps[idx].frequency
         taken = book.edge_count(parent, child)
         untaken = max(book.block_count(parent) - taken, 0)
-        gain = self.COMM_SAVED_WEIGHT * saved + taken
-        cost = self.COMM_OPENED_WEIGHT * opened + self.SQUASH_WEIGHT * untaken
+        gain = self.saved_weight * saved + taken
+        cost = self.opened_weight * opened + self.squash_weight * untaken
         return gain > cost
 
 
@@ -405,6 +459,7 @@ class CostModelStrategy(SelectionStrategy):
             "max_dependences": defaults.max_dependences,
             "hoist_induction": defaults.hoist_induction,
             "schedule_communication": defaults.schedule_communication,
+            "machine_hint": defaults.machine_hint,
         }
 
     def transform(self, program: Program, config: SelectionConfig) -> None:

@@ -218,8 +218,17 @@ def compile_benchmark(
 def _machine_config(
     sim: Optional[SimConfig], n_pus: int, out_of_order: bool
 ) -> SimConfig:
-    """The concrete machine configuration one cell runs with."""
-    config = (sim or SimConfig()).scaled_for_pus(n_pus)
+    """The concrete machine configuration one cell runs with.
+
+    A ``sim`` carrying a machine spec is already fully resolved (the
+    spec fixed ``n_pus``, topology and L1 scaling at construction) —
+    the spec is authoritative and the cell's ``n_pus`` is ignored.
+    The legacy homogeneous path scales the L1s for ``n_pus`` exactly
+    as before.
+    """
+    config = sim or SimConfig()
+    if config.machine is None:
+        config = config.scaled_for_pus(n_pus)
     return replace(config, out_of_order=out_of_order)
 
 

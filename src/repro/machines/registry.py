@@ -1,0 +1,143 @@
+"""Named machine presets and their resolution.
+
+The registry is the single place preset machines are defined; every
+entry is validated at import time, so a bad preset fails the module
+load, not a simulation.  ``resolve_machine`` is the front door used by
+:class:`~repro.sim.config.SimConfig` (a ``machine="name"`` string
+resolves here) and by every CLI surface that accepts ``--machine``.
+
+Topology scaling: the paper's ring bypasses adjacent PUs in the same
+cycle, which stops being credible past one board — :func:`ring_hop_for`
+grows the per-hop latency with the ring's diameter, and manycore
+presets halve the per-PU ARB (a 128-bank full-size ARB is the
+centralized structure the paper argues away from).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.machines.spec import (
+    MachineSpec,
+    PUProfile,
+    validate_machine,
+)
+
+
+def ring_hop_for(n_pus: int) -> int:
+    """Per-hop ring latency at ``n_pus`` (grows with ring diameter)."""
+    if n_pus <= 8:
+        return 1
+    if n_pus <= 32:
+        return 2
+    if n_pus <= 64:
+        return 3
+    return 4
+
+
+def arb_entries_for(n_pus: int) -> int:
+    """Per-PU ARB entries at ``n_pus`` (halved past one board)."""
+    return 32 if n_pus <= 8 else 16
+
+
+def homogeneous(name: str, n_pus: int, predictor: str = "path",
+                **profile_overrides) -> MachineSpec:
+    """A spec of ``n_pus`` identical PUs with topology scaled for n."""
+    profile = PUProfile(name="pu", **profile_overrides)
+    return MachineSpec(
+        name=name,
+        pus=(profile,) * n_pus,
+        ring_hop_latency=ring_hop_for(n_pus),
+        arb_entries_per_pu=arb_entries_for(n_pus),
+        predictor=predictor,
+    )
+
+
+#: a wide out-of-order core: double the paper's issue/fetch and ALUs
+_BIG = PUProfile(name="big", issue_width=4, fetch_width=4,
+                 int_units=3, fp_units=2)
+#: a narrow in-pipeline core: scalar issue, one extra cycle everywhere
+_LITTLE = PUProfile(name="little", issue_width=1, fetch_width=1,
+                    lat_extra=(1, 2, 1, 1))
+
+
+def _presets() -> Dict[str, MachineSpec]:
+    paper_4 = MachineSpec(name="paper-4x2", pus=(PUProfile(),) * 4)
+    paper_8 = MachineSpec(name="paper-8x2", pus=(PUProfile(),) * 8)
+    paper_8x1 = MachineSpec(
+        name="paper-8x1",
+        pus=(PUProfile(name="narrow", issue_width=1, fetch_width=1),) * 8,
+    )
+    big_little_8 = MachineSpec(
+        name="big-little-8",
+        pus=(_BIG,) * 4 + (_LITTLE,) * 4,
+    )
+    hetero_16 = MachineSpec(
+        name="hetero-16",
+        pus=(_BIG,) * 4 + (PUProfile(),) * 8 + (_LITTLE,) * 4,
+        ring_hop_latency=ring_hop_for(16),
+        arb_entries_per_pu=arb_entries_for(16),
+        predictor="hybrid",
+    )
+    manycores = [
+        homogeneous(f"manycore-{n}", n) for n in (32, 64, 128)
+    ]
+    specs = [paper_4, paper_8, paper_8x1, big_little_8, hetero_16]
+    specs.extend(manycores)
+    return {spec.name: spec for spec in specs}
+
+
+MACHINE_PRESETS: Dict[str, MachineSpec] = _presets()
+
+for _spec in MACHINE_PRESETS.values():
+    validate_machine(_spec)
+
+
+def machine_names() -> List[str]:
+    """Preset names in registry (declaration) order."""
+    return list(MACHINE_PRESETS)
+
+
+def get_machine(name: str) -> MachineSpec:
+    """The preset called ``name`` (ValueError names the known set)."""
+    try:
+        return MACHINE_PRESETS[name]
+    except KeyError:
+        known = ", ".join(machine_names())
+        raise ValueError(
+            f"unknown machine preset {name!r}; known: {known}"
+        ) from None
+
+
+def resolve_machine(value: Union[str, MachineSpec]) -> MachineSpec:
+    """Resolve a preset name or pass through (and lint) a spec."""
+    if isinstance(value, str):
+        spec = get_machine(value)
+    elif isinstance(value, MachineSpec):
+        spec = value
+    else:
+        raise TypeError(
+            f"machine must be a preset name or MachineSpec, "
+            f"got {type(value).__name__}"
+        )
+    validate_machine(spec)
+    return spec
+
+
+def describe_machines() -> List[Dict]:
+    """Machine-readable preset listing (``repro list --machines``)."""
+    out: List[Dict] = []
+    for name in machine_names():
+        spec = MACHINE_PRESETS[name]
+        out.append({
+            "name": name,
+            "n_pus": spec.n_pus,
+            "predictor": spec.predictor,
+            "ring_hop_latency": spec.ring_hop_latency,
+            "ring_bandwidth": spec.ring_bandwidth,
+            "arb_entries_per_pu": spec.arb_entries_per_pu,
+            "arb_latency": spec.arb_latency,
+            "hash": spec.machine_hash(),
+            "pus": spec.as_dict()["pus"],
+        })
+    return out

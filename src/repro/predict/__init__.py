@@ -13,10 +13,20 @@
 from repro.predict.counters import SaturatingCounter
 from repro.predict.gshare import GsharePredictor
 from repro.predict.path_predictor import PathPredictor, ReturnAddressStack
+from repro.predict.taskpred import (
+    TASK_PREDICTOR_KINDS,
+    GshareTaskPredictor,
+    HybridTaskPredictor,
+    make_task_predictor,
+)
 
 __all__ = [
     "GsharePredictor",
+    "GshareTaskPredictor",
+    "HybridTaskPredictor",
     "PathPredictor",
     "ReturnAddressStack",
     "SaturatingCounter",
+    "TASK_PREDICTOR_KINDS",
+    "make_task_predictor",
 ]

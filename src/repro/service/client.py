@@ -195,8 +195,8 @@ def parse_grid_arg(grid: str) -> Dict[str, object]:
     """Turn a CLI grid argument into a submission payload.
 
     Accepts the campaign names the CLI already uses — ``figure5``,
-    ``table1``, ``breakdown``, ``centralized``, ``fuzz`` — plus
-    ``ablation:<sweep>`` for the six ablation sweeps.
+    ``table1``, ``breakdown``, ``centralized``, ``scaling``,
+    ``fuzz`` — plus ``ablation:<sweep>`` for the six ablation sweeps.
     """
     grid = grid.strip()
     if grid.startswith("ablation:"):

@@ -2,8 +2,9 @@
 
 A :class:`JobRequest` names one submittable campaign — any of the
 paper-artefact grids (``figure5``, ``table1``, ``breakdown``,
-``centralized``, ``ablation``) or a synth fuzzing campaign
-(``fuzz``) — as a plain JSON-able ``(kind, params)`` pair.  Two
+``centralized``, ``ablation``), the manycore scaling study
+(``scaling``), or a synth fuzzing campaign (``fuzz``) — as a plain
+JSON-able ``(kind, params)`` pair.  Two
 functions give it meaning:
 
 * :func:`expand_specs` turns a request into the exact
@@ -51,7 +52,8 @@ _LEVELS = {level.value: level for level in HeuristicLevel}
 
 #: request kinds the service accepts
 JOB_KINDS = (
-    "figure5", "table1", "breakdown", "centralized", "ablation", "fuzz",
+    "figure5", "table1", "breakdown", "centralized", "ablation",
+    "scaling", "fuzz",
 )
 
 
@@ -154,6 +156,52 @@ def _all_benchmarks():
     return all_benchmarks()
 
 
+def _names_param(params: Dict, key: str) -> List[str]:
+    """A list-of-strings param (accepts a comma-joined string too)."""
+    raw = params.get(key, [])
+    if isinstance(raw, str):
+        raw = [name for name in raw.split(",") if name]
+    if not isinstance(raw, list) or not all(isinstance(n, str) for n in raw):
+        raise JobError(f"{key} must be a list of names, got {raw!r}")
+    return raw
+
+
+def _scaling_args(params: Dict) -> Dict:
+    """Validated keyword arguments shared by the scaling driver calls."""
+    from repro.experiments.scaling import (
+        DEFAULT_MACHINES,
+        DEFAULT_PREDICTORS,
+    )
+    from repro.machines import resolve_machine
+
+    machines = _names_param(params, "machines") or list(DEFAULT_MACHINES)
+    try:
+        for name in machines:
+            resolve_machine(name)
+    except ValueError as exc:
+        raise JobError(str(exc))
+    predictors = (_names_param(params, "predictors")
+                  or list(DEFAULT_PREDICTORS))
+    from repro.machines import PREDICTOR_KINDS
+
+    unknown = [p for p in predictors if p not in PREDICTOR_KINDS]
+    if unknown:
+        raise JobError(
+            f"unknown predictor(s): {', '.join(unknown)} "
+            f"(known: {', '.join(PREDICTOR_KINDS)})"
+        )
+    from repro.experiments.figure5 import LEVELS
+
+    return {
+        "benchmarks": _benchmarks_param(params),
+        "machines": machines,
+        "predictors": predictors,
+        "levels": _levels_param(params) or LEVELS,
+        "scale": float(params.get("scale", 1.0)),
+        "engine": params.get("engine", "fast"),
+    }
+
+
 def expand_specs(request: JobRequest) -> List[RunSpec]:
     """The specs a request shards into, in driver-canonical order."""
     params = request.params
@@ -221,6 +269,11 @@ def expand_specs(request: JobRequest) -> List[RunSpec]:
             scale=scale,
         )
         return specs
+    if kind == "scaling":
+        from repro.experiments.scaling import scaling_specs
+
+        _, specs = scaling_specs(**_scaling_args(params))
+        return specs
     if kind == "fuzz":
         from repro.synth.campaign import fuzz_specs
 
@@ -232,6 +285,7 @@ def expand_specs(request: JobRequest) -> List[RunSpec]:
                 budget=budget,
                 seed=int(params.get("seed", 1)),
                 preset=params.get("preset", "default"),
+                machines=_names_param(params, "machines"),
             )
         except ValueError as exc:
             raise JobError(str(exc))
@@ -348,6 +402,21 @@ def assemble_result(request: JobRequest, cache) -> Dict:
         )
         records = dict(zip(keys, run_specs(specs, jobs=1, cache=cache)))
         return {"report": format_sweep(records, sweep)}
+    if kind == "scaling":
+        from repro.experiments.scaling import format_scaling, run_scaling
+        from repro.harness.serialize import grid_records, records_to_json
+
+        args = _scaling_args(params)
+        result = run_scaling(jobs=1, cache=cache, **args)
+        return {
+            "records_json": records_to_json(
+                "scaling", grid_records(result.records), args["scale"]
+            ),
+            "report": format_scaling(result),
+            "ranking_changes": [
+                list(change) for change in result.ranking_changes()
+            ],
+        }
     if kind == "fuzz":
         from repro.synth.campaign import run_campaign
 
@@ -355,6 +424,7 @@ def assemble_result(request: JobRequest, cache) -> Dict:
             budget=int(params["budget"]),
             seed=int(params.get("seed", 1)),
             preset=params.get("preset", "default"),
+            machines=_names_param(params, "machines"),
             jobs=1, cache=cache,
         )
         return {

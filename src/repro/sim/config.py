@@ -118,7 +118,36 @@ class SimConfig:
     #: against.
     engine: str = "fast"
 
+    #: optional machine description: a preset name (resolved through
+    #: :mod:`repro.machines.registry` at construction) or a
+    #: :class:`~repro.machines.MachineSpec`.  When set, the spec is
+    #: authoritative: ``n_pus`` becomes the spec's PU count, the L1s
+    #: scale with it, the spec's topology overrides (ring hop
+    #: latency/bandwidth, ARB shape) replace the global fields, and
+    #: per-PU profiles override the global widths/unit counts inside
+    #: the engines.  A spec whose profiles inherit everything is
+    #: bit-identical to this config with ``machine=None``.
+    machine: object = None
+
     def __post_init__(self) -> None:
+        if self.machine is not None:
+            from repro.machines import resolve_machine
+
+            spec = resolve_machine(self.machine)
+            object.__setattr__(self, "machine", spec)
+            object.__setattr__(self, "n_pus", spec.n_pus)
+            l1_bytes = 16 * 1024 * spec.n_pus
+            object.__setattr__(
+                self, "l1d", replace(self.l1d, size_bytes=l1_bytes)
+            )
+            object.__setattr__(
+                self, "l1i", replace(self.l1i, size_bytes=l1_bytes)
+            )
+            for attr in ("ring_bandwidth", "ring_hop_latency",
+                         "arb_entries_per_pu", "arb_latency"):
+                value = getattr(spec, attr)
+                if value is not None:
+                    object.__setattr__(self, attr, value)
         if self.engine not in ("fast", "batched", "reference"):
             raise ValueError(
                 "engine must be 'fast', 'batched' or 'reference', "

@@ -50,7 +50,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.compiler.regcomm import ReleaseAnalysis
 from repro.compiler.task import TargetKind
-from repro.predict import PathPredictor, ReturnAddressStack
+from repro.predict import ReturnAddressStack, make_task_predictor
 from repro.sim.breakdown import (
     REASON_INDEX,
     CycleBreakdown,
@@ -91,6 +91,20 @@ class SimResult:
     #: in-flight tasks thrown away per squash event, in squash order
     #: (feeds the telemetry squash-depth histogram)
     squash_depths: List[int] = field(default_factory=list)
+    #: per-PU cycles spent issuing retired work (index = PU position
+    #: around the ring); identical across engines because every task's
+    #: accounting folds at the shared retire path
+    pu_useful: List[int] = field(default_factory=list)
+    #: per-PU total occupied cycles of retired tasks (useful + stalls
+    #: + task overheads; excludes idle and squashed occupancy)
+    pu_occupied: List[int] = field(default_factory=list)
+
+    def pu_utilization(self) -> List[float]:
+        """Per-PU useful / occupied ratio (0.0 where never occupied)."""
+        return [
+            useful / occupied if occupied else 0.0
+            for useful, occupied in zip(self.pu_useful, self.pu_occupied)
+        ]
 
     @property
     def ipc(self) -> float:
@@ -134,10 +148,21 @@ class MultiscalarMachine:
         self.label = label
         self.state = RunState(stream, self.config, release)
         self.hierarchy = MemoryHierarchy(self.config)
-        self.predictor = PathPredictor()
+        # The machine spec (if any) supplies per-PU profiles and the
+        # inter-task predictor kind; without one, every PU inherits
+        # the global config and the predictor is the paper's
+        # path-based scheme — the exact pre-machines construction.
+        machine_spec = self.config.machine
+        if machine_spec is not None:
+            profiles = machine_spec.pus
+            predictor_kind = machine_spec.predictor
+        else:
+            profiles = (None,) * self.config.n_pus
+            predictor_kind = "path"
+        self.predictor = make_task_predictor(predictor_kind)
         self.ras = ReturnAddressStack()
         self.pus = [
-            ProcessingUnit(i, self.config, self.state)
+            ProcessingUnit(i, self.config, self.state, profile=profiles[i])
             for i in range(self.config.n_pus)
         ]
         for pu in self.pus:
@@ -177,6 +202,11 @@ class MultiscalarMachine:
         #: into the breakdown at result time so each retire is ten int
         #: adds instead of an enum-keyed dict merge
         self._reason_accum = [0] * _N_REASONS
+        #: the same accounting split per PU (useful, total occupied) —
+        #: feeds SimResult.pu_useful/pu_occupied for the scaling
+        #: study's starvation telemetry
+        self._pu_useful = [0] * self.config.n_pus
+        self._pu_occupied = [0] * self.config.n_pus
         #: per-tick constants, unpacked once per _tick call instead of
         #: re-reading config attributes every cycle
         self._tick_consts = (
@@ -418,9 +448,13 @@ class MultiscalarMachine:
                 return False
             pu = self._retiring_pu
             accum = self._reason_accum
+            occupied = 0
             for i, n in enumerate(pu.local_counts):
                 if n:
                     accum[i] += n
+                    occupied += n
+            self._pu_useful[pu.index] += pu.local_counts[_R_USEFUL]
+            self._pu_occupied[pu.index] += occupied
             seq = pu.seq
             self._active_span -= self.stream.tasks[seq].length
             del self.in_flight[seq]
@@ -733,6 +767,8 @@ class MultiscalarMachine:
             breakdown=self.breakdown,
             cache_stats=self.hierarchy.stats(),
             squash_depths=list(self.squash_depths),
+            pu_useful=list(self._pu_useful),
+            pu_occupied=list(self._pu_occupied),
         )
 
 

@@ -57,23 +57,42 @@ _R_USEFUL = REASON_INDEX[StallReason.USEFUL]
 class ProcessingUnit:
     """Execution state of one PU."""
 
-    def __init__(self, index: int, config: SimConfig, state: RunState) -> None:
+    def __init__(self, index: int, config: SimConfig, state: RunState,
+                 profile=None) -> None:
         self.index = index
         self.config = config
         self.state = state
+        self.profile = profile
         forward_policy = config.forward_policy.value
         self._schedule_fp = forward_policy == "schedule"
         self._lazy_fp = forward_policy == "lazy"
+        # Per-PU profile overrides (heterogeneous machines): a None
+        # profile — or a profile field left None — inherits the global
+        # config value, so homogeneous machines build exactly the
+        # constants they always did.
+        def _of(attr, default):
+            if profile is None:
+                return default
+            value = getattr(profile, attr)
+            return default if value is None else value
+
+        issue_width = _of("issue_width", config.issue_width)
+        fetch_width = _of("fetch_width", config.fetch_width)
+        # Extra execution latency per opclass (OPCLASS_* order); the
+        # all-zeros default adds nothing on the issue paths below.
+        lat_extra = (
+            tuple(profile.lat_extra) if profile is not None else (0, 0, 0, 0)
+        )
         # Per-run constants for the hot methods, bundled so each call
         # rebinds them with one attribute load and a tuple unpack
         # instead of ~20 attribute loads (the prologue cost dominates
         # short calls).  All referenced objects are identity-stable
         # for the lifetime of the run.
         self._fu_budget = [
-            config.int_units,
-            config.fp_units,
-            config.mem_units,
-            config.branch_units,
+            _of("int_units", config.int_units),
+            _of("fp_units", config.fp_units),
+            _of("mem_units", config.mem_units),
+            _of("branch_units", config.branch_units),
         ]
         self._issue_consts = (
             state.opcls,
@@ -89,7 +108,7 @@ class ProcessingUnit:
             state.latency,
             state.addr,
             config.out_of_order,
-            config.issue_width,
+            issue_width,
             config.issue_list_size,
             config.n_pus,
             config.ring_hop_latency,
@@ -97,6 +116,7 @@ class ProcessingUnit:
             config.arb_latency,
             config.stlf_latency,
             index,
+            lat_extra,
         )
         self._fetch_consts = (
             state.block_start,
@@ -104,7 +124,7 @@ class ProcessingUnit:
             state.gshare_mispred,
             state.is_mem,
             state.pc,
-            config.fetch_width,
+            fetch_width,
             config.rob_size,
             config.l1i.hit_latency,
             config.out_of_order,
@@ -454,6 +474,7 @@ class ProcessingUnit:
             arb_latency,
             stlf_latency,
             my_pu,
+            lat_extra,
         ) = self._issue_consts
         # FU budget slotted by opcode class (OPCLASS_*).
         budget = self._fu_budget.copy()
@@ -497,7 +518,10 @@ class ProcessingUnit:
                         break
                     continue
                 budget[cls] -= 1
-                heappush(in_flight, (cycle + latency_of[idx], idx))
+                heappush(
+                    in_flight,
+                    (cycle + latency_of[idx] + lat_extra[cls], idx),
+                )
                 issued_pos.append(pos)
                 issued += 1
                 continue
@@ -594,7 +618,7 @@ class ProcessingUnit:
                         latency = arb_latency
             else:
                 latency = latency_of[idx]
-            heappush(in_flight, (cycle + latency, idx))
+            heappush(in_flight, (cycle + latency + lat_extra[cls], idx))
             issued_pos.append(pos)
             issued += 1
             if is_mem[idx]:

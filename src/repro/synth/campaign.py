@@ -163,6 +163,7 @@ def fuzz_specs(
     levels: Sequence[HeuristicLevel] = ALL_LEVELS,
     engines: Sequence[str] = ENGINES,
     strategies: Sequence[str] = (),
+    machines: Sequence[str] = (),
 ) -> Tuple[List[RunSpec], List[str]]:
     """The harness specs of one campaign, plus the program names.
 
@@ -174,11 +175,19 @@ def fuzz_specs(
     ``strategies`` appends, per program, one cell group per named
     non-paper selection strategy (at :data:`FUZZ_STRATEGY_LEVEL`,
     every engine) so fuzzing also covers the pluggable-strategy
-    dispatch path.
+    dispatch path.  ``machines`` appends, per program, one cell group
+    per named machine preset (at :data:`FUZZ_STRATEGY_LEVEL`, every
+    engine) — heterogeneous machines share the level's compilation
+    but drive the differential oracle through per-PU profiles,
+    scaled rings and non-path predictors.
     """
     if preset not in PRESETS:
         known = ", ".join(PRESETS)
         raise ValueError(f"unknown synth preset {preset!r} (known: {known})")
+    from repro.machines import resolve_machine
+
+    # Resolve (and lint) machine names before any program is queued.
+    machine_specs = [resolve_machine(m) for m in machines]
     params = PRESETS[preset]
     specs: List[RunSpec] = []
     names: List[str] = []
@@ -208,7 +217,21 @@ def fuzz_specs(
                     sim=SimConfig(engine=engine),
                     source_hash=source,
                 ))
+        for machine in machine_specs:
+            for engine in engines:
+                specs.append(RunSpec(
+                    benchmark=name,
+                    level=FUZZ_STRATEGY_LEVEL,
+                    sim=SimConfig(engine=engine, machine=machine),
+                    source_hash=source,
+                ))
     return specs, names
+
+
+def _spec_machine(spec: RunSpec) -> str:
+    """The machine-preset tag of a fuzz cell ("" = the legacy 4x2)."""
+    machine = spec.sim.machine if spec.sim is not None else None
+    return machine.name if machine is not None else ""
 
 
 def execute_fuzz_spec(spec: RunSpec) -> "RunRecord":
@@ -301,6 +324,10 @@ def execute_fuzz_spec(spec: RunSpec) -> "RunRecord":
         # Strategy-sweep cells share the level of a reference cell;
         # the report loader suffixes their labels with this.
         metrics["fuzz"]["strategy"] = spec.selection.strategy
+    machine = _spec_machine(spec)
+    if machine:
+        # Machine-sweep cells likewise share a reference level.
+        metrics["fuzz"]["machine"] = machine
     record.metrics = metrics
     return record
 
@@ -378,6 +405,7 @@ def run_campaign(
     levels: Sequence[HeuristicLevel] = ALL_LEVELS,
     engines: Sequence[str] = ENGINES,
     strategies: Sequence[str] = (),
+    machines: Sequence[str] = (),
 ) -> CampaignResult:
     """Run one differential fuzzing campaign through the harness.
 
@@ -386,12 +414,14 @@ def run_campaign(
     every divergent program is delta-debugged to a minimal reproducer
     (``result.reduced``).  ``engines`` widens the differential — e.g.
     ``("fast", "reference", "batched")`` cross-checks three columns.
-    ``strategies`` sweeps non-paper selection strategies as extra
-    cell groups (see :func:`fuzz_specs`).
+    ``strategies`` sweeps non-paper selection strategies, and
+    ``machines`` heterogeneous machine presets, as extra cell groups
+    (see :func:`fuzz_specs`).
     """
     result = CampaignResult(budget=budget, seed=seed, preset=preset)
     specs, names = fuzz_specs(budget, seed, preset, levels=levels,
-                              engines=engines, strategies=strategies)
+                              engines=engines, strategies=strategies,
+                              machines=machines)
     result.programs = names
     records = run_specs(
         specs, jobs=jobs, cache=cache, ledger=ledger,
@@ -399,15 +429,16 @@ def run_campaign(
     )
     result.cells = len(records)
 
-    # Group (program, level, strategy) -> engine -> record, preserving
-    # spec order (strategy "" = the paper reference cells).
-    grouped: Dict[Tuple[str, HeuristicLevel, str],
+    # Group (program, level, strategy, machine) -> engine -> record,
+    # preserving spec order (strategy/machine "" = the paper
+    # reference cells).
+    grouped: Dict[Tuple[str, HeuristicLevel, str, str],
                   Dict[str, "RunRecord"]] = {}
     for spec, record in zip(specs, records):
         engine = (spec.sim or SimConfig()).engine
         strategy = spec.selection.strategy if spec.selection else ""
         grouped.setdefault(
-            (spec.benchmark, spec.level, strategy), {}
+            (spec.benchmark, spec.level, strategy, _spec_machine(spec)), {}
         )[engine] = record
 
     registry = MetricsRegistry()
@@ -416,10 +447,12 @@ def run_campaign(
     sizes = registry.histogram("fuzz.program_instructions",
                                PROGRAM_SIZE_BOUNDS)
     divergent_programs: List[str] = []
-    for (name, level, strategy), by_engine in grouped.items():
+    for (name, level, strategy, machine), by_engine in grouped.items():
         cell_label = f"{name}@{level.value}"
         if strategy:
             cell_label = f"{cell_label}+{strategy}"
+        if machine:
+            cell_label = f"{cell_label}/{machine}"
         cell_divs: List[str] = []
         for engine in engines:
             record = by_engine.get(engine)
@@ -434,7 +467,7 @@ def run_campaign(
                 int(fuzz_meta.get("invariant_checks", 0))
             )
         fast = by_engine.get("fast")
-        if fast is not None and not strategy:
+        if fast is not None and not strategy and not machine:
             sizes.observe(fast.instructions)
         cell_divs.extend(_compare_engines(cell_label, by_engine))
         if cell_divs and name not in divergent_programs:
@@ -462,7 +495,8 @@ def run_campaign(
             reduced = reduce_program(
                 program,
                 lambda p: bool(
-                    check_program(p, levels=levels, strategies=strategies)
+                    check_program(p, levels=levels, strategies=strategies,
+                                  machines=machines)
                 ),
             )
             result.reduced[name] = program_to_text(reduced)
@@ -476,13 +510,15 @@ def check_program(
     max_instructions: int = 2_000_000,
     engines: Sequence[str] = ENGINES,
     strategies: Sequence[str] = (),
+    machines: Sequence[str] = (),
 ) -> List[str]:
     """In-process differential check of one program (no registry).
 
     The reducer predicate and the planted-fault tests use this: it
     mirrors :func:`execute_fuzz_spec` — all requested levels (plus
-    the requested non-paper ``strategies``), both engines, the
-    invariant monitor, and the commit-log oracle — against a raw
+    the requested non-paper ``strategies`` and machine-preset
+    ``machines``), both engines, the invariant monitor, and the
+    commit-log oracle — against a raw
     :class:`~repro.ir.program.Program`.  Selection clones and
     transforms its input, so every downstream step works on
     ``partition.program``, the program the trace was recorded on.
@@ -493,15 +529,26 @@ def check_program(
     divergences.extend(f"well-formedness: {i}" for i in well_formed(base))
     if divergences:
         return divergences
-    selections: List[Tuple[str, SelectionConfig]] = [
-        (level.value, SelectionConfig(level=level)) for level in levels
+    selections: List[Tuple[str, SelectionConfig, Optional[object]]] = [
+        (level.value, SelectionConfig(level=level), None)
+        for level in levels
     ]
     selections += [
         (f"{FUZZ_STRATEGY_LEVEL.value}+{strategy}",
-         SelectionConfig(level=FUZZ_STRATEGY_LEVEL, strategy=strategy))
+         SelectionConfig(level=FUZZ_STRATEGY_LEVEL, strategy=strategy),
+         None)
         for strategy in strategies
     ]
-    for tag, selection in selections:
+    if machines:
+        from repro.machines import resolve_machine
+
+        selections += [
+            (f"{FUZZ_STRATEGY_LEVEL.value}/{machine}",
+             SelectionConfig(level=FUZZ_STRATEGY_LEVEL),
+             resolve_machine(machine))
+            for machine in machines
+        ]
+    for tag, selection, machine_spec in selections:
         partition = select_tasks(
             parse_program(text), selection,
             max_profile_instructions=max_instructions,
@@ -518,7 +565,10 @@ def check_program(
         release = ReleaseAnalysis(partition)
         results = {}
         for engine in engines:
-            config = SimConfig(engine=engine).scaled_for_pus(n_pus)
+            if machine_spec is not None:
+                config = SimConfig(engine=engine, machine=machine_spec)
+            else:
+                config = SimConfig(engine=engine).scaled_for_pus(n_pus)
             monitor = InvariantMonitor()
             machine = MultiscalarMachine(
                 stream, config, release, monitor,

@@ -279,4 +279,15 @@ def run_metrics(result, stream) -> Dict:
 
     depths = registry.histogram("squash_depth", SQUASH_DEPTH_BOUNDS)
     depths.observe_many(result.squash_depths)
-    return registry.summary()
+    summary = registry.summary()
+    # Per-PU utilization telemetry (scaling-study starvation columns).
+    # Engine-identical because the accounting folds at the machines'
+    # shared retire path; guarded so pre-machines results (or mocks
+    # without the fields) keep the historical summary shape.
+    pu_useful = getattr(result, "pu_useful", None)
+    if pu_useful:
+        summary["pu"] = {
+            "useful": list(pu_useful),
+            "occupied": list(result.pu_occupied),
+        }
+    return summary

@@ -33,7 +33,30 @@ from repro.sim.breakdown import CycleBreakdown
 
 #: metrics shown as extra columns when both sides have them
 _SECONDARY = ("ipc", "mean_task_size", "task_misprediction_percent",
-              "fuzz_divergences")
+              "fuzz_divergences", "pu_util_min", "pu_util_mean",
+              "pu_util_max")
+
+
+def _pu_metrics(summary: Optional[Dict], metrics: Dict) -> None:
+    """Fold a registry summary's per-PU telemetry into report columns.
+
+    Heterogeneous-machine cells carry ``metrics["pu"]`` (useful /
+    occupied counts per PU); the report reduces them to the
+    lo/mean/hi utilization spread so starvation shifts show up as
+    secondary columns without widening the table per PU.
+    """
+    pu = (summary or {}).get("pu")
+    if not isinstance(pu, dict) or not pu.get("occupied"):
+        return
+    utils = [
+        useful / occupied if occupied else 0.0
+        for useful, occupied in zip(pu.get("useful", ()), pu["occupied"])
+    ]
+    if not utils:
+        return
+    metrics["pu_util_min"] = min(utils)
+    metrics["pu_util_mean"] = sum(utils) / len(utils)
+    metrics["pu_util_max"] = max(utils)
 
 #: the paper's Table 1 rows this repo documents (EXPERIMENTS.md §Table 1),
 #: usable as a comparison target: ``repro report run.json paper-table1``
@@ -85,6 +108,8 @@ def _record_cell(record: Dict) -> Tuple[str, Dict]:
     }
     if isinstance(record.get("breakdown"), dict):
         metrics["breakdown"] = record["breakdown"]
+    summary = record.get("metrics")
+    _pu_metrics(summary if isinstance(summary, dict) else None, metrics)
     return label, metrics
 
 
@@ -120,7 +145,11 @@ def _ledger_cells(path: Path) -> Dict[str, Dict]:
             # cell they shadow; the suffix keeps them distinct.
             if fuzz.get("strategy"):
                 label = f"{label}+{fuzz['strategy']}"
+            # Machine-sweep cells likewise shadow a reference level.
+            if fuzz.get("machine"):
+                label = f"{label}/{fuzz['machine']}"
             metrics["fuzz_divergences"] = len(fuzz.get("divergences") or ())
+        _pu_metrics(summary, metrics)
         # latest successful entry for a cell wins (reruns supersede)
         cells[label] = metrics
     return cells

@@ -25,6 +25,7 @@ from repro.tune.genome import (
     Genome,
     PAPER_GENOME,
     crossover,
+    machine_sim,
     mutate,
     random_genome,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "TuneLedger",
     "TuneResult",
     "crossover",
+    "machine_sim",
     "mutate",
     "random_genome",
     "tune",

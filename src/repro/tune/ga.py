@@ -20,16 +20,18 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler import HeuristicLevel
 from repro.harness.scheduler import run_specs
 from repro.harness.spec import RunSpec
 from repro.tune.genome import (
+    GENE_SPACE,
     Genome,
     PAPER_GENOME,
     crossover,
+    machine_sim,
     mutate,
     random_genome,
 )
@@ -155,14 +157,44 @@ class _Evaluator:
         return (self.memo[ghash][0], ghash)
 
 
-def _evaluate_baseline(evaluator: _Evaluator) -> Tuple[int, Dict[str, int]]:
-    """The paper's heuristic_3 (TASK_SIZE reference strategy) cycles."""
-    specs = [
+def _baseline_specs(evaluator: _Evaluator, sim) -> List[RunSpec]:
+    """The paper heuristic_3 reference cells on machine ``sim``."""
+    return [
         RunSpec(benchmark=target, level=HeuristicLevel.TASK_SIZE,
                 n_pus=evaluator.n_pus, out_of_order=evaluator.out_of_order,
-                scale=evaluator.scale)
+                scale=evaluator.scale, sim=sim)
         for target in evaluator.targets
     ]
+
+
+def _pinner(machine: Optional[str],
+            predictor: Optional[str]) -> Callable[[Genome], Genome]:
+    """Gene pinning for the machine axis (``None`` = search the gene).
+
+    Applied *after* every operator (seed, random draw, crossover +
+    mutation), never inside one, so the rng draw sequence — one draw
+    per gene in ``GENE_SPACE`` order — is untouched and campaigns
+    with different pins replay identically gene-for-gene elsewhere.
+    """
+    updates = {}
+    for name, value in (("machine", machine), ("predictor", predictor)):
+        if value is None:
+            continue
+        if value not in GENE_SPACE[name]:
+            raise ValueError(
+                f"tune {name} must be one of "
+                f"{', '.join(map(str, GENE_SPACE[name]))}; got {value!r}"
+            )
+        updates[name] = value
+    if not updates:
+        return lambda genome: genome
+    return lambda genome: replace(genome, **updates)
+
+
+def _evaluate_baseline(evaluator: _Evaluator,
+                       sim=None) -> Tuple[int, Dict[str, int]]:
+    """The paper's heuristic_3 (TASK_SIZE reference strategy) cycles."""
+    specs = _baseline_specs(evaluator, sim)
     records = run_specs(specs, jobs=evaluator.jobs, cache=evaluator.cache)
     cycles = {
         target: rec.cycles
@@ -190,6 +222,8 @@ def tune(
     n_pus: int = 4,
     out_of_order: bool = True,
     scale: float = 1.0,
+    machine: Optional[str] = "paper-4x2",
+    predictor: Optional[str] = "path",
 ) -> TuneResult:
     """Search the selection-genome space for minimal summed cycles.
 
@@ -199,6 +233,13 @@ def tune(
     random search draws ``budget`` genomes.  ``ledger`` enables
     resume — pass a :class:`TuneLedger` over an existing file and
     completed evaluations are replayed from disk.
+
+    ``machine`` / ``predictor`` pin those genes (defaults: the paper
+    machine, so historical campaigns replay unchanged); pass ``None``
+    to let the search explore the corresponding axis.  The baseline
+    races on the pinned machine (or the paper machine while the gene
+    floats) — tuning *for* a machine compares against the paper
+    heuristic *on* that machine.
     """
     if not targets:
         raise ValueError("tune needs at least one target benchmark")
@@ -208,19 +249,24 @@ def tune(
         raise ValueError("budget must be >= 1")
     if pop_size < 2:
         raise ValueError("pop_size must be >= 2")
+    pin = _pinner(machine, predictor)
+    baseline_sim = machine_sim(machine or "paper-4x2", predictor or "path")
 
     if ledger is not None:
         ledger.header(
             seed=seed, algo=algo, budget=budget, pop_size=pop_size,
             targets=list(targets), n_pus=n_pus,
             out_of_order=out_of_order, scale=scale,
+            machine=machine, predictor=predictor,
         )
 
     evaluator = _Evaluator(
         targets, n_pus=n_pus, out_of_order=out_of_order, scale=scale,
         jobs=jobs, cache=cache, ledger=ledger,
     )
-    baseline_fitness, baseline_cycles = _evaluate_baseline(evaluator)
+    baseline_fitness, baseline_cycles = _evaluate_baseline(
+        evaluator, baseline_sim
+    )
     if ledger is not None:
         ledger.baseline(
             genome=PAPER_GENOME.as_dict(), fitness=baseline_fitness,
@@ -243,8 +289,8 @@ def tune(
             seen.setdefault(genome.genome_hash(), genome)
 
     if algo == "random":
-        draws = [PAPER_GENOME] + [
-            random_genome(rng) for _ in range(budget - 1)
+        draws = [pin(PAPER_GENOME)] + [
+            pin(random_genome(rng)) for _ in range(budget - 1)
         ]
         for gen in range(generations):
             chunk = draws[gen * pop_size:(gen + 1) * pop_size]
@@ -260,8 +306,8 @@ def tune(
                     index=gen, best_hash=key[1], best_fitness=key[0]
                 )
     else:
-        population: List[Genome] = [PAPER_GENOME] + [
-            random_genome(rng) for _ in range(pop_size - 1)
+        population: List[Genome] = [pin(PAPER_GENOME)] + [
+            pin(random_genome(rng)) for _ in range(pop_size - 1)
         ]
         for gen in range(generations):
             evaluator.evaluate(population, gen)
@@ -286,7 +332,7 @@ def tune(
                 parent_b = _tournament(scored, rng)
                 child = crossover(parent_a, parent_b, rng)
                 child = mutate(child, rng, rate=MUTATION_RATE)
-                offspring.append(child)
+                offspring.append(pin(child))
             population = offspring
 
     best_hash, best_genome = min(
@@ -305,11 +351,7 @@ def tune(
 
     # Full RunRecords for report writing (pure cache hits by now).
     best_specs = evaluator.specs_for(best_genome)
-    base_specs = [
-        RunSpec(benchmark=t, level=HeuristicLevel.TASK_SIZE, n_pus=n_pus,
-                out_of_order=out_of_order, scale=scale)
-        for t in targets
-    ]
+    base_specs = _baseline_specs(evaluator, baseline_sim)
     best_recs = run_specs(best_specs, jobs=1, cache=cache)
     base_recs = run_specs(base_specs, jobs=1, cache=cache)
     result.best_records = dict(zip(targets, best_recs))

@@ -47,6 +47,12 @@ GENE_SPACE: Dict[str, Tuple] = {
     "hoist_induction": (True, False),
     # intra-block communication scheduling on/off
     "schedule_communication": (True, False),
+    # machine preset the genome is scored on (registry names; the
+    # default aliases the legacy 4x2 configuration bit-for-bit, so
+    # PAPER_GENOME's cached evaluations stay valid)
+    "machine": ("paper-4x2", "paper-8x1", "big-little-8"),
+    # inter-task predictor kind wired into the machine
+    "predictor": ("path", "gshare", "hybrid"),
 }
 
 
@@ -63,6 +69,8 @@ class Genome:
     traversal: str = "bfs"
     hoist_induction: bool = True
     schedule_communication: bool = True
+    machine: str = "paper-4x2"
+    predictor: str = "path"
 
     def __post_init__(self) -> None:
         for name, space in GENE_SPACE.items():
@@ -90,7 +98,17 @@ class Genome:
     # --------------------------------------------------------- decoding
 
     def to_selection(self) -> SelectionConfig:
-        """The selection config this genome decodes to."""
+        """The selection config this genome decodes to.
+
+        A ``cost_model`` genome scored on a non-paper machine carries
+        the machine name as ``machine_hint`` so the growth policy
+        reweights for that machine's ring reach and issue width
+        (default-machine genomes keep ``""`` and alias the historical
+        compile cache).
+        """
+        machine_hint = ""
+        if self.strategy == "cost_model" and self.machine != "paper-4x2":
+            machine_hint = self.machine
         return SelectionConfig(
             level=HeuristicLevel(self.level),
             max_targets=self.max_targets,
@@ -101,13 +119,22 @@ class Genome:
             schedule_communication=self.schedule_communication,
             strategy=self.strategy,
             traversal=self.traversal,
+            machine_hint=machine_hint,
         )
 
     def to_spec(self, benchmark: str, n_pus: int = 4,
                 out_of_order: bool = True, scale: float = 1.0,
                 sim: Optional[SimConfig] = None) -> RunSpec:
-        """The harness job evaluating this genome on ``benchmark``."""
+        """The harness job evaluating this genome on ``benchmark``.
+
+        An explicit ``sim`` wins; otherwise the genome's machine /
+        predictor genes decode to one (``None`` for the default pair,
+        so paper-machine genomes keep aliasing the legacy cached
+        evaluations).
+        """
         selection = self.to_selection()
+        if sim is None:
+            sim = machine_sim(self.machine, self.predictor)
         return RunSpec(
             benchmark=benchmark,
             level=selection.level,
@@ -117,6 +144,21 @@ class Genome:
             selection=selection,
             sim=sim,
         )
+
+
+def machine_sim(machine: str,
+                predictor: str = "path") -> Optional[SimConfig]:
+    """The SimConfig a (machine, predictor) gene pair decodes to.
+
+    ``("paper-4x2", "path")`` — the legacy machine — decodes to
+    ``None``: the historical spec shape, whose cached records and
+    ledger lines stay byte-identical to pre-machine campaigns.
+    """
+    if machine == "paper-4x2" and predictor == "path":
+        return None
+    from repro.machines import get_machine, with_predictor
+
+    return SimConfig(machine=with_predictor(get_machine(machine), predictor))
 
 
 #: the paper's TASK_SIZE configuration, encoded as a genome

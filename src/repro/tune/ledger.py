@@ -83,7 +83,8 @@ class TuneLedger:
 
     def header(self, *, seed: int, algo: str, budget: int, pop_size: int,
                targets: List[str], n_pus: int, out_of_order: bool,
-               scale: float) -> None:
+               scale: float, machine: Optional[str] = "paper-4x2",
+               predictor: Optional[str] = "path") -> None:
         payload = {
             "kind": "header",
             "schema_version": TUNE_SCHEMA_VERSION,
@@ -95,6 +96,9 @@ class TuneLedger:
             "n_pus": n_pus,
             "out_of_order": out_of_order,
             "scale": scale,
+            # machine-axis pins (None = the campaign searched the gene)
+            "machine": machine,
+            "predictor": predictor,
             "gene_space": gene_space_hash(),
         }
         if self._header is not None:
